@@ -1,0 +1,84 @@
+//! Kim et al. (DAC 2012): hybrid DRAM/PRAM main memory for single-chip
+//! CPU/GPU, as summarised in the Hydrogen paper's related work (§III-C):
+//! GPU workloads are forced to the slow memory, with only *write-intensive*
+//! blocks cached in the fast memory (writes are what hurt most on their
+//! PRAM slow tier; on our DDR slow tier the same policy still shields the
+//! fast tier from GPU streaming).
+
+use h2_hybrid::policy::{PartitionPolicy, PolicyParams};
+use h2_hybrid::types::ReqClass;
+use h2_sim_core::SeededRng;
+
+/// The Kim et al. write-filtered GPU caching policy.
+#[derive(Debug, Clone)]
+pub struct KimPolicy {
+    assoc: usize,
+    channels: usize,
+}
+
+impl KimPolicy {
+    /// Build for the given geometry.
+    pub fn new(assoc: usize, channels: usize) -> Self {
+        Self { assoc, channels }
+    }
+}
+
+impl PartitionPolicy for KimPolicy {
+    fn name(&self) -> &str {
+        "Kim2012"
+    }
+
+    fn alloc_mask(&self, _set: u64, _class: ReqClass) -> u16 {
+        ((1u32 << self.assoc) - 1) as u16
+    }
+
+    fn way_channel(&self, set: u64, way: usize) -> usize {
+        (set as usize + way) % self.channels
+    }
+
+    fn migration_allowed(
+        &mut self,
+        class: ReqClass,
+        _cost: u32,
+        is_write: bool,
+        _slow_channel: usize,
+        _rng: &mut SeededRng,
+    ) -> bool {
+        match class {
+            ReqClass::Cpu => true,
+            // GPU data stays in slow memory unless the block is being
+            // written (write-intensity proxy: a write miss).
+            ReqClass::Gpu => is_write,
+        }
+    }
+
+    fn params(&self) -> PolicyParams {
+        PolicyParams {
+            bw: 0,
+            cap: self.assoc,
+            tok: usize::MAX,
+            label: "Kim2012 (GPU write-only caching)".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_reads_never_migrate_writes_do() {
+        let mut p = KimPolicy::new(4, 4);
+        let mut rng = SeededRng::derive(1, "kim");
+        assert!(!p.migration_allowed(ReqClass::Gpu, 1, false, 0, &mut rng));
+        assert!(p.migration_allowed(ReqClass::Gpu, 1, true, 0, &mut rng));
+        assert!(p.migration_allowed(ReqClass::Cpu, 2, false, 0, &mut rng));
+        assert!(p.migration_allowed(ReqClass::Cpu, 2, true, 0, &mut rng));
+    }
+
+    #[test]
+    fn capacity_is_shared() {
+        let p = KimPolicy::new(4, 4);
+        assert_eq!(p.alloc_mask(9, ReqClass::Cpu), p.alloc_mask(9, ReqClass::Gpu));
+    }
+}

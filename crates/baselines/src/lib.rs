@@ -1,0 +1,29 @@
+//! Baseline hybrid-memory partitioning policies the paper compares against
+//! (§III-C, §V):
+//!
+//! * **NoPart** — the non-partitioned baseline (re-exported
+//!   [`h2_hybrid::policy::SharedPolicy`]).
+//! * **[`waypart::WayPartPolicy`]** — static way-partitioning with 75 % of
+//!   the ways dedicated to the CPU and a *coupled* way→channel map, so the
+//!   capacity and bandwidth splits are forced equal (the drawback Hydrogen's
+//!   decoupling removes).
+//! * **[`hashcache::HashCachePolicy`]** — HAShCache: direct-mapped
+//!   organisation with chaining (configured via
+//!   `h2_hybrid::HybridConfig { assoc: 1, chaining: true, .. }`), CPU
+//!   priority in the memory controller, and slow-memory bypass for a
+//!   fraction of GPU fills.
+//! * **[`profess::ProfessPolicy`]** — ProFess: probabilistic per-class
+//!   migration with an epoch feedback loop that boosts whichever class is
+//!   suffering the larger hit-rate deficit (fairness-driven MDM
+//!   approximation).
+
+pub mod hashcache;
+pub mod kim;
+pub mod profess;
+pub mod waypart;
+
+pub use h2_hybrid::policy::SharedPolicy as NoPartPolicy;
+pub use hashcache::HashCachePolicy;
+pub use kim::KimPolicy;
+pub use profess::ProfessPolicy;
+pub use waypart::WayPartPolicy;

@@ -1,0 +1,202 @@
+//! ProFess (Knyaginin, Papaefstathiou & Stenström, HPCA 2018) — a
+//! probabilistic hybrid main-memory management framework for performance and
+//! fairness, reimplemented from its description in the Hydrogen paper
+//! (§III-C, §V): a bypass (migration-decision) mechanism that helps the
+//! process currently suffering the larger hit-rate deficit or migration
+//! cost, ported to the cache mode and 4-way associativity.
+//!
+//! Our approximation keeps a per-class migration probability and runs an
+//! epoch feedback loop: the class with the worse fast-memory hit rate gets
+//! its migration probability raised while the other class is throttled,
+//! which equalises slowdowns the way ProFess' MDM mechanism does. There is
+//! no capacity/bandwidth partitioning — the gap Hydrogen exploits.
+
+use h2_hybrid::policy::{EpochSample, PartitionPolicy, PolicyParams};
+use h2_hybrid::types::ReqClass;
+use h2_sim_core::SeededRng;
+
+/// Bounds for the adaptive migration probabilities.
+const P_MIN: f64 = 0.05;
+const P_MAX: f64 = 1.0;
+/// Multiplicative adaptation step per epoch.
+const STEP: f64 = 1.25;
+/// Hit-rate difference treated as "fair enough".
+const MARGIN: f64 = 0.02;
+
+/// The ProFess policy.
+#[derive(Debug, Clone)]
+pub struct ProfessPolicy {
+    assoc: usize,
+    channels: usize,
+    /// Migration probability per class `[cpu, gpu]`.
+    prob: [f64; 2],
+    epochs: u64,
+}
+
+impl ProfessPolicy {
+    /// Build with both classes initially migrating at full probability.
+    pub fn new(assoc: usize, channels: usize) -> Self {
+        Self {
+            assoc,
+            channels,
+            prob: [1.0, 0.6],
+            epochs: 0,
+        }
+    }
+
+    /// Current `(cpu, gpu)` migration probabilities.
+    pub fn probabilities(&self) -> (f64, f64) {
+        (self.prob[0], self.prob[1])
+    }
+}
+
+impl PartitionPolicy for ProfessPolicy {
+    fn name(&self) -> &str {
+        "ProFess"
+    }
+
+    fn alloc_mask(&self, _set: u64, _class: ReqClass) -> u16 {
+        ((1u32 << self.assoc) - 1) as u16
+    }
+
+    fn way_channel(&self, set: u64, way: usize) -> usize {
+        (set as usize + way) % self.channels
+    }
+
+    fn migration_allowed(&mut self, class: ReqClass, cost: u32, _is_write: bool, _slow_channel: usize, rng: &mut SeededRng) -> bool {
+        // Costlier migrations (dirty victims / swaps) are proportionally
+        // less likely: ProFess weighs migration benefit against bandwidth
+        // cost.
+        rng.chance(self.prob[class.idx()] / cost.max(1) as f64)
+    }
+
+    fn on_epoch(&mut self, s: &EpochSample) -> bool {
+        self.epochs += 1;
+        let rate = |h: u64, m: u64| {
+            let t = h + m;
+            if t == 0 {
+                return None;
+            }
+            Some(h as f64 / t as f64)
+        };
+        let (Some(cpu_hr), Some(gpu_hr)) = (
+            rate(s.cpu_hits, s.cpu_misses),
+            rate(s.gpu_hits, s.gpu_misses),
+        ) else {
+            return false;
+        };
+        if cpu_hr + MARGIN < gpu_hr {
+            // CPU suffering: boost its fills, throttle GPU's.
+            self.prob[0] = (self.prob[0] * STEP).clamp(P_MIN, P_MAX);
+            self.prob[1] = (self.prob[1] / STEP).clamp(P_MIN, P_MAX);
+        } else if gpu_hr + MARGIN < cpu_hr {
+            self.prob[1] = (self.prob[1] * STEP).clamp(P_MIN, P_MAX);
+            self.prob[0] = (self.prob[0] / STEP).clamp(P_MIN, P_MAX);
+        }
+        // Probability changes are not remapping reconfigurations.
+        false
+    }
+
+    fn params(&self) -> PolicyParams {
+        PolicyParams {
+            bw: 0,
+            cap: self.assoc,
+            tok: usize::MAX,
+            label: format!(
+                "ProFess p_cpu={:.2} p_gpu={:.2}",
+                self.prob[0], self.prob[1]
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adapts_toward_suffering_class() {
+        let mut p = ProfessPolicy::new(4, 4);
+        let (c0, g0) = p.probabilities();
+        // CPU hit rate much worse than GPU's for several epochs.
+        for _ in 0..6 {
+            p.on_epoch(&EpochSample {
+                cpu_hits: 10,
+                cpu_misses: 90,
+                gpu_hits: 80,
+                gpu_misses: 20,
+                ..Default::default()
+            });
+        }
+        let (c1, g1) = p.probabilities();
+        assert!(c1 >= c0);
+        assert!(g1 < g0, "GPU fills should be throttled: {g0} -> {g1}");
+    }
+
+    #[test]
+    fn probabilities_stay_bounded() {
+        let mut p = ProfessPolicy::new(4, 4);
+        for _ in 0..100 {
+            p.on_epoch(&EpochSample {
+                cpu_hits: 0,
+                cpu_misses: 100,
+                gpu_hits: 100,
+                gpu_misses: 0,
+                ..Default::default()
+            });
+        }
+        let (c, g) = p.probabilities();
+        assert!(c <= P_MAX && c >= P_MIN);
+        assert!(g <= P_MAX && g >= P_MIN);
+        assert!((g - P_MIN).abs() < 1e-9, "gpu should bottom out");
+    }
+
+    #[test]
+    fn balanced_hit_rates_hold_steady() {
+        let mut p = ProfessPolicy::new(4, 4);
+        let before = p.probabilities();
+        for _ in 0..10 {
+            p.on_epoch(&EpochSample {
+                cpu_hits: 50,
+                cpu_misses: 50,
+                gpu_hits: 50,
+                gpu_misses: 50,
+                ..Default::default()
+            });
+        }
+        assert_eq!(p.probabilities(), before);
+    }
+
+    #[test]
+    fn empty_epochs_are_ignored() {
+        let mut p = ProfessPolicy::new(4, 4);
+        let before = p.probabilities();
+        p.on_epoch(&EpochSample::default());
+        assert_eq!(p.probabilities(), before);
+    }
+
+    #[test]
+    fn migration_probability_shapes_decisions() {
+        let mut p = ProfessPolicy::new(4, 4);
+        // Push GPU probability to the floor.
+        for _ in 0..30 {
+            p.on_epoch(&EpochSample {
+                cpu_hits: 0,
+                cpu_misses: 100,
+                gpu_hits: 100,
+                gpu_misses: 0,
+                ..Default::default()
+            });
+        }
+        let mut rng = SeededRng::derive(3, "pf");
+        let n = 4000;
+        let gpu_ok = (0..n)
+            .filter(|_| p.migration_allowed(ReqClass::Gpu, 1, false, 0, &mut rng))
+            .count();
+        let cpu_ok = (0..n)
+            .filter(|_| p.migration_allowed(ReqClass::Cpu, 1, false, 0, &mut rng))
+            .count();
+        assert!(gpu_ok < n / 5, "gpu mostly bypassed: {gpu_ok}");
+        assert!(cpu_ok > n * 8 / 10, "cpu mostly migrates: {cpu_ok}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Simple static way-partitioning (the paper's `WayPart` baseline, §V):
+//! 75 % of the ways are dedicated to CPU workloads, and ways map directly to
+//! channels, so capacity and bandwidth are split in the *same* (coupled)
+//! ratio — precisely the mismatch Hydrogen's decoupled scheme fixes.
+
+use h2_hybrid::policy::{PartitionPolicy, PolicyParams};
+use h2_hybrid::types::ReqClass;
+use h2_sim_core::SeededRng;
+
+/// Static coupled way-partitioning.
+#[derive(Debug, Clone)]
+pub struct WayPartPolicy {
+    assoc: usize,
+    channels: usize,
+    cpu_ways: usize,
+}
+
+impl WayPartPolicy {
+    /// `cpu_fraction` of the ways (rounded, at least 1, at most `assoc-1`
+    /// when possible) go to the CPU. The paper uses 0.75.
+    pub fn new(assoc: usize, channels: usize, cpu_fraction: f64) -> Self {
+        assert!(assoc >= 1 && assoc <= 16);
+        let mut cpu_ways = ((assoc as f64 * cpu_fraction).round() as usize).clamp(1, assoc);
+        if assoc > 1 && cpu_ways == assoc {
+            cpu_ways = assoc - 1; // leave the GPU at least one way if we can
+        }
+        Self {
+            assoc,
+            channels,
+            cpu_ways,
+        }
+    }
+
+    /// The paper's default 75 % split.
+    pub fn default_75(assoc: usize, channels: usize) -> Self {
+        Self::new(assoc, channels, 0.75)
+    }
+
+    /// Ways dedicated to the CPU.
+    pub fn cpu_ways(&self) -> usize {
+        self.cpu_ways
+    }
+}
+
+impl PartitionPolicy for WayPartPolicy {
+    fn name(&self) -> &str {
+        "WayPart"
+    }
+
+    fn alloc_mask(&self, _set: u64, class: ReqClass) -> u16 {
+        let cpu = ((1u32 << self.cpu_ways) - 1) as u16;
+        let all = ((1u32 << self.assoc) - 1) as u16;
+        match class {
+            ReqClass::Cpu => cpu,
+            ReqClass::Gpu => all & !cpu,
+        }
+    }
+
+    fn way_channel(&self, _set: u64, way: usize) -> usize {
+        // Coupled: the way index *is* the channel (folded if assoc >
+        // channels). No per-set rotation — this is the whole drawback.
+        way * self.channels / self.assoc
+    }
+
+    fn migration_allowed(&mut self, _class: ReqClass, _cost: u32, _is_write: bool, _slow_channel: usize, _rng: &mut SeededRng) -> bool {
+        true
+    }
+
+    fn params(&self) -> PolicyParams {
+        PolicyParams {
+            bw: self.cpu_ways * self.channels / self.assoc,
+            cap: self.cpu_ways,
+            tok: usize::MAX,
+            label: format!("WayPart {}/{} ways CPU", self.cpu_ways, self.assoc),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_75_25() {
+        let p = WayPartPolicy::default_75(4, 4);
+        assert_eq!(p.cpu_ways(), 3);
+        assert_eq!(p.alloc_mask(0, ReqClass::Cpu), 0b0111);
+        assert_eq!(p.alloc_mask(9, ReqClass::Gpu), 0b1000);
+    }
+
+    #[test]
+    fn coupled_mapping_pins_gpu_to_one_channel() {
+        let p = WayPartPolicy::default_75(4, 4);
+        // GPU way (3) is always channel 3, in every set: coupled ratios.
+        for set in 0..100u64 {
+            assert_eq!(p.way_channel(set, 3), 3);
+            assert_eq!(p.way_channel(set, 0), 0);
+        }
+    }
+
+    #[test]
+    fn gpu_always_keeps_a_way_when_possible() {
+        for assoc in 2..=16usize {
+            let p = WayPartPolicy::new(assoc, 4, 0.99);
+            assert!(p.alloc_mask(0, ReqClass::Gpu) != 0, "assoc {assoc}");
+        }
+        // Direct-mapped degenerates to CPU-only placement.
+        let p = WayPartPolicy::new(1, 4, 0.75);
+        assert_eq!(p.alloc_mask(0, ReqClass::Gpu), 0);
+    }
+
+    #[test]
+    fn folding_for_high_assoc() {
+        let p = WayPartPolicy::default_75(8, 4);
+        assert_eq!(p.way_channel(0, 0), 0);
+        assert_eq!(p.way_channel(0, 7), 3);
+        assert!(p.way_channel(0, 5) < 4);
+    }
+}

@@ -1,0 +1,19 @@
+//! `cargo bench --bench fig7_overheads` regenerates the paper's fig7 rows.
+//! Scale with H2_PROFILE=quick|default|full. CSVs land in results/.
+
+fn main() {
+    // cargo passes --bench/--test harness flags; ignore them.
+    let profile = h2_harness::Profile::from_env();
+    let mut cache = h2_harness::RunCache::new();
+    let tables = h2_harness::run_experiment("fig7", &profile, &mut cache)
+        .expect("known experiment id");
+    for t in tables {
+        println!("{}", t.render());
+        // CSVs go to the workspace-root results/ regardless of cargo's CWD.
+        let results = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+        if let Ok(p) = t.write_csv(&results) {
+            println!("csv: {}\n", p.display());
+        }
+    }
+    eprintln!("[fig7_overheads] {} simulations executed", cache.executed);
+}

@@ -1,0 +1,126 @@
+//! Criterion microbenchmarks of the simulator's hot paths: the event queue,
+//! the DRAM device scheduler, the remap table, rendezvous hashing, trace
+//! generation, and a short whole-system run (events/second).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use h2_hybrid::remap::RemapTable;
+use h2_hybrid::types::{HybridConfig, ReqClass};
+use h2_hydrogen::partition::PartitionMap;
+use h2_mem::{MemCmd, MemDevice, TimingPreset};
+use h2_sim_core::EventQueue;
+use h2_system::{run_sim, PolicyKind, SystemConfig};
+use h2_trace::workloads;
+use h2_trace::Mix;
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule_at((i * 7919) % 5000, i);
+            }
+            let mut sum = 0u64;
+            while let Some(e) = q.pop() {
+                sum = sum.wrapping_add(e.payload);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_dram_device(c: &mut Criterion) {
+    c.bench_function("dram_channel_1k_cmds", |b| {
+        b.iter(|| {
+            let mut d = MemDevice::new(TimingPreset::Ddr4.timing(), 1);
+            let mut out = Vec::new();
+            let mut now = 0;
+            for i in 0..1000u64 {
+                d.enqueue(
+                    0,
+                    MemCmd {
+                        addr: (i * 12289) % (1 << 26),
+                        bytes: 64,
+                        is_write: i % 3 == 0,
+                        priority: 0,
+                        token: i,
+                    },
+                    now,
+                );
+                d.pump(0, now, &mut out);
+                if let Some(s) = out.pop() {
+                    now = s.done_at;
+                    d.on_complete(0);
+                }
+                out.clear();
+            }
+            black_box(d.stats().bytes)
+        })
+    });
+}
+
+fn bench_remap_table(c: &mut Criterion) {
+    let cfg = HybridConfig::default();
+    c.bench_function("remap_table_lookup_fill", |b| {
+        let mut t = RemapTable::new(&cfg);
+        let sets = cfg.num_sets();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let set = (i * 48271) % sets;
+            let tag = i % 97;
+            match t.lookup(set, tag) {
+                Some(w) => t.touch(set, w, false),
+                None => {
+                    if let Some(w) = t.pick_victim(set, 0b1111) {
+                        t.fill(set, w, tag, ReqClass::Cpu, false);
+                    }
+                }
+            }
+            black_box(())
+        })
+    });
+}
+
+fn bench_partition_map(c: &mut Criterion) {
+    let m = PartitionMap::new(4, 1, 3);
+    c.bench_function("rendezvous_cpu_mask", |b| {
+        let mut s = 0u64;
+        b.iter(|| {
+            s += 1;
+            black_box(m.cpu_mask(s))
+        })
+    });
+}
+
+fn bench_trace_gen(c: &mut Criterion) {
+    let spec = workloads::by_name("mcf").unwrap();
+    c.bench_function("trace_gen_mcf_ref", |b| {
+        let mut g = spec.instantiate(1, 0, 0, 8);
+        b.iter(|| black_box(g.next_ref()))
+    });
+}
+
+fn bench_full_system(c: &mut Criterion) {
+    let mut cfg = SystemConfig::tiny();
+    cfg.warmup_cycles = 50_000;
+    cfg.measure_cycles = 100_000;
+    let mix = Mix::by_name("C1").unwrap();
+    let mut g = c.benchmark_group("full_system");
+    g.sample_size(10);
+    g.bench_function("tiny_c1_hydrogen_150k_cycles", |b| {
+        b.iter(|| black_box(run_sim(&cfg, &mix, PolicyKind::HydrogenFull).events_processed))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_dram_device,
+    bench_remap_table,
+    bench_partition_map,
+    bench_trace_gen,
+    bench_full_system
+);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Bench-only crate: all content lives in `benches/` — one standalone
+//! (harness = false) target per paper table/figure that prints the
+//! reproduced rows and writes CSVs, plus criterion microbenchmarks of the
+//! simulator's hot paths (`micro`).

@@ -1,0 +1,15 @@
+//! SRAM cache models for the Hydrogen reproduction.
+//!
+//! [`sram::SetAssocCache`] is a functional (tags-only) set-associative
+//! write-back/write-allocate cache with LRU replacement and a fixed access
+//! latency — exactly what the paper consumes from CACTI. The Table I
+//! hierarchy (CPU L1/L2, GPU L1, shared LLC) is configured in [`hierarchy`];
+//! the on-chip remap cache that front-ends the remap table is in [`remap`].
+
+pub mod hierarchy;
+pub mod remap;
+pub mod sram;
+
+pub use hierarchy::HierarchyConfig;
+pub use remap::RemapCache;
+pub use sram::{AccessOutcome, CacheConfig, SetAssocCache};

@@ -1,0 +1,359 @@
+//! A functional set-associative cache with LRU replacement.
+//!
+//! The model tracks tags, valid/dirty bits, and recency only; data payloads
+//! are never simulated. Writes allocate and mark dirty; evicted dirty lines
+//! are reported to the caller so it can generate write-back traffic.
+
+use h2_sim_core::units::Cycles;
+
+/// Static configuration of one cache instance.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Display name ("cpu0.l1d", "llc", ...).
+    pub name: String,
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Access latency in cycles (hit latency; misses pay it on probe too).
+    pub latency: Cycles,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> u64 {
+        let lines = self.size_bytes / self.line_bytes;
+        let sets = lines / self.ways as u64;
+        assert!(sets > 0, "cache too small for its associativity");
+        assert!(
+            sets.is_power_of_two(),
+            "set count must be a power of two (got {sets})"
+        );
+        sets
+    }
+}
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was filled; a victim may have been evicted.
+    Miss {
+        /// Evicted line address and dirtiness, if a valid line was displaced.
+        victim: Option<(u64, bool)>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    stamp: u64,
+}
+
+/// Running hit/miss statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses that hit.
+    pub hits: u64,
+    /// Demand accesses that missed.
+    pub misses: u64,
+    /// Dirty evictions (write-back traffic generated).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in [0, 1]; 0 if no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A set-associative, write-back, write-allocate, LRU cache.
+#[derive(Debug)]
+pub struct SetAssocCache {
+    cfg: CacheConfig,
+    sets: u64,
+    lines: Vec<Line>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Build a cache from its configuration.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.num_sets();
+        let lines = vec![Line::default(); (sets * cfg.ways as u64) as usize];
+        Self {
+            cfg,
+            sets,
+            lines,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Access latency (applies to hits and to the probe part of misses).
+    pub fn latency(&self) -> Cycles {
+        self.cfg.latency
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    #[inline]
+    fn index(&self, addr: u64) -> (u64, u64) {
+        let line = addr / self.cfg.line_bytes;
+        (line % self.sets, line / self.sets)
+    }
+
+    #[inline]
+    fn set_range(&self, set: u64) -> std::ops::Range<usize> {
+        let base = (set * self.cfg.ways as u64) as usize;
+        base..base + self.cfg.ways
+    }
+
+    /// Access `addr`; allocates on miss. Returns hit/miss plus any victim.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> AccessOutcome {
+        self.tick += 1;
+        let (set, tag) = self.index(addr);
+        let range = self.set_range(set);
+
+        // Hit path.
+        for i in range.clone() {
+            let l = &mut self.lines[i];
+            if l.valid && l.tag == tag {
+                l.stamp = self.tick;
+                l.dirty |= is_write;
+                self.stats.hits += 1;
+                return AccessOutcome::Hit;
+            }
+        }
+
+        // Miss: pick invalid way or LRU victim.
+        self.stats.misses += 1;
+        let mut victim_idx = range.start;
+        let mut victim_stamp = u64::MAX;
+        let mut found_invalid = false;
+        for i in range {
+            let l = &self.lines[i];
+            if !l.valid {
+                victim_idx = i;
+                found_invalid = true;
+                break;
+            }
+            if l.stamp < victim_stamp {
+                victim_stamp = l.stamp;
+                victim_idx = i;
+            }
+        }
+
+        let victim = if found_invalid {
+            None
+        } else {
+            let l = self.lines[victim_idx];
+            let victim_line = l.tag * self.sets + set;
+            if l.dirty {
+                self.stats.writebacks += 1;
+            }
+            Some((victim_line * self.cfg.line_bytes, l.dirty))
+        };
+
+        self.lines[victim_idx] = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            stamp: self.tick,
+        };
+        AccessOutcome::Miss { victim }
+    }
+
+    /// Check presence without disturbing LRU or stats.
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.index(addr);
+        self.set_range(set)
+            .any(|i| self.lines[i].valid && self.lines[i].tag == tag)
+    }
+
+    /// Invalidate `addr` if present; returns `Some(dirty)` when a line was
+    /// dropped (dirty means the caller owes a write-back).
+    pub fn invalidate(&mut self, addr: u64) -> Option<bool> {
+        let (set, tag) = self.index(addr);
+        for i in self.set_range(set) {
+            let l = &mut self.lines[i];
+            if l.valid && l.tag == tag {
+                l.valid = false;
+                let dirty = l.dirty;
+                l.dirty = false;
+                return Some(dirty);
+            }
+        }
+        None
+    }
+
+    /// Number of valid lines (occupancy) — used by tests and warm-up checks.
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(ways: usize) -> SetAssocCache {
+        SetAssocCache::new(CacheConfig {
+            name: "t".into(),
+            size_bytes: 4 * 64 * ways as u64, // 4 sets
+            ways,
+            line_bytes: 64,
+            latency: 1,
+        })
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = small(2);
+        assert!(matches!(c.access(0, false), AccessOutcome::Miss { .. }));
+        assert_eq!(c.access(0, false), AccessOutcome::Hit);
+        assert_eq!(c.access(63, false), AccessOutcome::Hit, "same line");
+        assert!(matches!(c.access(64, false), AccessOutcome::Miss { .. }));
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small(2);
+        // Set 0 holds lines with line_index % 4 == 0: lines 0, 4, 8 -> addrs 0, 256, 512.
+        c.access(0, false);
+        c.access(256, false);
+        c.access(0, false); // touch 0 again; 256 is now LRU
+        match c.access(512, false) {
+            AccessOutcome::Miss { victim: Some((addr, dirty)) } => {
+                assert_eq!(addr, 256);
+                assert!(!dirty);
+            }
+            o => panic!("expected eviction of 256, got {o:?}"),
+        }
+        assert!(c.probe(0));
+        assert!(!c.probe(256));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small(2);
+        c.access(0, true);
+        c.access(256, false);
+        c.access(256, false);
+        // 0 is LRU and dirty.
+        match c.access(512, false) {
+            AccessOutcome::Miss { victim: Some((addr, dirty)) } => {
+                assert_eq!(addr, 0);
+                assert!(dirty);
+            }
+            o => panic!("{o:?}"),
+        }
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small(2);
+        c.access(0, false);
+        c.access(0, true); // dirty via hit
+        c.access(256, false);
+        c.access(256, false);
+        match c.access(512, false) {
+            AccessOutcome::Miss { victim: Some((_, dirty)) } => assert!(dirty),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn invalidate_returns_dirtiness() {
+        let mut c = small(2);
+        c.access(0, true);
+        assert_eq!(c.invalidate(0), Some(true));
+        assert_eq!(c.invalidate(0), None);
+        assert!(!c.probe(0));
+        c.access(64, false);
+        assert_eq!(c.invalidate(64), Some(false));
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let mut c = small(2);
+        c.access(0, false);
+        c.access(256, false);
+        // Probing 0 must NOT refresh it.
+        assert!(c.probe(0));
+        match c.access(512, false) {
+            AccessOutcome::Miss { victim: Some((addr, _)) } => assert_eq!(addr, 0),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn victim_address_reconstruction() {
+        let mut c = small(1);
+        // 4 sets, direct mapped: line 5 -> set 1; line 9 -> set 1.
+        c.access(5 * 64, true);
+        match c.access(9 * 64, false) {
+            AccessOutcome::Miss { victim: Some((addr, dirty)) } => {
+                assert_eq!(addr, 5 * 64);
+                assert!(dirty);
+            }
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn occupancy_saturates_at_capacity() {
+        let mut c = small(4); // 16 lines
+        for i in 0..100 {
+            c.access(i * 64, false);
+        }
+        assert_eq!(c.occupancy(), 16);
+    }
+
+    #[test]
+    fn table1_llc_geometry() {
+        let llc = CacheConfig {
+            name: "llc".into(),
+            size_bytes: 16 * 1024 * 1024,
+            ways: 16,
+            line_bytes: 64,
+            latency: 38,
+        };
+        assert_eq!(llc.num_sets(), 16384);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_rejected() {
+        SetAssocCache::new(CacheConfig {
+            name: "bad".into(),
+            size_bytes: 3 * 64 * 2,
+            ways: 2,
+            line_bytes: 64,
+            latency: 1,
+        });
+    }
+}

@@ -1,0 +1,41 @@
+// Repro: static Hydrogen DP should never produce lazy fixups.
+use h2_hybrid::hmc::{Hmc, HmcEvent, HmcOutput};
+use h2_hybrid::types::{HybridConfig, ReqClass};
+use h2_hydrogen::{HydrogenConfig, HydrogenPolicy};
+use h2_sim_core::SeededRng;
+
+fn main() {
+    let cfg = HybridConfig { fast_capacity: 256 * 1024, ..HybridConfig::default() };
+    let pol = HydrogenPolicy::new(HydrogenConfig::dp_only(4, 4));
+    let mut h = Hmc::new(cfg, Box::new(pol), 1);
+    let mut rng = SeededRng::derive(2, "drive");
+    for i in 0..200_000u64 {
+        let class = if rng.chance(0.4) { ReqClass::Cpu } else { ReqClass::Gpu };
+        let addr = rng.below(16 << 20) & !63;
+        let w = rng.chance(0.3);
+        let mut out = Vec::new();
+        h.access(i, class, addr, w, true, &mut out);
+        let mut queue = out;
+        while let Some(o) = queue.pop() {
+            match o {
+                HmcOutput::Mem { cmd, .. } => { let mut n = Vec::new(); h.handle(HmcEvent::MemDone(cmd.token), &mut n); queue.extend(n); }
+                HmcOutput::After { token, .. } => { let mut n = Vec::new(); h.handle(HmcEvent::SramDone(token), &mut n); queue.extend(n); }
+                _ => {}
+            }
+        }
+        // Watch set 86 way 0 for a GPU occupant.
+        let w0 = h.table().set_view(86)[0];
+        if w0.valid && w0.owner == ReqClass::Gpu {
+            let blk = addr / 256;
+            println!("GPU in way0 after access {i}: class={class:?} addr_set={} swaps={} (this access set={})",
+                blk % (256*1024/(256*4)), h.stats().swaps, blk % (256*1024/(256*4)));
+            std::process::exit(2);
+        }
+        let s = h.stats();
+        if s.lazy_fixups > 0 {
+            println!("lazy fixup at access {i}! swaps={} migr={:?}", s.swaps, s.migrations);
+            std::process::exit(1);
+        }
+    }
+    println!("no lazy fixups; swaps={} stats ok", h.stats().swaps);
+}

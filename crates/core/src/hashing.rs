@@ -1,0 +1,95 @@
+//! Rendezvous (highest-random-weight) hashing — the consistent-hashing
+//! scheme Hydrogen uses to pick which shared channels hold CPU ways in each
+//! set (§IV-D).
+//!
+//! For a set `s` and channel `c`, `score(s, c)` is a stateless 64-bit mix.
+//! The CPU's extra ways live on the top-`k` scoring shared channels. The
+//! rendezvous property gives exactly what the paper needs from consistent
+//! hashing: when `k` grows or shrinks by one, or a channel joins/leaves the
+//! shared pool, only the minimal number of selections change, so
+//! reconfigurations relocate the fewest blocks (Fig 3c).
+
+/// Stateless 64-bit mix of (set, channel) — splitmix64-style finalizer.
+#[inline]
+pub fn score(set: u64, channel: u64) -> u64 {
+    let mut z = set
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(channel.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(0x94d0_49bb_1331_11eb);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The `k` highest-scoring members of `candidates` for key `set`, in
+/// deterministic (score-descending, then channel) order.
+pub fn top_k(set: u64, candidates: &[usize], k: usize) -> Vec<usize> {
+    let mut scored: Vec<(u64, usize)> = candidates
+        .iter()
+        .map(|&c| (score(set, c as u64), c))
+        .collect();
+    // Sort by score descending; tie-break on channel id for determinism.
+    scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    scored.into_iter().take(k).map(|(_, c)| c).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(score(1, 2), score(1, 2));
+        assert_ne!(score(1, 2), score(2, 1));
+        assert_eq!(top_k(9, &[1, 2, 3], 2), top_k(9, &[1, 2, 3], 2));
+    }
+
+    #[test]
+    fn growing_k_is_monotone() {
+        // Rendezvous property: top_k(k) is a prefix of top_k(k+1).
+        let cands = [1usize, 2, 3];
+        for set in 0..500u64 {
+            let a = top_k(set, &cands, 1);
+            let b = top_k(set, &cands, 2);
+            assert_eq!(a[0], b[0], "set {set}");
+        }
+    }
+
+    #[test]
+    fn removing_a_candidate_only_moves_its_selections() {
+        // When channel 3 leaves the pool, sets that did not select 3 keep
+        // their selection unchanged.
+        let full = [1usize, 2, 3];
+        let reduced = [1usize, 2];
+        for set in 0..500u64 {
+            let sel_full = top_k(set, &full, 1)[0];
+            let sel_red = top_k(set, &reduced, 1)[0];
+            if sel_full != 3 {
+                assert_eq!(sel_full, sel_red, "set {set} moved unnecessarily");
+            }
+        }
+    }
+
+    #[test]
+    fn selection_is_balanced() {
+        // Over many sets, each of 3 candidates should win roughly 1/3 of
+        // the time.
+        let cands = [0usize, 1, 2];
+        let mut counts = [0u32; 3];
+        let n = 30_000u64;
+        for set in 0..n {
+            counts[top_k(set, &cands, 1)[0]] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 1.0 / 3.0).abs() < 0.02, "unbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn k_clamps_to_len() {
+        assert_eq!(top_k(1, &[5, 6], 10).len(), 2);
+        assert!(top_k(1, &[], 3).is_empty());
+        assert!(top_k(1, &[5, 6], 0).is_empty());
+    }
+}

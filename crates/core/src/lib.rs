@@ -1,0 +1,35 @@
+//! # Hydrogen — the paper's contribution (§IV).
+//!
+//! Hydrogen partitions the three critical resources of a hybrid memory
+//! between CPUs and GPUs:
+//!
+//! 1. **Fast-memory bandwidth and capacity, decoupled** ([`partition`]):
+//!    `bw = B` channels are dedicated to the CPU, and `cap = C ≥ B` ways per
+//!    set are allocated to CPU data; the extra `C − B` CPU ways are chosen
+//!    among the shared channels by rendezvous (consistent) hashing
+//!    ([`hashing`]) so GPU ways rotate across all shared channels (full GPU
+//!    bandwidth) and reconfigurations move minimal data.
+//! 2. **Slow-memory bandwidth** via token-based migration ([`tokens`]): a
+//!    faucet replenishes a counter every period; GPU-induced migrations
+//!    spend 1 (refill) or 2 (with write-back/swap) tokens and are bypassed
+//!    when the counter runs dry.
+//! 3. **Configuration search** via epoch-based hill climbing ([`climb`])
+//!    over `(cap, bw, tok)`, re-explored every phase, with lazy
+//!    reconfiguration handled by the hybrid memory controller.
+//!
+//! [`policy::HydrogenPolicy`] ties these together behind the
+//! `h2_hybrid::PartitionPolicy` trait; its variants (DP only, DP+Token,
+//! Full) are the ablations of Fig 5.
+
+pub mod climb;
+pub mod hashing;
+pub mod partition;
+pub mod policy;
+pub mod setpart;
+pub mod tokens;
+
+pub use climb::{ClimbConfig, HillClimber};
+pub use partition::PartitionMap;
+pub use policy::{HydrogenConfig, HydrogenPolicy, SwapMode};
+pub use setpart::SetPartPolicy;
+pub use tokens::{TokenBucket, TOKEN_LEVELS};

@@ -1,0 +1,238 @@
+//! Decoupled fast-memory partitioning (§IV-A).
+//!
+//! A [`PartitionMap`] is a pure function of `(bw = B, cap = C)` describing,
+//! for every set:
+//!
+//! * **way → channel**: ways `0..B` sit on the CPU-dedicated channels
+//!   `0..B`; ways `B..N` rotate across the shared channels `B..N` with a
+//!   per-set offset, so GPU traffic to different sets exercises *all*
+//!   shared channels (full GPU bandwidth despite capacity partitioning).
+//! * **CPU / GPU allocation masks**: the CPU owns the dedicated ways plus
+//!   `C − B` ways chosen on the shared channels by rendezvous hashing; the
+//!   GPU owns the rest.
+//!
+//! Both properties the paper needs follow: bandwidth and capacity ratios are
+//! independent (decoupled), and a one-step change of `B` or `C` alters the
+//! fewest way assignments (consistent hashing, §IV-D).
+
+use crate::hashing::top_k;
+
+/// The decoupled partition mapping for one `(B, C)` configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionMap {
+    n: usize,
+    bw: usize,
+    cap: usize,
+}
+
+impl PartitionMap {
+    /// Build a map over `n` ways/channels with `bw = B` dedicated CPU
+    /// channels and `cap = C` CPU ways per set. Requires `B ≤ C ≤ N`.
+    pub fn new(n: usize, bw: usize, cap: usize) -> Self {
+        assert!(n >= 1 && n <= 16, "1..=16 ways supported");
+        assert!(bw <= cap && cap <= n, "need B <= C <= N (B={bw}, C={cap}, N={n})");
+        Self { n, bw, cap }
+    }
+
+    /// Number of ways/channels.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Dedicated CPU channels (`bw`).
+    pub fn bw(&self) -> usize {
+        self.bw
+    }
+
+    /// CPU ways per set (`cap`).
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Channel serving way `way` of `set`.
+    pub fn way_channel(&self, set: u64, way: usize) -> usize {
+        debug_assert!(way < self.n);
+        if way < self.bw {
+            way
+        } else {
+            let shared = self.n - self.bw;
+            self.bw + ((way - self.bw + set as usize) % shared)
+        }
+    }
+
+    /// Way of `set` served by `channel` (inverse of [`Self::way_channel`]).
+    pub fn channel_way(&self, set: u64, channel: usize) -> usize {
+        debug_assert!(channel < self.n);
+        if channel < self.bw {
+            channel
+        } else {
+            let shared = self.n - self.bw;
+            let rot = set as usize % shared;
+            self.bw + (channel - self.bw + shared - rot) % shared
+        }
+    }
+
+    /// Bitmask of ways in `set` allocated to the CPU.
+    pub fn cpu_mask(&self, set: u64) -> u16 {
+        let mut mask: u16 = 0;
+        // Dedicated channels' ways.
+        for w in 0..self.bw {
+            mask |= 1 << w;
+        }
+        // Extra CPU ways on rendezvous-selected shared channels.
+        let extra = self.cap - self.bw;
+        if extra > 0 {
+            let shared: Vec<usize> = (self.bw..self.n).collect();
+            for ch in top_k(set, &shared, extra) {
+                mask |= 1 << self.channel_way(set, ch);
+            }
+        }
+        mask
+    }
+
+    /// Bitmask of ways in `set` allocated to the GPU (the complement).
+    pub fn gpu_mask(&self, set: u64) -> u16 {
+        let all = ((1u32 << self.n) - 1) as u16;
+        all & !self.cpu_mask(set)
+    }
+
+    /// Ways whose assignment differs between `self` and `other` in `set` —
+    /// the blocks a reconfiguration must (lazily) relocate.
+    pub fn changed_ways(&self, other: &PartitionMap, set: u64) -> u16 {
+        assert_eq!(self.n, other.n);
+        // A way's assignment is (channel, class); compare both.
+        let mut changed = 0u16;
+        let a_cpu = self.cpu_mask(set);
+        let b_cpu = other.cpu_mask(set);
+        for w in 0..self.n {
+            let class_changed = (a_cpu ^ b_cpu) & (1 << w) != 0;
+            let chan_changed = self.way_channel(set, w) != other.way_channel(set, w);
+            if class_changed || chan_changed {
+                changed |= 1 << w;
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_partition_all_ways() {
+        for n in [2usize, 4, 8, 16] {
+            for bw in 0..=n {
+                for cap in bw..=n {
+                    let m = PartitionMap::new(n, bw, cap);
+                    for set in [0u64, 1, 7, 1000] {
+                        let cpu = m.cpu_mask(set);
+                        let gpu = m.gpu_mask(set);
+                        assert_eq!(cpu & gpu, 0);
+                        assert_eq!(cpu | gpu, ((1u32 << n) - 1) as u16);
+                        assert_eq!(cpu.count_ones() as usize, cap, "N={n} B={bw} C={cap}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dedicated_ways_map_to_dedicated_channels() {
+        let m = PartitionMap::new(4, 2, 3);
+        for set in 0..50u64 {
+            assert_eq!(m.way_channel(set, 0), 0);
+            assert_eq!(m.way_channel(set, 1), 1);
+            // Shared ways never use dedicated channels.
+            assert!(m.way_channel(set, 2) >= 2);
+            assert!(m.way_channel(set, 3) >= 2);
+        }
+    }
+
+    #[test]
+    fn channel_way_inverts_way_channel() {
+        for bw in 0..4usize {
+            let m = PartitionMap::new(4, bw, bw.max(1));
+            for set in 0..100u64 {
+                for w in 0..4 {
+                    let c = m.way_channel(set, w);
+                    assert_eq!(m.channel_way(set, c), w, "set {set} way {w} bw {bw}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_ways_cover_all_shared_channels_across_sets() {
+        // B=1, C=3 (the paper's Fig 3b): GPU has 1 way per set; across sets
+        // it must rotate over all 3 shared channels.
+        let m = PartitionMap::new(4, 1, 3);
+        let mut seen = [0u32; 4];
+        for set in 0..300u64 {
+            let gpu = m.gpu_mask(set);
+            for w in 0..4 {
+                if gpu & (1 << w) != 0 {
+                    seen[m.way_channel(set, w)] += 1;
+                }
+            }
+        }
+        assert_eq!(seen[0], 0, "GPU must never use the dedicated channel");
+        for c in 1..4 {
+            assert!(seen[c] > 50, "channel {c} starved: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn one_step_reconfig_changes_minimal_ways() {
+        // Changing cap by 1 flips exactly one way's class in each set (the
+        // rendezvous pick), and no channels move.
+        let a = PartitionMap::new(4, 1, 2);
+        let b = PartitionMap::new(4, 1, 3);
+        for set in 0..500u64 {
+            let changed = a.changed_ways(&b, set);
+            assert_eq!(changed.count_ones(), 1, "set {set}: {changed:#b}");
+        }
+    }
+
+    #[test]
+    fn bw_step_changes_bounded_ways() {
+        // Changing B by 1 re-routes ways through channels; the class of at
+        // most... the dedicated channel set changes by one channel, and the
+        // shared rotation shifts. Verify the *class* changes stay minimal:
+        let a = PartitionMap::new(4, 1, 3);
+        let b = PartitionMap::new(4, 2, 3);
+        let mut total_class_flips = 0u32;
+        let sets = 500u64;
+        for set in 0..sets {
+            total_class_flips += (a.cpu_mask(set) ^ b.cpu_mask(set)).count_ones();
+        }
+        // On average at most ~1.5 way-classes flip per set.
+        assert!(
+            (total_class_flips as f64) < 1.6 * sets as f64,
+            "avg flips {}",
+            total_class_flips as f64 / sets as f64
+        );
+    }
+
+    #[test]
+    fn extreme_configs() {
+        // All-CPU: GPU mask empty everywhere.
+        let m = PartitionMap::new(4, 4, 4);
+        for set in 0..20u64 {
+            assert_eq!(m.gpu_mask(set), 0);
+            assert_eq!(m.cpu_mask(set), 0b1111);
+        }
+        // No partitioning for the CPU at all.
+        let m = PartitionMap::new(4, 0, 0);
+        for set in 0..20u64 {
+            assert_eq!(m.cpu_mask(set), 0);
+            assert_eq!(m.gpu_mask(set), 0b1111);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "B <= C")]
+    fn invalid_config_rejected() {
+        PartitionMap::new(4, 3, 2);
+    }
+}

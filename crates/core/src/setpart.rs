@@ -1,0 +1,219 @@
+//! Decoupled set-partitioning (§IV-F "Discussion").
+//!
+//! The paper sketches a set-partitioned analogue of Hydrogen's
+//! way-partitioned design: cache sets are statically interleaved across the
+//! fast channels (`channel = set mod N`); the sets of `bw` channels are
+//! dedicated to CPU data; the remaining (shared-channel) sets are divided
+//! between the classes by *page colouring*, with the extra CPU share chosen
+//! by consistent hashing so GPU sets still spread over every shared channel.
+//!
+//! Colouring is modelled through [`PartitionPolicy::home_set`]: each class's
+//! blocks are steered into that class's sets (what the OS page allocator
+//! plus GPU runtime would do). Within a set, all ways belong to the owning
+//! class, so repartitioning moves whole sets — the high-cost property the
+//! paper cites as set-partitioning's drawback.
+
+use crate::hashing::score;
+use h2_hybrid::policy::{PartitionPolicy, PolicyParams};
+use h2_hybrid::types::ReqClass;
+use h2_sim_core::SeededRng;
+
+/// The decoupled set-partitioning policy.
+#[derive(Debug, Clone)]
+pub struct SetPartPolicy {
+    assoc: usize,
+    channels: usize,
+    /// Channels whose sets are CPU-dedicated (`bw`).
+    bw: usize,
+    /// Fraction of *all* sets owned by the CPU (`cap` analogue), ≥ bw/N.
+    cpu_set_frac: f64,
+    /// Probability threshold for CPU ownership of a shared-channel set.
+    shared_cpu_threshold: u64,
+}
+
+impl SetPartPolicy {
+    /// Build with `bw` dedicated channels out of `channels` and a total CPU
+    /// capacity share of `cpu_set_frac` (clamped to at least `bw/channels`).
+    pub fn new(assoc: usize, channels: usize, bw: usize, cpu_set_frac: f64) -> Self {
+        assert!(bw <= channels && channels >= 1);
+        let min_frac = bw as f64 / channels as f64;
+        let frac = cpu_set_frac.clamp(min_frac, 1.0);
+        // Among shared-channel sets, the extra CPU share.
+        let shared_frac = if bw == channels {
+            0.0
+        } else {
+            (frac - min_frac) / (1.0 - min_frac)
+        };
+        Self {
+            assoc,
+            channels,
+            bw,
+            cpu_set_frac: frac,
+            shared_cpu_threshold: (shared_frac * u64::MAX as f64) as u64,
+        }
+    }
+
+    /// The paper-analogous default: 25% of channels dedicated, 75% of the
+    /// capacity to the CPU.
+    pub fn default_hydrogen_like(assoc: usize, channels: usize) -> Self {
+        Self::new(assoc, channels, 1.max(channels / 4), 0.75)
+    }
+
+    /// Does `set` belong to the CPU?
+    pub fn is_cpu_set(&self, set: u64) -> bool {
+        let residue = (set % self.channels as u64) as usize;
+        if residue < self.bw {
+            return true; // dedicated channel
+        }
+        // Consistent-hash colouring of shared-channel sets.
+        score(set, 0xC0FF_EE00) < self.shared_cpu_threshold
+    }
+
+    fn owning_class(&self, set: u64) -> ReqClass {
+        if self.is_cpu_set(set) {
+            ReqClass::Cpu
+        } else {
+            ReqClass::Gpu
+        }
+    }
+}
+
+impl PartitionPolicy for SetPartPolicy {
+    fn name(&self) -> &str {
+        "SetPart"
+    }
+
+    fn alloc_mask(&self, set: u64, class: ReqClass) -> u16 {
+        if self.owning_class(set) == class {
+            ((1u32 << self.assoc) - 1) as u16
+        } else {
+            0
+        }
+    }
+
+    fn way_channel(&self, set: u64, _way: usize) -> usize {
+        // Static set interleaving: all ways of a set live on one channel.
+        (set % self.channels as u64) as usize
+    }
+
+    fn migration_allowed(
+        &mut self,
+        _class: ReqClass,
+        _cost: u32,
+        _is_write: bool,
+        _slow_channel: usize,
+        _rng: &mut SeededRng,
+    ) -> bool {
+        true
+    }
+
+    fn home_set(&self, block: u64, class: ReqClass, num_sets: u64) -> u64 {
+        // Page colouring: linear-probe from the natural set to the nearest
+        // set owned by `class`. Bounded probe keeps it O(1); both class
+        // fractions are macroscopic so a handful of probes suffices.
+        let natural = block % num_sets;
+        // 256 probes make a miss astronomically unlikely even at a 90/10
+        // split, while staying O(1).
+        for i in 0..256u64.min(num_sets) {
+            let cand = (natural + i) % num_sets;
+            if self.owning_class(cand) == class {
+                return cand;
+            }
+        }
+        natural // pathological fraction; fall back to no colouring
+    }
+
+    fn params(&self) -> PolicyParams {
+        PolicyParams {
+            bw: self.bw,
+            cap: (self.cpu_set_frac * self.assoc as f64).round() as usize,
+            tok: usize::MAX,
+            label: format!(
+                "SetPart bw={} cpu_sets={:.0}%",
+                self.bw,
+                self.cpu_set_frac * 100.0
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedicated_channel_sets_are_cpu() {
+        let p = SetPartPolicy::new(4, 4, 1, 0.75);
+        for k in 0..200u64 {
+            assert!(p.is_cpu_set(k * 4), "set {k} on channel 0 must be CPU");
+        }
+    }
+
+    #[test]
+    fn cpu_set_share_approximates_frac() {
+        let p = SetPartPolicy::new(4, 4, 1, 0.75);
+        let n = 40_000u64;
+        let cpu = (0..n).filter(|&s| p.is_cpu_set(s)).count() as f64 / n as f64;
+        assert!((cpu - 0.75).abs() < 0.02, "share {cpu}");
+    }
+
+    #[test]
+    fn masks_are_all_or_nothing() {
+        let p = SetPartPolicy::new(4, 4, 1, 0.6);
+        for set in 0..500u64 {
+            let c = p.alloc_mask(set, ReqClass::Cpu);
+            let g = p.alloc_mask(set, ReqClass::Gpu);
+            assert!(c == 0b1111 && g == 0 || c == 0 && g == 0b1111);
+        }
+    }
+
+    #[test]
+    fn home_set_lands_in_owned_set() {
+        let p = SetPartPolicy::new(4, 4, 1, 0.75);
+        let sets = 8192;
+        for b in 0..3000u64 {
+            let cs = p.home_set(b, ReqClass::Cpu, sets);
+            assert!(p.is_cpu_set(cs), "block {b}");
+            let gs = p.home_set(b, ReqClass::Gpu, sets);
+            assert!(!p.is_cpu_set(gs), "block {b}");
+            assert!(cs < sets && gs < sets);
+        }
+    }
+
+    #[test]
+    fn gpu_sets_cover_all_shared_channels() {
+        let p = SetPartPolicy::new(4, 4, 1, 0.6);
+        let mut chans = [0u32; 4];
+        for s in 0..4000u64 {
+            if !p.is_cpu_set(s) {
+                chans[p.way_channel(s, 0)] += 1;
+            }
+        }
+        assert_eq!(chans[0], 0, "dedicated channel has no GPU sets");
+        for c in 1..4 {
+            assert!(chans[c] > 200, "{chans:?}");
+        }
+    }
+
+    #[test]
+    fn home_set_is_deterministic_and_balanced() {
+        let p = SetPartPolicy::new(4, 4, 1, 0.75);
+        let sets = 4096;
+        let a = p.home_set(12345, ReqClass::Gpu, sets);
+        let b = p.home_set(12345, ReqClass::Gpu, sets);
+        assert_eq!(a, b);
+        // GPU blocks spread over many distinct GPU sets.
+        let distinct: std::collections::HashSet<u64> =
+            (0..2000u64).map(|b| p.home_set(b * 7, ReqClass::Gpu, sets)).collect();
+        assert!(distinct.len() > 500, "only {} distinct", distinct.len());
+    }
+
+    #[test]
+    fn all_cpu_fraction_degenerates_gracefully() {
+        let p = SetPartPolicy::new(4, 4, 4, 1.0);
+        for s in 0..100u64 {
+            assert!(p.is_cpu_set(s));
+            assert_eq!(p.alloc_mask(s, ReqClass::Gpu), 0);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! `h2` — the experiment CLI.
+//!
+//! ```text
+//! h2 list                 # show available experiments
+//! h2 run fig5 [fig6 ...]  # run selected experiments
+//! h2 all                  # run everything (Tables I-II, Figs 2, 5-11)
+//! ```
+//!
+//! Scale with `H2_PROFILE=quick|default|full`; `H2_VERBOSE=1` for progress.
+//! CSVs are written to `results/`.
+
+use h2_harness::{run_experiment, Profile, RunCache, ALL_EXPERIMENTS};
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let profile = Profile::from_env();
+
+    match args.first().map(|s| s.as_str()) {
+        Some("list") => {
+            println!("experiments: {}", ALL_EXPERIMENTS.join(" "));
+            println!("profile: {profile:?} (H2_PROFILE=quick|default|full)");
+        }
+        Some("all") => {
+            run_ids(&ALL_EXPERIMENTS.to_vec(), &profile);
+        }
+        Some("run") if args.len() > 1 => {
+            let ids: Vec<&str> = args[1..].iter().map(|s| s.as_str()).collect();
+            run_ids(&ids, &profile);
+        }
+        _ => {
+            eprintln!("usage: h2 list | h2 run <experiment>.. | h2 all");
+            eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_ids(ids: &[&str], profile: &Profile) {
+    let mut cache = RunCache::new();
+    let t0 = std::time::Instant::now();
+    let results_dir = Path::new("results");
+    for id in ids {
+        match run_experiment(id, profile, &mut cache) {
+            Some(tables) => {
+                for t in tables {
+                    println!("{}", t.render());
+                    match t.write_csv(results_dir) {
+                        Ok(p) => println!("csv: {}\n", p.display()),
+                        Err(e) => eprintln!("csv write failed: {e}"),
+                    }
+                }
+            }
+            None => {
+                eprintln!("unknown experiment '{id}' (see `h2 list`)");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!(
+        "[h2] {} experiments, {} simulations executed ({} cached) in {:.0}s",
+        ids.len(),
+        cache.executed,
+        cache.len().saturating_sub(cache.executed),
+        t0.elapsed().as_secs_f64()
+    );
+}

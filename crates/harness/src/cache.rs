@@ -1,0 +1,217 @@
+//! Per-process memoisation of simulation runs.
+//!
+//! Several experiments need the same runs (every figure needs per-mix
+//! baselines; Fig 6 reuses Fig 5's runs). The cache keys on a canonical
+//! string describing the configuration, mix, policy and participants, and
+//! fans jobs out over a small crossbeam-channel worker pool when more than
+//! one CPU is available.
+
+use h2_system::{run_sim_parts, Participants, PolicyKind, RunReport, SystemConfig};
+use h2_trace::Mix;
+use std::collections::HashMap;
+
+/// One simulation job.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// System configuration.
+    pub cfg: SystemConfig,
+    /// Workload mix.
+    pub mix: Mix,
+    /// Policy to run.
+    pub kind: PolicyKind,
+    /// Which sides run.
+    pub parts: Participants,
+}
+
+impl Job {
+    /// Convenience constructor for a Both-sides run.
+    pub fn new(cfg: &SystemConfig, mix: &Mix, kind: PolicyKind) -> Self {
+        Self {
+            cfg: cfg.clone(),
+            mix: mix.clone(),
+            kind,
+            parts: Participants::Both,
+        }
+    }
+
+    /// Canonical cache key.
+    pub fn key(&self) -> String {
+        let c = &self.cfg;
+        format!(
+            "{}|{:?}|{:?}|cores{}|eus{}|slots{}|mlp{}|w{:?}|blk{}|a{}|fc{}|sc{}|{:?}|cap{:?}|fs{}|rc{}|ep{}|fau{}|ph{}|wu{}|me{}|seed{}|{:?}",
+            self.mix.name,
+            self.kind,
+            self.parts,
+            c.cpu_cores,
+            c.gpu_eus,
+            c.gpu_ctx_slots,
+            c.cpu_mlp,
+            c.weights,
+            c.block_bytes,
+            c.assoc,
+            c.fast_channels,
+            c.slow_channels,
+            c.mode,
+            c.fast_capacity_override,
+            c.footprint_scale,
+            c.remap_cache_bytes,
+            c.epoch_cycles,
+            c.faucet_cycles,
+            c.epochs_per_phase,
+            c.warmup_cycles,
+            c.measure_cycles,
+            c.seed,
+            c.fast_preset,
+        )
+    }
+}
+
+/// Memoising simulation runner.
+#[derive(Default)]
+pub struct RunCache {
+    map: HashMap<String, RunReport>,
+    /// Runs actually executed (cache misses).
+    pub executed: usize,
+    /// Print progress lines to stderr.
+    pub verbose: bool,
+}
+
+impl RunCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+            executed: 0,
+            verbose: std::env::var("H2_VERBOSE").is_ok(),
+        }
+    }
+
+    /// Run (or fetch) a single job.
+    pub fn run(&mut self, job: &Job) -> RunReport {
+        let key = job.key();
+        if let Some(r) = self.map.get(&key) {
+            return r.clone();
+        }
+        if self.verbose {
+            eprintln!("[h2] running {} / {:?} / {:?}", job.mix.name, job.kind, job.parts);
+        }
+        let t0 = std::time::Instant::now();
+        let report = run_sim_parts(&job.cfg, &job.mix, job.kind, job.parts);
+        self.executed += 1;
+        if self.verbose {
+            eprintln!(
+                "[h2]   done in {:.1}s ({} events)",
+                t0.elapsed().as_secs_f64(),
+                report.events_processed
+            );
+        }
+        self.map.insert(key, report.clone());
+        report
+    }
+
+    /// Run a batch of jobs, using a worker pool when multiple CPUs exist.
+    /// Results come back in job order.
+    pub fn run_batch(&mut self, jobs: &[Job]) -> Vec<RunReport> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(jobs.len().max(1));
+        // Partition into cached and to-run (preserving order on return).
+        let misses: Vec<(usize, Job)> = jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| !self.map.contains_key(&j.key()))
+            .map(|(i, j)| (i, j.clone()))
+            .collect();
+
+        if workers <= 1 || misses.len() <= 1 {
+            for (_, j) in &misses {
+                self.run(j);
+            }
+        } else {
+            let (tx_job, rx_job) = crossbeam::channel::unbounded::<(usize, Job)>();
+            let (tx_res, rx_res) = crossbeam::channel::unbounded::<(usize, RunReport)>();
+            for m in &misses {
+                tx_job.send(m.clone()).unwrap();
+            }
+            drop(tx_job);
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    let rx = rx_job.clone();
+                    let tx = tx_res.clone();
+                    s.spawn(move || {
+                        while let Ok((i, job)) = rx.recv() {
+                            let r = run_sim_parts(&job.cfg, &job.mix, job.kind, job.parts);
+                            tx.send((i, r)).unwrap();
+                        }
+                    });
+                }
+                drop(tx_res);
+                for (i, r) in rx_res {
+                    self.executed += 1;
+                    self.map.insert(jobs[i].key(), r);
+                }
+            });
+        }
+        jobs.iter().map(|j| self.map[&j.key()].clone()).collect()
+    }
+
+    /// Number of distinct cached runs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing has been run yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_job(kind: PolicyKind) -> Job {
+        Job::new(
+            &SystemConfig::tiny(),
+            &Mix::by_name("C1").unwrap(),
+            kind,
+        )
+    }
+
+    #[test]
+    fn caches_identical_jobs() {
+        let mut c = RunCache::new();
+        let j = tiny_job(PolicyKind::NoPart);
+        let a = c.run(&j);
+        let executed_after_first = c.executed;
+        let b = c.run(&j);
+        assert_eq!(c.executed, executed_after_first, "second call cached");
+        assert_eq!(a.cpu_instr, b.cpu_instr);
+    }
+
+    #[test]
+    fn distinct_policies_distinct_keys() {
+        let a = tiny_job(PolicyKind::NoPart).key();
+        let b = tiny_job(PolicyKind::HydrogenFull).key();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn batch_returns_in_order() {
+        let mut c = RunCache::new();
+        let jobs = vec![tiny_job(PolicyKind::NoPart), tiny_job(PolicyKind::WayPart)];
+        let rs = c.run_batch(&jobs);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].policy, "Baseline");
+        assert_eq!(rs[1].policy, "WayPart");
+    }
+
+    #[test]
+    fn participants_in_key() {
+        let mut j = tiny_job(PolicyKind::NoPart);
+        let k1 = j.key();
+        j.parts = Participants::CpuOnly;
+        assert_ne!(k1, j.key());
+    }
+}

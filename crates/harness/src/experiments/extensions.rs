@@ -1,0 +1,47 @@
+//! Extension ablations beyond the paper's figures:
+//!
+//! * **per-channel tokens** (§IV-B: "we also tried separate per-channel
+//!   counters, but there is negligible difference") — verified here;
+//! * **decoupled set-partitioning** (§IV-F discussion) vs the
+//!   way-partitioned design;
+//! * **Kim et al. DAC'12** (related work §III-C): GPU write-only caching.
+
+use crate::cache::{Job, RunCache};
+use crate::experiments::gm;
+use crate::profile::Profile;
+use crate::table::{f3, Table};
+use h2_system::PolicyKind;
+
+/// Run the extension ablations.
+pub fn run(profile: &Profile, cache: &mut RunCache) -> Vec<Table> {
+    let cfg = profile.config();
+    let mixes = profile.panel_mixes();
+
+    let designs = [
+        ("Hydrogen(Full)", PolicyKind::HydrogenFull),
+        ("Hydrogen(PerChTok)", PolicyKind::HydrogenPerChannelTokens),
+        ("SetPart (§IV-F)", PolicyKind::SetPart),
+        ("Kim2012", PolicyKind::Kim2012),
+    ];
+
+    let mut t = Table::new(
+        "ext_ablations",
+        "Extensions: per-channel tokens, set-partitioning, Kim et al. (speedup vs baseline)",
+        &["design", "geomean speedup", "per-mix"],
+    );
+    for (name, kind) in designs {
+        let mut xs = Vec::new();
+        let mut per = Vec::new();
+        for m in &mixes {
+            let base = cache.run(&Job::new(&cfg, m, PolicyKind::NoPart));
+            let r = cache.run(&Job::new(&cfg, m, kind));
+            let s = r.weighted_speedup(&base);
+            xs.push(s);
+            per.push(format!("{}={:.3}", m.name, s));
+        }
+        t.row(vec![name.to_string(), f3(gm(&xs)), per.join(" ")]);
+    }
+    t.note("paper §IV-B: per-channel token counters should be ~equal to the single counter");
+    t.note("paper §IV-F: set-partitioning inherits high repartitioning cost and OS involvement");
+    vec![t]
+}

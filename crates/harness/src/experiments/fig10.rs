@@ -1,0 +1,87 @@
+//! Fig 10: IPC-weight and core-count sensitivity.
+//!
+//! (a) On C6, sweep the CPU:GPU IPC weight from 1:1 to 32:1 and report the
+//!     CPU and GPU slowdowns (vs solo runs) under Hydrogen(Full).
+//! (b) Scale the CPU core count (GPU fixed at 96 EUs), weights following
+//!     the core ratio, and report speedups over the same-core-count
+//!     baseline for ProFess and Hydrogen.
+
+use crate::cache::{Job, RunCache};
+use crate::experiments::gm;
+use crate::profile::Profile;
+use crate::table::{f2, f3, Table};
+use h2_system::{Participants, PolicyKind};
+use h2_trace::Mix;
+
+/// Run the Fig 10 sweeps.
+pub fn run(profile: &Profile, cache: &mut RunCache) -> Vec<Table> {
+    let base_cfg = profile.config();
+    let c6 = Mix::by_name("C6").unwrap();
+
+    // (a) weights.
+    let mut ta = Table::new(
+        "fig10a_weights",
+        "Fig 10(a): CPU:GPU IPC weight sensitivity on C6 (Hydrogen slowdown vs solo)",
+        &["weights", "CPU slowdown", "GPU slowdown"],
+    );
+    // Solo runs are weight-independent for the baseline policy.
+    let cpu_solo = cache.run(&Job {
+        parts: Participants::CpuOnly,
+        ..Job::new(&base_cfg, &c6, PolicyKind::NoPart)
+    });
+    let gpu_solo = cache.run(&Job {
+        parts: Participants::GpuOnly,
+        ..Job::new(&base_cfg, &c6, PolicyKind::NoPart)
+    });
+    for w in [1.0f64, 2.0, 4.0, 8.0, 12.0, 32.0] {
+        let mut c = base_cfg.clone();
+        c.weights = (w, 1.0);
+        let r = cache.run(&Job::new(&c, &c6, PolicyKind::HydrogenFull));
+        ta.row(vec![
+            format!("{w}:1"),
+            f2(r.cpu_slowdown(&cpu_solo)),
+            f2(r.gpu_slowdown(&gpu_solo)),
+        ]);
+    }
+    ta.note("paper: raising the CPU weight cuts CPU slowdown 1.61->1.30 while GPU rises 1.06->1.18");
+
+    // (b) core counts.
+    let mut tb = Table::new(
+        "fig10b_cores",
+        "Fig 10(b): CPU core-count sensitivity (speedup vs same-core baseline, geomean of panel)",
+        &["CPU cores", "weights", "ProFess", "Hydrogen(Full)"],
+    );
+    let mixes: Vec<Mix> = match profile {
+        Profile::Quick => vec![c6.clone()],
+        _ => vec![Mix::by_name("C1").unwrap(), c6.clone()],
+    };
+    for cores in [4usize, 8, 16] {
+        let mut c = base_cfg.clone();
+        c.cpu_cores = cores;
+        // Weights follow the core-count ratio (96 EUs / cores).
+        c.weights = (96.0 / cores as f64, 1.0);
+        let mut pf = Vec::new();
+        let mut h2 = Vec::new();
+        for m in &mixes {
+            let base = cache.run(&Job::new(&c, m, PolicyKind::NoPart));
+            pf.push(
+                cache
+                    .run(&Job::new(&c, m, PolicyKind::Profess))
+                    .weighted_speedup(&base),
+            );
+            h2.push(
+                cache
+                    .run(&Job::new(&c, m, PolicyKind::HydrogenFull))
+                    .weighted_speedup(&base),
+            );
+        }
+        tb.row(vec![
+            cores.to_string(),
+            format!("{}:1", 96 / cores),
+            f3(gm(&pf)),
+            f3(gm(&h2)),
+        ]);
+    }
+    tb.note("paper: more CPU cores emphasise partitioning, but reduce the GPU's relative impact");
+    vec![ta, tb]
+}

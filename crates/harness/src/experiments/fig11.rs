@@ -1,0 +1,79 @@
+//! Fig 11: associativity (A) and block size (B) sensitivity.
+//!
+//! For a set of (A, B) geometries, run HAShCache, ProFess and
+//! Hydrogen(Full), each normalised to the non-partitioned baseline *of the
+//! same geometry* (as the paper does), geomean over the panel mixes.
+//! HAShCache keeps its chaining optimisation only at A=1; at higher
+//! associativities chaining is disabled and a tag latency added (paper).
+
+use crate::cache::{Job, RunCache};
+use crate::experiments::gm;
+use crate::profile::Profile;
+use crate::table::{f3, Table};
+use h2_system::PolicyKind;
+
+/// Run the Fig 11 geometry sweep.
+pub fn run(profile: &Profile, cache: &mut RunCache) -> Vec<Table> {
+    let base_cfg = profile.config();
+    let geometries: &[(usize, u64)] = match profile {
+        Profile::Quick => &[(1, 64), (4, 256), (4, 1024)],
+        _ => &[(1, 64), (2, 128), (4, 256), (8, 512), (4, 1024), (4, 2048), (16, 256)],
+    };
+    let mixes = match profile {
+        Profile::Quick => profile.panel_mixes()[..1].to_vec(),
+        _ => profile.panel_mixes()[..2].to_vec(),
+    };
+
+    let mut t = Table::new(
+        "fig11_geometry",
+        "Fig 11: associativity/block-size sensitivity (speedup vs same-geometry baseline)",
+        &["A-B", "HAShCache", "ProFess", "Hydrogen(Full)"],
+    );
+    for &(assoc, block) in geometries {
+        let mut c = base_cfg.clone();
+        c.assoc = assoc;
+        c.block_bytes = block;
+        let mut hc = Vec::new();
+        let mut pf = Vec::new();
+        let mut h2 = Vec::new();
+        for m in &mixes {
+            let base = cache.run(&Job::new(&c, m, PolicyKind::NoPart));
+            hc.push(
+                cache
+                    .run(&Job::new(&c, m, PolicyKind::HashCache))
+                    .weighted_speedup(&base),
+            );
+            pf.push(
+                cache
+                    .run(&Job::new(&c, m, PolicyKind::Profess))
+                    .weighted_speedup(&base),
+            );
+            h2.push(
+                cache
+                    .run(&Job::new(&c, m, PolicyKind::HydrogenFull))
+                    .weighted_speedup(&base),
+            );
+        }
+        t.row(vec![
+            format!("A{assoc}-B{block}"),
+            f3(gm(&hc)),
+            f3(gm(&pf)),
+            f3(gm(&h2)),
+        ]);
+    }
+    t.note("paper: Hydrogen wins everywhere except A1-B64, where HAShCache's chaining helps");
+    t.note("paper: large blocks favour Hydrogen via migration-rate control under limited bandwidth");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn default_grid_covers_a_and_b_axes() {
+        let g = [(1usize, 64u64), (2, 128), (4, 256), (8, 512), (4, 1024), (4, 2048), (16, 256)];
+        assert!(g.iter().any(|&(a, _)| a == 1));
+        assert!(g.iter().any(|&(a, _)| a == 16));
+        assert!(g.iter().any(|&(_, b)| b == 64));
+        assert!(g.iter().any(|&(_, b)| b == 2048));
+    }
+}

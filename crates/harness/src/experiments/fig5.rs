@@ -1,0 +1,84 @@
+//! Fig 5: overall performance comparison.
+//!
+//! Weighted speedups over the non-partitioned baseline for HAShCache,
+//! ProFess, WayPart, and the three Hydrogen variants, per mix plus geomean;
+//! (a) with HBM2E fast memory, (b) with HBM3 (doubled bandwidth).
+
+use crate::cache::{Job, RunCache};
+use crate::experiments::gm;
+use crate::profile::Profile;
+use crate::table::{f3, Table};
+use h2_mem::TimingPreset;
+use h2_system::{PolicyKind, SystemConfig};
+
+fn comparison(
+    id: &str,
+    title: &str,
+    cfg: &SystemConfig,
+    profile: &Profile,
+    cache: &mut RunCache,
+) -> Table {
+    let designs = PolicyKind::fig5_designs();
+    let mut header = vec!["mix".to_string()];
+    header.extend(designs.iter().map(|d| d.label()));
+    let mut t = Table::new(id, title, &header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+
+    let mut per_design: Vec<Vec<f64>> = vec![Vec::new(); designs.len()];
+    for mix in profile.headline_mixes() {
+        let base = cache.run(&Job::new(cfg, &mix, PolicyKind::NoPart));
+        let mut cells = vec![mix.name.to_string()];
+        for (i, d) in designs.iter().enumerate() {
+            let r = cache.run(&Job::new(cfg, &mix, *d));
+            let s = r.weighted_speedup(&base);
+            per_design[i].push(s);
+            cells.push(f3(s));
+        }
+        t.row(cells);
+    }
+    let mut gmean = vec!["geomean".to_string()];
+    for xs in &per_design {
+        gmean.push(f3(gm(xs)));
+    }
+    t.row(gmean);
+    t
+}
+
+/// Run Fig 5 (both memory generations).
+pub fn run(profile: &Profile, cache: &mut RunCache) -> Vec<Table> {
+    let cfg = profile.config();
+    let mut a = comparison(
+        "fig5a_hbm2e",
+        "Fig 5(a): weighted speedup over non-partitioned baseline (HBM2E)",
+        &cfg,
+        profile,
+        cache,
+    );
+    a.note("paper: Hydrogen(Full) 1.24x over baseline avg; 1.16x over ProFess avg");
+    a.note("paper ablation order: DP < DP+Token < Full");
+
+    let mut cfg3 = cfg.clone();
+    cfg3.fast_preset = TimingPreset::Hbm3Super;
+    let mut b = comparison(
+        "fig5b_hbm3",
+        "Fig 5(b): weighted speedup over non-partitioned baseline (HBM3)",
+        &cfg3,
+        profile,
+        cache,
+    );
+    b.note("paper: smaller gains than HBM2E — more fast bandwidth makes bw partitioning less critical");
+    vec![a, b]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_columns_match_paper_legend() {
+        let d = PolicyKind::fig5_designs();
+        let labels: Vec<String> = d.iter().map(|k| k.label()).collect();
+        assert!(labels.contains(&"HAShCache".to_string()));
+        assert!(labels.contains(&"Hydrogen(Full)".to_string()));
+        assert_eq!(labels.len(), 6);
+    }
+}

@@ -1,0 +1,68 @@
+//! Fig 8: the exhaustive `(bw, cap, tok)` search landscape on C5,
+//! normalised to the configuration Hydrogen's online search finds.
+
+use crate::cache::{Job, RunCache};
+use crate::profile::Profile;
+use crate::table::{f3, Table};
+use h2_system::PolicyKind;
+use h2_trace::Mix;
+
+/// Run the Fig 8 landscape sweep.
+pub fn run(profile: &Profile, cache: &mut RunCache) -> Vec<Table> {
+    let cfg = profile.config();
+    let c5 = Mix::by_name("C5").unwrap();
+    let online = cache.run(&Job::new(&cfg, &c5, PolicyKind::HydrogenFull));
+    let online_ipc = online.weighted_ipc();
+
+    let toks: &[usize] = match profile {
+        Profile::Quick => &[3, 7],
+        _ => &[1, 3, 5, 7],
+    };
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    for bw in 0..=cfg.fast_channels {
+        for cap in bw..=cfg.assoc {
+            for &tok in toks {
+                let r = cache.run(&Job::new(&cfg, &c5, PolicyKind::HydrogenStatic { bw, cap, tok }));
+                entries.push((format!("bw={bw} cap={cap} tok={tok}"), r.weighted_ipc()));
+            }
+        }
+    }
+    entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+
+    let mut t = Table::new(
+        "fig8_exhaustive",
+        "Fig 8: exhaustive static configurations on C5, normalised to online Hydrogen",
+        &["config", "relative perf"],
+    );
+    for (name, ipc) in &entries {
+        t.row(vec![name.clone(), f3(ipc / online_ipc.max(1e-12))]);
+    }
+    t.row(vec![
+        format!("ONLINE Hydrogen (found {})", online.final_params.label),
+        "1.000".into(),
+    ]);
+
+    let best = entries.first().map(|e| e.1).unwrap_or(online_ipc);
+    let median = entries[entries.len() / 2].1;
+    t.note(format!(
+        "optimal/median spread: {:.2}x (paper: optimal 73% above median)",
+        best / median.max(1e-12)
+    ));
+    t.note(format!(
+        "online search reaches {:.1}% of the offline optimum (paper: 96.1%)",
+        100.0 * online_ipc / best.max(1e-12)
+    ));
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn grid_size_is_bounded() {
+        // 4 channels, 4 ways: sum_{bw=0..4} (4-bw+1) = 5+4+3+2+1 = 15
+        // cap choices x up to 4 tok levels = 60 configs maximum.
+        let combos: usize = (0..=4).map(|bw| 4 - bw + 1).sum();
+        assert_eq!(combos, 15);
+        assert!(combos * 4 <= 60);
+    }
+}

@@ -1,0 +1,66 @@
+//! Fig 9: sensitivity to sampling-epoch and phase lengths.
+//!
+//! Geomean weighted speedup of Hydrogen(Full) over the baseline across the
+//! panel mixes, sweeping (a) the phase length (via epochs-per-phase) and
+//! (b) the epoch length. Values are scaled ~40x down from the paper's
+//! (10 M-cycle epochs, 500 M-cycle phases) alongside the rest of the system.
+
+use crate::cache::{Job, RunCache};
+use crate::experiments::gm;
+use crate::profile::Profile;
+use crate::table::{f3, Table};
+use h2_system::{PolicyKind, SystemConfig};
+use h2_trace::Mix;
+
+fn geomean_speedup(cfg: &SystemConfig, mixes: &[Mix], cache: &mut RunCache) -> f64 {
+    let xs: Vec<f64> = mixes
+        .iter()
+        .map(|m| {
+            let base = cache.run(&Job::new(cfg, m, PolicyKind::NoPart));
+            let h2 = cache.run(&Job::new(cfg, m, PolicyKind::HydrogenFull));
+            h2.weighted_speedup(&base)
+        })
+        .collect();
+    gm(&xs)
+}
+
+/// Run the Fig 9 sweeps.
+pub fn run(profile: &Profile, cache: &mut RunCache) -> Vec<Table> {
+    let base_cfg = profile.config();
+    let mixes = profile.panel_mixes();
+
+    // (a) phase length (fixed epoch, varying epochs-per-phase).
+    let mut ta = Table::new(
+        "fig9a_phase",
+        "Fig 9(a): phase length sensitivity (geomean Hydrogen speedup vs baseline)",
+        &["phase (cycles)", "epochs/phase", "speedup"],
+    );
+    for epp in [10u64, 20, 40, 80] {
+        let mut c = base_cfg.clone();
+        c.epochs_per_phase = epp;
+        let s = geomean_speedup(&c, &mixes, cache);
+        ta.row(vec![
+            (c.epoch_cycles * epp).to_string(),
+            epp.to_string(),
+            f3(s),
+        ]);
+    }
+    ta.note("paper: short phases cause needless reconfiguration; 500M cycles is the default");
+
+    // (b) epoch length.
+    let mut tb = Table::new(
+        "fig9b_epoch",
+        "Fig 9(b): sampling epoch length sensitivity (geomean Hydrogen speedup vs baseline)",
+        &["epoch (cycles)", "speedup"],
+    );
+    for ep in [50_000u64, 125_000, 250_000, 500_000] {
+        let mut c = base_cfg.clone();
+        c.epoch_cycles = ep;
+        // Keep phase duration roughly constant across epoch sizes.
+        c.epochs_per_phase = (base_cfg.epoch_cycles * base_cfg.epochs_per_phase / ep).max(4);
+        let s = geomean_speedup(&c, &mixes, cache);
+        tb.row(vec![ep.to_string(), f3(s)]);
+    }
+    tb.note("paper: too-short epochs pay reconfiguration overheads, too-long epochs adapt slowly");
+    vec![ta, tb]
+}

@@ -1,0 +1,34 @@
+//! One module per paper element.
+//!
+//! | module | paper element | what it reproduces |
+//! |--------|---------------|---------------------|
+//! | [`table1`] | Table I | system configuration dump (paper + scaled) |
+//! | [`table2`] | Table II | workload combinations and footprints |
+//! | [`fig2`] | Fig 2 | co-run slowdowns + bandwidth/capacity sensitivity |
+//! | [`fig5`] | Fig 5 | weighted speedups vs baselines (HBM2E + HBM3) |
+//! | [`fig6`] | Fig 6 | memory energy vs HAShCache |
+//! | [`fig7`] | Fig 7 | swap-variant and reconfiguration overheads |
+//! | [`fig8`] | Fig 8 | exhaustive (bw, cap, tok) landscape on C5 |
+//! | [`fig9`] | Fig 9 | epoch/phase length sensitivity |
+//! | [`fig10`] | Fig 10 | IPC-weight and core-count sensitivity |
+//! | [`fig11`] | Fig 11 | associativity and block-size sensitivity |
+
+pub mod extensions;
+pub mod fig10;
+pub mod fig11;
+pub mod fig2;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+pub mod verify;
+
+use h2_sim_core::stats::geomean;
+
+/// Geomean helper shared by the figure modules.
+pub(crate) fn gm(xs: &[f64]) -> f64 {
+    geomean(xs)
+}

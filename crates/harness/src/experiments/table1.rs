@@ -1,0 +1,118 @@
+//! Table I: system configuration.
+
+use crate::profile::Profile;
+use crate::table::Table;
+use h2_mem::TimingPreset;
+use h2_system::SystemConfig;
+
+/// Produce the Table I dump: the paper's configuration and the scaled
+/// laptop configuration actually simulated.
+pub fn run(profile: &Profile) -> Vec<Table> {
+    let paper = SystemConfig::paper();
+    let scaled = profile.config();
+    let mut t = Table::new(
+        "table1_config",
+        "Table I: system configurations (paper vs simulated scale)",
+        &["parameter", "paper", "simulated"],
+    );
+    let mut row = |name: &str, p: String, s: String| t.row(vec![name.to_string(), p, s]);
+    row("CPU cores", paper.cpu_cores.to_string(), scaled.cpu_cores.to_string());
+    row("GPU execution units", paper.gpu_eus.to_string(), scaled.gpu_eus.to_string());
+    row(
+        "CPU L1",
+        fmt_cache(&paper.hierarchy.cpu_l1),
+        fmt_cache(&scaled.hierarchy.cpu_l1),
+    );
+    row(
+        "CPU L2",
+        fmt_cache(&paper.hierarchy.cpu_l2),
+        fmt_cache(&scaled.hierarchy.cpu_l2),
+    );
+    row(
+        "GPU L1 (per 16 EUs)",
+        fmt_cache(&paper.hierarchy.gpu_l1),
+        fmt_cache(&scaled.hierarchy.gpu_l1),
+    );
+    row(
+        "Shared LLC",
+        fmt_cache(&paper.hierarchy.llc),
+        fmt_cache(&scaled.hierarchy.llc),
+    );
+    let fast = TimingPreset::Hbm2eSuper.timing();
+    let slow = TimingPreset::Ddr4.timing();
+    row(
+        "Fast memory",
+        format!(
+            "HBM2E, 16 ch (4 superch), RCD-CAS-RP {}-{}-{} cyc, {:.1} GB/s/superch",
+            fast.t_rcd, fast.t_cas, fast.t_rp, fast.peak_gbs()
+        ),
+        format!("{} superchannels, same timing", scaled.fast_channels),
+    );
+    row(
+        "Slow memory",
+        format!(
+            "DDR4-3200, 4 ch, RCD-CAS-RP {}-{}-{} cyc, {:.1} GB/s/ch",
+            slow.t_rcd, slow.t_cas, slow.t_rp, slow.peak_gbs()
+        ),
+        format!("{} channels, same timing", scaled.slow_channels),
+    );
+    row(
+        "Hybrid block / assoc",
+        format!("{} B / {}-way", paper.block_bytes, paper.assoc),
+        format!("{} B / {}-way", scaled.block_bytes, scaled.assoc),
+    );
+    row(
+        "Remap cache",
+        format!("{} kB", paper.remap_cache_bytes / 1024),
+        format!("{} kB", scaled.remap_cache_bytes / 1024),
+    );
+    row(
+        "Epoch / phase",
+        format!(
+            "{} M / {} M cycles",
+            paper.epoch_cycles / 1_000_000,
+            paper.epoch_cycles * paper.epochs_per_phase / 1_000_000
+        ),
+        format!(
+            "{} k / {} k cycles",
+            scaled.epoch_cycles / 1000,
+            scaled.epoch_cycles * scaled.epochs_per_phase / 1000
+        ),
+    );
+    row(
+        "IPC weights CPU:GPU",
+        format!("{}:{}", paper.weights.0, paper.weights.1),
+        format!("{}:{}", scaled.weights.0, scaled.weights.1),
+    );
+    row(
+        "Footprint scale",
+        "1x".to_string(),
+        format!("1/{}", scaled.footprint_scale),
+    );
+    t.note("energies: HBM 6.4 pJ/bit RD/WR, DDR4 33 pJ/bit, ACT/PRE 15 nJ (Table I)");
+    vec![t]
+}
+
+fn fmt_cache(c: &h2_cache::sram::CacheConfig) -> String {
+    format!(
+        "{}-way, {} kB, {} cyc",
+        c.ways,
+        c.size_bytes / 1024,
+        c.latency
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dumps_all_parameters() {
+        let ts = run(&Profile::Quick);
+        assert_eq!(ts.len(), 1);
+        let t = &ts[0];
+        assert!(t.rows.len() >= 12);
+        assert!(t.rows.iter().any(|r| r[0] == "CPU cores" && r[1] == "8"));
+        assert!(t.rows.iter().any(|r| r[0].contains("LLC")));
+    }
+}

@@ -1,0 +1,58 @@
+//! Table II: workload combinations.
+
+use crate::profile::Profile;
+use crate::table::Table;
+use h2_sim_core::units::MIB;
+use h2_trace::Mix;
+
+/// Produce the Table II dump with footprints at both scales.
+pub fn run(profile: &Profile) -> Vec<Table> {
+    let cfg = profile.config();
+    let mut t = Table::new(
+        "table2_workloads",
+        "Table II: workload combinations",
+        &[
+            "mix",
+            "CPU workloads (x2 rate mode)",
+            "GPU workload",
+            "paper footprint (MiB)",
+            "simulated footprint (MiB)",
+            "fast capacity (MiB)",
+        ],
+    );
+    for m in Mix::all() {
+        let fp = m.total_footprint_bytes();
+        t.row(vec![
+            m.name.to_string(),
+            m.cpu.join("-"),
+            m.gpu.to_string(),
+            (fp / MIB).to_string(),
+            (fp / cfg.footprint_scale / MIB).to_string(),
+            (cfg.fast_capacity_for(&m) / MIB).to_string(),
+        ]);
+    }
+    t.note("CPU side runs two copies of each benchmark (SPEC rate mode) on 8 cores");
+    t.note("fast capacity = simulated footprint / 8, as in the paper (SV)");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_rows_match_paper() {
+        let ts = run(&Profile::Default);
+        let t = &ts[0];
+        assert_eq!(t.rows.len(), 12);
+        assert_eq!(t.rows[0][0], "C1");
+        assert_eq!(t.rows[0][2], "backprop");
+        assert_eq!(t.rows[11][2], "bert");
+        // Capacity is 1/8 of simulated footprint.
+        for r in &t.rows {
+            let sim: f64 = r[4].parse().unwrap();
+            let cap: f64 = r[5].parse().unwrap();
+            assert!((sim / cap - 8.0).abs() < 0.5, "{}: {sim} vs {cap}", r[0]);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Shape verification: machine-checks the paper's qualitative claims on the
+//! reproduced system and prints PASS/FAIL per claim. This is what a
+//! reproduction artifact should assert — not absolute numbers (a different
+//! substrate cannot match those) but the *orderings and directions* the
+//! paper's conclusions rest on.
+
+use crate::cache::{Job, RunCache};
+use crate::experiments::gm;
+use crate::profile::Profile;
+use crate::table::Table;
+use h2_system::{Participants, PolicyKind};
+use h2_trace::Mix;
+
+struct Claim {
+    name: &'static str,
+    source: &'static str,
+    pass: bool,
+    detail: String,
+}
+
+/// Run the claim checks.
+pub fn run(profile: &Profile, cache: &mut RunCache) -> Vec<Table> {
+    let cfg = profile.config();
+    let mixes = profile.panel_mixes();
+    let mut claims: Vec<Claim> = Vec::new();
+
+    // Gather the per-mix runs once.
+    let mut base = Vec::new();
+    let mut h2full = Vec::new();
+    let mut profess = Vec::new();
+    let mut hashcache = Vec::new();
+    for m in &mixes {
+        base.push(cache.run(&Job::new(&cfg, m, PolicyKind::NoPart)));
+        h2full.push(cache.run(&Job::new(&cfg, m, PolicyKind::HydrogenFull)));
+        profess.push(cache.run(&Job::new(&cfg, m, PolicyKind::Profess)));
+        hashcache.push(cache.run(&Job::new(&cfg, m, PolicyKind::HashCache)));
+    }
+    let speedups = |rs: &[h2_system::RunReport]| -> Vec<f64> {
+        rs.iter()
+            .zip(&base)
+            .map(|(r, b)| r.weighted_speedup(b))
+            .collect()
+    };
+    let h2_s = gm(&speedups(&h2full));
+    let pf_s = gm(&speedups(&profess));
+    let hc_s = gm(&speedups(&hashcache));
+
+    claims.push(Claim {
+        name: "Hydrogen outperforms the non-partitioned baseline",
+        source: "Fig 5 (paper: 1.24x avg)",
+        pass: h2_s > 1.02,
+        detail: format!("geomean {h2_s:.3}"),
+    });
+    claims.push(Claim {
+        name: "Hydrogen outperforms ProFess",
+        source: "Fig 5 (paper: 1.16x avg)",
+        pass: h2_s > pf_s,
+        detail: format!("{h2_s:.3} vs {pf_s:.3}"),
+    });
+    claims.push(Claim {
+        name: "Hydrogen outperforms HAShCache",
+        source: "Fig 5 (paper: 1.47x avg)",
+        pass: h2_s > hc_s,
+        detail: format!("{h2_s:.3} vs {hc_s:.3}"),
+    });
+
+    // Motivation: CPU suffers more from co-running than the GPU (Fig 2a).
+    {
+        let c1 = Mix::by_name("C1").unwrap();
+        let both = cache.run(&Job::new(&cfg, &c1, PolicyKind::NoPart));
+        let cpu = cache.run(&Job {
+            parts: Participants::CpuOnly,
+            ..Job::new(&cfg, &c1, PolicyKind::NoPart)
+        });
+        let gpu = cache.run(&Job {
+            parts: Participants::GpuOnly,
+            ..Job::new(&cfg, &c1, PolicyKind::NoPart)
+        });
+        let cs = both.cpu_slowdown(&cpu);
+        let gs = both.gpu_slowdown(&gpu);
+        claims.push(Claim {
+            name: "C1: CPU co-run slowdown exceeds GPU's",
+            source: "Fig 2a (paper: 1.94x vs 1.33x)",
+            pass: cs > gs && cs > 1.1,
+            detail: format!("CPU {cs:.2}x vs GPU {gs:.2}x"),
+        });
+    }
+
+    // Tokens reduce GPU slow-tier migration traffic (Fig 4 / §IV-B).
+    {
+        let c5 = Mix::by_name("C5").unwrap();
+        let open = cache.run(&Job::new(&cfg, &c5, PolicyKind::HydrogenStatic { bw: 1, cap: 3, tok: 7 }));
+        let tight = cache.run(&Job::new(&cfg, &c5, PolicyKind::HydrogenStatic { bw: 1, cap: 3, tok: 1 }));
+        claims.push(Claim {
+            name: "token throttling cuts GPU migrations",
+            source: "§IV-B",
+            pass: tight.hmc.migrations[1] < open.hmc.migrations[1],
+            detail: format!(
+                "{} -> {} migrations",
+                open.hmc.migrations[1], tight.hmc.migrations[1]
+            ),
+        });
+    }
+
+    // Energy: Hydrogen below HAShCache per unit work (Fig 6).
+    {
+        let epw = |r: &h2_system::RunReport| {
+            let w = r.weights.0 * r.cpu_instr as f64 + r.weights.1 * r.gpu_instr as f64;
+            r.energy_j() / w.max(1.0)
+        };
+        let ratios: Vec<f64> = h2full
+            .iter()
+            .zip(&hashcache)
+            .map(|(h, c)| epw(h) / epw(c).max(1e-18))
+            .collect();
+        let g = gm(&ratios);
+        claims.push(Claim {
+            name: "Hydrogen uses less memory energy per work than HAShCache",
+            source: "Fig 6 (paper: -31% avg)",
+            pass: g < 1.0,
+            detail: format!("geomean ratio {g:.3}"),
+        });
+    }
+
+    // Per-channel tokens ~ single counter (§IV-B).
+    {
+        let c1 = Mix::by_name("C1").unwrap();
+        let single = cache.run(&Job::new(&cfg, &c1, PolicyKind::HydrogenFull));
+        let per = cache.run(&Job::new(&cfg, &c1, PolicyKind::HydrogenPerChannelTokens));
+        let ratio = per.weighted_ipc() / single.weighted_ipc().max(1e-12);
+        claims.push(Claim {
+            name: "per-channel token counters ~ single counter",
+            source: "§IV-B (paper: negligible difference)",
+            pass: (0.9..=1.1).contains(&ratio),
+            detail: format!("ratio {ratio:.3}"),
+        });
+    }
+
+    let mut t = Table::new(
+        "verify_claims",
+        "Shape verification: the paper's qualitative claims on this substrate",
+        &["claim", "paper source", "result", "measured"],
+    );
+    let mut passed = 0;
+    let total = claims.len();
+    for c in claims {
+        if c.pass {
+            passed += 1;
+        }
+        t.row(vec![
+            c.name.to_string(),
+            c.source.to_string(),
+            if c.pass { "PASS" } else { "FAIL" }.to_string(),
+            c.detail,
+        ]);
+    }
+    t.note(format!("{passed}/{total} claims hold at this profile/scale"));
+    vec![t]
+}

@@ -1,0 +1,46 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (Tables I-II, Figures 2 and 5-11).
+//!
+//! Each experiment in [`experiments`] produces one or more [`table::Table`]s
+//! — the same rows/series the paper plots — prints them, and writes CSVs to
+//! `results/`. Runs are cached per process ([`cache::RunCache`]) so
+//! experiments sharing the same simulations (e.g. Fig 5 and Fig 6) pay once.
+//!
+//! Scale profiles ([`profile::Profile`]) select how much work to do:
+//! `quick` (sanity, a few mixes), `default` (all headline mixes, scaled
+//! windows), `full` (longer windows). Select with `H2_PROFILE=quick|full`.
+
+pub mod cache;
+pub mod experiments;
+pub mod profile;
+pub mod table;
+
+pub use cache::RunCache;
+pub use profile::Profile;
+pub use table::Table;
+
+/// Run one experiment by id ("table1", "fig5", ...), returning its tables.
+pub fn run_experiment(id: &str, profile: &Profile, cache: &mut RunCache) -> Option<Vec<Table>> {
+    let t = match id {
+        "table1" => experiments::table1::run(profile),
+        "table2" => experiments::table2::run(profile),
+        "fig2" => experiments::fig2::run(profile, cache),
+        "fig5" => experiments::fig5::run(profile, cache),
+        "fig6" => experiments::fig6::run(profile, cache),
+        "fig7" => experiments::fig7::run(profile, cache),
+        "fig8" => experiments::fig8::run(profile, cache),
+        "fig9" => experiments::fig9::run(profile, cache),
+        "fig10" => experiments::fig10::run(profile, cache),
+        "fig11" => experiments::fig11::run(profile, cache),
+        "extensions" => experiments::extensions::run(profile, cache),
+        "verify" => experiments::verify::run(profile, cache),
+        _ => return None,
+    };
+    Some(t)
+}
+
+/// All experiment ids in paper order.
+pub const ALL_EXPERIMENTS: [&str; 12] = [
+    "table1", "table2", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "extensions", "verify",
+];

@@ -1,0 +1,95 @@
+//! Scale profiles for the experiment harness.
+//!
+//! Reproducing every figure means hundreds of simulations; on a laptop the
+//! default profile keeps that to tens of minutes. `quick` is for smoke
+//! tests/CI; `full` doubles the measured windows for tighter numbers.
+//! Select with `H2_PROFILE=quick|default|full`.
+
+use h2_system::SystemConfig;
+use h2_trace::Mix;
+
+/// Harness scale profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Smoke-test scale: 3 mixes, short windows.
+    Quick,
+    /// Laptop scale (the default): all 12 mixes for the headline figures,
+    /// a 4-mix panel for sensitivity geomeans.
+    Default,
+    /// Longer windows for tighter statistics.
+    Full,
+}
+
+impl Profile {
+    /// Read from `H2_PROFILE` (default `Default`).
+    pub fn from_env() -> Self {
+        match std::env::var("H2_PROFILE").unwrap_or_default().as_str() {
+            "quick" => Profile::Quick,
+            "full" => Profile::Full,
+            _ => Profile::Default,
+        }
+    }
+
+    /// Base system configuration for this profile.
+    pub fn config(&self) -> SystemConfig {
+        let mut c = SystemConfig::default();
+        match self {
+            Profile::Quick => {
+                c.warmup_cycles = 1_500_000;
+                c.measure_cycles = 1_000_000;
+            }
+            Profile::Default => {}
+            Profile::Full => {
+                c.warmup_cycles = 4_000_000;
+                c.measure_cycles = 4_000_000;
+            }
+        }
+        c
+    }
+
+    /// Mixes for the headline comparisons (Fig 5, Fig 6, Fig 2a).
+    pub fn headline_mixes(&self) -> Vec<Mix> {
+        match self {
+            Profile::Quick => ["C1", "C5", "C11"]
+                .iter()
+                .map(|n| Mix::by_name(n).unwrap())
+                .collect(),
+            _ => Mix::all(),
+        }
+    }
+
+    /// Mix panel for sensitivity geomeans (Figs 7, 9, 11).
+    pub fn panel_mixes(&self) -> Vec<Mix> {
+        let names: &[&str] = match self {
+            Profile::Quick => &["C1", "C5"],
+            _ => &["C1", "C3", "C5", "C11"],
+        };
+        names.iter().map(|n| Mix::by_name(n).unwrap()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_covers_all_mixes() {
+        assert_eq!(Profile::Default.headline_mixes().len(), 12);
+        assert_eq!(Profile::Default.panel_mixes().len(), 4);
+    }
+
+    #[test]
+    fn quick_is_smaller() {
+        assert!(Profile::Quick.headline_mixes().len() < 12);
+        let q = Profile::Quick.config();
+        let d = Profile::Default.config();
+        assert!(q.measure_cycles < d.measure_cycles);
+    }
+
+    #[test]
+    fn full_is_bigger() {
+        let f = Profile::Full.config();
+        let d = Profile::Default.config();
+        assert!(f.measure_cycles > d.measure_cycles);
+    }
+}

@@ -1,0 +1,153 @@
+//! Result tables: aligned console output plus CSV files under `results/`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A labelled table of experiment results.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Identifier, used as the CSV file stem ("fig5a", ...).
+    pub id: String,
+    /// Human title (matches the paper's caption).
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (scaling caveats, what to compare with the paper).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(id: &str, title: &str, header: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as an aligned console table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} [{}] ==", self.title, self.id);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", line(r, &widths));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "note: {n}");
+        }
+        out
+    }
+
+    /// CSV serialisation.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Write the CSV into `dir/<id>.csv` (best effort; returns the path).
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Format a ratio with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a ratio with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("t", "Test", &["mix", "speedup"]);
+        t.row(vec!["C1".into(), "1.20".into()]);
+        t.row(vec!["C10".into(), "0.98".into()]);
+        t.note("hello");
+        let r = t.render();
+        assert!(r.contains("C10"));
+        assert!(r.contains("note: hello"));
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new("t", "Test", &["a", "b"]);
+        t.row(vec!["x,y".into(), "q\"z".into()]);
+        let c = t.to_csv();
+        assert!(c.contains("\"x,y\""));
+        assert!(c.contains("\"q\"\"z\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("t", "T", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn writes_csv_file() {
+        let dir = std::env::temp_dir().join("h2_table_test");
+        let mut t = Table::new("unit_csv", "T", &["a"]);
+        t.row(vec!["1".into()]);
+        let p = t.write_csv(&dir).unwrap();
+        assert!(p.exists());
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -1,0 +1,311 @@
+//! The remap table: per-set, per-way metadata of the hybrid memory.
+//!
+//! Each fast way of each set records the tag of the block it holds, its
+//! dirtiness, which class (CPU/GPU) owns it, an LRU stamp, and a hotness
+//! counter used by Hydrogen's fast-memory swap. The table is a dense array:
+//! `sets * assoc` entries.
+
+use crate::types::{HybridConfig, ReqClass};
+
+/// Metadata of one fast way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WayMeta {
+    /// Tag of the resident block (valid only if `valid`).
+    pub tag: u64,
+    /// Whether a block is resident.
+    pub valid: bool,
+    /// Whether the resident block differs from its slow-tier home copy.
+    pub dirty: bool,
+    /// Class that owns the resident block.
+    pub owner: ReqClass,
+    /// LRU stamp (monotone access counter).
+    pub stamp: u64,
+    /// Saturating hotness counter (halved on decay).
+    pub hotness: u8,
+}
+
+impl Default for WayMeta {
+    fn default() -> Self {
+        Self {
+            tag: 0,
+            valid: false,
+            dirty: false,
+            owner: ReqClass::Cpu,
+            stamp: 0,
+            hotness: 0,
+        }
+    }
+}
+
+/// Dense remap table for all sets.
+#[derive(Debug)]
+pub struct RemapTable {
+    assoc: usize,
+    ways: Vec<WayMeta>,
+    tick: u64,
+}
+
+impl RemapTable {
+    /// Allocate the table for `cfg`'s geometry.
+    pub fn new(cfg: &HybridConfig) -> Self {
+        let n = cfg.num_sets() as usize * cfg.assoc;
+        Self {
+            assoc: cfg.assoc,
+            ways: vec![WayMeta::default(); n],
+            tick: 0,
+        }
+    }
+
+    /// Associativity.
+    pub fn assoc(&self) -> usize {
+        self.assoc
+    }
+
+    #[inline]
+    fn base(&self, set: u64) -> usize {
+        set as usize * self.assoc
+    }
+
+    /// Immutable view of a set's ways.
+    pub fn set_view(&self, set: u64) -> &[WayMeta] {
+        let b = self.base(set);
+        &self.ways[b..b + self.assoc]
+    }
+
+    /// Find the way holding `tag` in `set`, if resident.
+    pub fn lookup(&self, set: u64, tag: u64) -> Option<usize> {
+        self.set_view(set)
+            .iter()
+            .position(|w| w.valid && w.tag == tag)
+    }
+
+    /// Touch a way on access: refresh LRU, bump hotness, set dirty on write.
+    pub fn touch(&mut self, set: u64, way: usize, is_write: bool) {
+        self.tick += 1;
+        let i = self.base(set) + way;
+        let w = &mut self.ways[i];
+        debug_assert!(w.valid);
+        w.stamp = self.tick;
+        w.hotness = w.hotness.saturating_add(1);
+        w.dirty |= is_write;
+    }
+
+    /// Install a block into `way`, returning the displaced block's
+    /// `(tag, dirty, owner)` if a valid block was evicted.
+    pub fn fill(
+        &mut self,
+        set: u64,
+        way: usize,
+        tag: u64,
+        owner: ReqClass,
+        dirty: bool,
+    ) -> Option<(u64, bool, ReqClass)> {
+        self.tick += 1;
+        let i = self.base(set) + way;
+        let w = &mut self.ways[i];
+        let victim = if w.valid {
+            Some((w.tag, w.dirty, w.owner))
+        } else {
+            None
+        };
+        *w = WayMeta {
+            tag,
+            valid: true,
+            dirty,
+            owner,
+            stamp: self.tick,
+            hotness: 1,
+        };
+        victim
+    }
+
+    /// Invalidate a way, returning the dropped block's `(tag, dirty, owner)`.
+    pub fn invalidate(&mut self, set: u64, way: usize) -> Option<(u64, bool, ReqClass)> {
+        let i = self.base(set) + way;
+        let w = &mut self.ways[i];
+        if !w.valid {
+            return None;
+        }
+        let out = (w.tag, w.dirty, w.owner);
+        w.valid = false;
+        w.dirty = false;
+        Some(out)
+    }
+
+    /// Swap the contents (metadata) of two ways of the same set.
+    pub fn swap(&mut self, set: u64, a: usize, b: usize) {
+        let base = self.base(set);
+        self.ways.swap(base + a, base + b);
+    }
+
+    /// Pick a victim way among the ways enabled in `mask` (bit per way):
+    /// an invalid way if available, else the LRU. Returns `None` for an
+    /// empty mask.
+    pub fn pick_victim(&self, set: u64, mask: u16) -> Option<usize> {
+        let view = self.set_view(set);
+        let mut best: Option<(usize, u64)> = None;
+        for (i, w) in view.iter().enumerate() {
+            if mask & (1 << i) == 0 {
+                continue;
+            }
+            if !w.valid {
+                return Some(i);
+            }
+            match best {
+                None => best = Some((i, w.stamp)),
+                Some((_, s)) if w.stamp < s => best = Some((i, w.stamp)),
+                _ => {}
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Halve every hotness counter (periodic decay, called per epoch).
+    pub fn decay_hotness(&mut self) {
+        for w in &mut self.ways {
+            w.hotness >>= 1;
+        }
+    }
+
+    /// Number of valid blocks owned by each class `(cpu, gpu)`.
+    pub fn occupancy_by_class(&self) -> (u64, u64) {
+        let mut cpu = 0;
+        let mut gpu = 0;
+        for w in &self.ways {
+            if w.valid {
+                match w.owner {
+                    ReqClass::Cpu => cpu += 1,
+                    ReqClass::Gpu => gpu += 1,
+                }
+            }
+        }
+        (cpu, gpu)
+    }
+
+    /// Debug invariant: no duplicate valid tags within any set.
+    pub fn check_no_duplicate_tags(&self) -> bool {
+        let sets = self.ways.len() / self.assoc;
+        for s in 0..sets {
+            let v = &self.ways[s * self.assoc..(s + 1) * self.assoc];
+            for i in 0..v.len() {
+                for j in i + 1..v.len() {
+                    if v[i].valid && v[j].valid && v[i].tag == v[j].tag {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2_sim_core::units::KIB;
+
+    fn table() -> (HybridConfig, RemapTable) {
+        let cfg = HybridConfig {
+            fast_capacity: 64 * KIB, // 64 sets of 4 ways at 256 B
+            ..HybridConfig::default()
+        };
+        let t = RemapTable::new(&cfg);
+        (cfg, t)
+    }
+
+    #[test]
+    fn fill_lookup_touch() {
+        let (_, mut t) = table();
+        assert_eq!(t.lookup(5, 99), None);
+        assert_eq!(t.fill(5, 2, 99, ReqClass::Gpu, false), None);
+        assert_eq!(t.lookup(5, 99), Some(2));
+        t.touch(5, 2, true);
+        let w = t.set_view(5)[2];
+        assert!(w.dirty);
+        assert_eq!(w.owner, ReqClass::Gpu);
+        assert_eq!(w.hotness, 2);
+    }
+
+    #[test]
+    fn fill_reports_victim() {
+        let (_, mut t) = table();
+        t.fill(1, 0, 7, ReqClass::Cpu, true);
+        let v = t.fill(1, 0, 8, ReqClass::Gpu, false);
+        assert_eq!(v, Some((7, true, ReqClass::Cpu)));
+    }
+
+    #[test]
+    fn victim_prefers_invalid_then_lru() {
+        let (_, mut t) = table();
+        t.fill(3, 0, 1, ReqClass::Cpu, false);
+        t.fill(3, 1, 2, ReqClass::Cpu, false);
+        // Ways 2,3 invalid: mask over all ways picks an invalid one.
+        let v = t.pick_victim(3, 0b1111).unwrap();
+        assert!(v == 2 || v == 3);
+        t.fill(3, 2, 3, ReqClass::Cpu, false);
+        t.fill(3, 3, 4, ReqClass::Cpu, false);
+        // Touch all but way 1 -> way 1 is LRU.
+        t.touch(3, 0, false);
+        t.touch(3, 2, false);
+        t.touch(3, 3, false);
+        assert_eq!(t.pick_victim(3, 0b1111), Some(1));
+        // Restricted mask.
+        assert_eq!(t.pick_victim(3, 0b1000), Some(3));
+        assert_eq!(t.pick_victim(3, 0), None);
+    }
+
+    #[test]
+    fn swap_exchanges_ways() {
+        let (_, mut t) = table();
+        t.fill(0, 0, 10, ReqClass::Cpu, true);
+        t.fill(0, 3, 20, ReqClass::Gpu, false);
+        t.swap(0, 0, 3);
+        assert_eq!(t.lookup(0, 10), Some(3));
+        assert_eq!(t.lookup(0, 20), Some(0));
+        assert!(t.set_view(0)[3].dirty);
+    }
+
+    #[test]
+    fn decay_halves_hotness() {
+        let (_, mut t) = table();
+        t.fill(0, 0, 1, ReqClass::Cpu, false);
+        for _ in 0..9 {
+            t.touch(0, 0, false);
+        }
+        assert_eq!(t.set_view(0)[0].hotness, 10);
+        t.decay_hotness();
+        assert_eq!(t.set_view(0)[0].hotness, 5);
+    }
+
+    #[test]
+    fn occupancy_counts_by_class() {
+        let (_, mut t) = table();
+        t.fill(0, 0, 1, ReqClass::Cpu, false);
+        t.fill(0, 1, 2, ReqClass::Gpu, false);
+        t.fill(1, 0, 3, ReqClass::Gpu, false);
+        assert_eq!(t.occupancy_by_class(), (1, 2));
+    }
+
+    #[test]
+    fn invalidate_clears() {
+        let (_, mut t) = table();
+        t.fill(2, 1, 5, ReqClass::Cpu, true);
+        assert!(t.invalidate(2, 1).is_some());
+        assert_eq!(t.lookup(2, 5), None);
+        assert_eq!(t.invalidate(2, 1), None);
+    }
+
+    #[test]
+    fn no_duplicate_tags_invariant_holds() {
+        let (_, mut t) = table();
+        for i in 0..200u64 {
+            let set = i % 64;
+            let tag = i / 7;
+            if t.lookup(set, tag).is_none() {
+                let way = t.pick_victim(set, 0b1111).unwrap();
+                t.fill(set, way, tag, ReqClass::Cpu, false);
+            }
+        }
+        assert!(t.check_no_duplicate_tags());
+    }
+}

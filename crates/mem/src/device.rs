@@ -1,0 +1,546 @@
+//! The DRAM device model: channels, banks, open rows, a shared data bus per
+//! channel, and an FR-FCFS-like command scheduler with request priorities.
+//!
+//! # Model
+//!
+//! Each channel serves one data burst at a time on its bus, but up to
+//! [`PIPELINE_DEPTH`] commands may be "started" concurrently so that bank
+//! preparation (precharge/activate) of the next command overlaps the current
+//! burst — a lightweight approximation of bank-level parallelism that
+//! preserves the two first-order effects the paper depends on: bus bandwidth
+//! saturation under streaming (GPU) traffic and row-miss latency under
+//! random (CPU) traffic.
+//!
+//! The device never touches the event queue. `enqueue` + `pump` return
+//! started commands with their completion times; the caller schedules those
+//! and calls [`MemDevice::on_complete`] when they fire, then pumps again.
+
+use crate::energy::EnergyBreakdown;
+use crate::timing::DramTiming;
+use h2_sim_core::units::Cycles;
+
+/// Waiting time after which a queued command is escalated past all
+/// priorities (starvation guard for priority schedulers).
+pub const AGE_CAP: Cycles = 250;
+
+/// How many commands a channel may have in flight at once. This must cover
+/// the CAS latency / burst-time ratio (~6 for both presets) so that a
+/// streaming bank keeps the data bus saturated; bank prep of later commands
+/// overlaps earlier bursts.
+pub const PIPELINE_DEPTH: usize = 48;
+
+/// A command presented to the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemCmd {
+    /// Device byte address (bank/row are derived from it).
+    pub addr: u64,
+    /// Transfer size in bytes (rounded up to 64 B beats internally).
+    pub bytes: u32,
+    /// Write (true) or read (false).
+    pub is_write: bool,
+    /// Scheduling priority; higher wins (HAShCache prioritises CPU = 1).
+    pub priority: u8,
+    /// Opaque caller token, returned on completion.
+    pub token: u64,
+}
+
+/// A command the scheduler has started, with its completion time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StartedCmd {
+    /// Absolute cycle at which the data transfer finishes.
+    pub done_at: Cycles,
+    /// The caller's token.
+    pub token: u64,
+    /// Channel that served it (for the caller's bookkeeping).
+    pub channel: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bank {
+    open_row: Option<u64>,
+    ready_at: Cycles,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    cmd: MemCmd,
+    arrival_seq: u64,
+    arrival_time: Cycles,
+}
+
+#[derive(Debug)]
+struct Channel {
+    banks: Vec<Bank>,
+    bus_free_at: Cycles,
+    queue: Vec<Pending>,
+    in_flight: usize,
+    // Stats.
+    reads: u64,
+    writes: u64,
+    bytes: u64,
+    activations: u64,
+    row_hits: u64,
+    busy_cycles: Cycles,
+    queued_total: u64,
+    max_queue: u64,
+}
+
+impl Channel {
+    fn new(banks: usize) -> Self {
+        Self {
+            banks: vec![
+                Bank {
+                    open_row: None,
+                    ready_at: 0
+                };
+                banks
+            ],
+            bus_free_at: 0,
+            queue: Vec::with_capacity(32),
+            in_flight: 0,
+            reads: 0,
+            writes: 0,
+            bytes: 0,
+            activations: 0,
+            row_hits: 0,
+            busy_cycles: 0,
+            queued_total: 0,
+            max_queue: 0,
+        }
+    }
+}
+
+/// Aggregate device statistics (summed over channels).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Read commands served.
+    pub reads: u64,
+    /// Write commands served.
+    pub writes: u64,
+    /// Total bytes transferred.
+    pub bytes: u64,
+    /// Row activations (closed-bank or row-conflict accesses).
+    pub activations: u64,
+    /// Accesses that hit an open row.
+    pub row_hits: u64,
+    /// Cycles any bus spent transferring data (sum over channels).
+    pub busy_cycles: Cycles,
+    /// Commands ever enqueued.
+    pub enqueued: u64,
+    /// Peak pending-queue length observed on any channel.
+    pub max_queue: u64,
+}
+
+/// A multi-channel DRAM device.
+#[derive(Debug)]
+pub struct MemDevice {
+    timing: DramTiming,
+    channels: Vec<Channel>,
+    seq: u64,
+    /// Latency-optimised scheduling: honour command priorities (demand
+    /// first). Bandwidth-optimised devices (the slow tier behind the cache)
+    /// ignore priorities and run FR-FCFS.
+    demand_first: bool,
+}
+
+impl MemDevice {
+    /// Create a latency-optimised device (honours priorities).
+    pub fn new(timing: DramTiming, channels: usize) -> Self {
+        Self::with_scheduling(timing, channels, true)
+    }
+
+    /// Create a device with an explicit scheduling flavour.
+    pub fn with_scheduling(timing: DramTiming, channels: usize, demand_first: bool) -> Self {
+        assert!(channels > 0, "device needs at least one channel");
+        let banks = timing.banks_per_channel;
+        Self {
+            timing,
+            channels: (0..channels).map(|_| Channel::new(banks)).collect(),
+            seq: 0,
+            demand_first,
+        }
+    }
+
+    /// Number of channels.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The device's timing parameters.
+    pub fn timing(&self) -> &DramTiming {
+        &self.timing
+    }
+
+    /// Total pending (queued, unstarted) commands on `ch`.
+    pub fn queue_len(&self, ch: usize) -> usize {
+        self.channels[ch].queue.len()
+    }
+
+    /// Enqueue a command on channel `ch` at time `now`. Call [`Self::pump`]
+    /// afterwards to start whatever the scheduler allows.
+    pub fn enqueue(&mut self, ch: usize, cmd: MemCmd, now: Cycles) {
+        let c = &mut self.channels[ch];
+        c.queued_total += 1;
+        c.queue.push(Pending {
+            cmd,
+            arrival_seq: self.seq,
+            arrival_time: now,
+        });
+        c.max_queue = c.max_queue.max(c.queue.len() as u64);
+        self.seq += 1;
+    }
+
+    /// Start as many commands as pipelining allows on channel `ch`,
+    /// appending each started command (with completion time) to `out`.
+    pub fn pump(&mut self, ch: usize, now: Cycles, out: &mut Vec<StartedCmd>) {
+        while self.channels[ch].in_flight < PIPELINE_DEPTH {
+            let Some(idx) = self.pick(ch, now) else { break };
+            let pending = self.channels[ch].queue.swap_remove(idx);
+            let done_at = self.start(ch, now, pending.cmd);
+            self.channels[ch].in_flight += 1;
+            out.push(StartedCmd {
+                done_at,
+                token: pending.cmd.token,
+                channel: ch,
+            });
+        }
+    }
+
+    /// Notify the device that a previously started command on `ch` finished.
+    /// Follow with [`Self::pump`] to start successors.
+    pub fn on_complete(&mut self, ch: usize) {
+        let c = &mut self.channels[ch];
+        debug_assert!(c.in_flight > 0, "completion without in-flight command");
+        c.in_flight -= 1;
+    }
+
+    /// FR-FCFS-lite: pick the queued command with the highest priority,
+    /// then preferring open-row hits, then the oldest. Commands that have
+    /// waited longer than [`AGE_CAP`] are escalated to the top priority so
+    /// a stream of prioritised requests (e.g. HAShCache's CPU priority)
+    /// cannot starve the other class indefinitely.
+    fn pick(&self, ch: usize, now: Cycles) -> Option<usize> {
+        let c = &self.channels[ch];
+        let mut best: Option<(usize, u8, bool, u64)> = None;
+        for (i, p) in c.queue.iter().enumerate() {
+            let (bank, row) = self.map(p.cmd.addr);
+            let hit = c.banks[bank].open_row == Some(row);
+            let base = if self.demand_first { p.cmd.priority } else { 0 };
+            let prio = if now.saturating_sub(p.arrival_time) > AGE_CAP {
+                u8::MAX
+            } else {
+                base
+            };
+            let key = (prio, hit, u64::MAX - p.arrival_seq);
+            match best {
+                None => best = Some((i, key.0, key.1, key.2)),
+                Some((_, bp, bh, ba)) if (key.0, key.1, key.2) > (bp, bh, ba) => {
+                    best = Some((i, key.0, key.1, key.2))
+                }
+                _ => {}
+            }
+        }
+        best.map(|(i, ..)| i)
+    }
+
+    /// Map a device address to (bank index, row id).
+    #[inline]
+    fn map(&self, addr: u64) -> (usize, u64) {
+        let row_global = addr / self.timing.row_bytes;
+        let bank = (row_global % self.channels[0].banks.len() as u64) as usize;
+        let row = row_global / self.channels[0].banks.len() as u64;
+        (bank, row)
+    }
+
+    /// Compute timing for `cmd`, mutate bank/bus state, return completion.
+    fn start(&mut self, ch: usize, now: Cycles, cmd: MemCmd) -> Cycles {
+        let (bank_idx, row) = self.map(cmd.addr);
+        let burst = self.timing.burst_cycles(cmd.bytes);
+        let c = &mut self.channels[ch];
+        let bank = &mut c.banks[bank_idx];
+
+        // `bank.ready_at` is the earliest cycle the bank accepts its next
+        // column command; CAS is pure latency so row hits pipeline at burst
+        // (tCCD) granularity and a streaming bank saturates the bus.
+        let t0 = now.max(bank.ready_at);
+        let (prep, activated, row_hit) = match bank.open_row {
+            Some(r) if r == row => (0, false, true),
+            Some(_) => (self.timing.t_rp + self.timing.t_rcd, true, false),
+            None => (self.timing.t_rcd, true, false),
+        };
+        let col_time = t0 + prep;
+        let data_start = (col_time + self.timing.t_cas).max(c.bus_free_at);
+        let data_end = data_start + burst;
+
+        bank.open_row = Some(row);
+        bank.ready_at = col_time + burst;
+        c.bus_free_at = data_end;
+
+        if cmd.is_write {
+            c.writes += 1;
+        } else {
+            c.reads += 1;
+        }
+        c.bytes += (cmd.bytes as u64).div_ceil(64) * 64;
+        if activated {
+            c.activations += 1;
+        }
+        if row_hit {
+            c.row_hits += 1;
+        }
+        c.busy_cycles += burst;
+
+        data_end
+    }
+
+    /// Aggregate statistics over all channels.
+    pub fn stats(&self) -> MemStats {
+        let mut s = MemStats::default();
+        for c in &self.channels {
+            s.reads += c.reads;
+            s.writes += c.writes;
+            s.bytes += c.bytes;
+            s.activations += c.activations;
+            s.row_hits += c.row_hits;
+            s.busy_cycles += c.busy_cycles;
+            s.enqueued += c.queued_total;
+            s.max_queue = s.max_queue.max(c.max_queue);
+        }
+        s
+    }
+
+    /// Per-channel bytes transferred (for partitioning/balance checks).
+    pub fn channel_bytes(&self) -> Vec<u64> {
+        self.channels.iter().map(|c| c.bytes).collect()
+    }
+
+    /// Energy consumed so far, given the elapsed simulated window.
+    pub fn energy(&self, elapsed: Cycles) -> EnergyBreakdown {
+        let s = self.stats();
+        EnergyBreakdown::from_counts(
+            &self.timing.energy,
+            s.bytes,
+            s.activations,
+            self.channels.len(),
+            elapsed,
+        )
+    }
+
+    /// Average achieved bandwidth in GB/s over `elapsed` cycles.
+    pub fn achieved_gbs(&self, elapsed: Cycles) -> f64 {
+        if elapsed == 0 {
+            return 0.0;
+        }
+        h2_sim_core::units::bandwidth_gbs(self.stats().bytes, elapsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::TimingPreset;
+
+    fn dev(preset: TimingPreset, ch: usize) -> MemDevice {
+        MemDevice::new(preset.timing(), ch)
+    }
+
+    fn run_one(dev: &mut MemDevice, ch: usize, now: Cycles, cmd: MemCmd) -> Cycles {
+        dev.enqueue(ch, cmd, now);
+        let mut out = Vec::new();
+        dev.pump(ch, now, &mut out);
+        assert_eq!(out.len(), 1);
+        dev.on_complete(ch);
+        out[0].done_at
+    }
+
+    fn rd(addr: u64, bytes: u32) -> MemCmd {
+        MemCmd {
+            addr,
+            bytes,
+            is_write: false,
+            priority: 0,
+            token: 0,
+        }
+    }
+
+    #[test]
+    fn closed_bank_read_latency() {
+        let mut d = dev(TimingPreset::Ddr4, 1);
+        let t = TimingPreset::Ddr4.timing();
+        let done = run_one(&mut d, 0, 100, rd(0, 64));
+        assert_eq!(done, 100 + t.t_rcd + t.t_cas + t.burst_64b);
+    }
+
+    #[test]
+    fn row_hit_is_faster_than_conflict() {
+        let t = TimingPreset::Ddr4.timing();
+        let mut d = dev(TimingPreset::Ddr4, 1);
+        let first = run_one(&mut d, 0, 0, rd(0, 64));
+        // Same row: only CAS + burst after bank ready.
+        let hit = run_one(&mut d, 0, first, rd(64, 64));
+        assert_eq!(hit - first, t.t_cas + t.burst_64b);
+        // Different row, same bank: full conflict penalty.
+        let conflict_addr = t.row_bytes * t.banks_per_channel as u64; // same bank, next row
+        let miss = run_one(&mut d, 0, hit, rd(conflict_addr, 64));
+        assert_eq!(miss - hit, t.t_rp + t.t_rcd + t.t_cas + t.burst_64b);
+    }
+
+    #[test]
+    fn bus_serialises_bursts() {
+        let t = TimingPreset::Ddr4.timing();
+        let mut d = dev(TimingPreset::Ddr4, 1);
+        // Two reads to different banks, same instant: second's burst must
+        // start after the first's burst ends.
+        d.enqueue(0, rd(0, 64), 0);
+        d.enqueue(0, rd(t.row_bytes, 64), 0); // different bank
+        let mut out = Vec::new();
+        d.pump(0, 0, &mut out);
+        assert_eq!(out.len(), 2);
+        let a = out[0].done_at;
+        let b = out[1].done_at;
+        assert!(b >= a + t.burst_64b, "bursts overlap: {a} {b}");
+        // But bank prep overlapped: total < 2 sequential closed accesses.
+        assert!(b < 2 * (t.t_rcd + t.t_cas + t.burst_64b));
+    }
+
+    #[test]
+    fn priority_wins_over_age() {
+        let mut d = dev(TimingPreset::Ddr4, 1);
+        // Fill the pipeline so later enqueues stay queued.
+        for i in 0..PIPELINE_DEPTH as u64 {
+            d.enqueue(
+                0,
+                MemCmd {
+                    token: i,
+                    ..rd(i * 1 << 20, 64)
+                },
+                0,
+            );
+        }
+        let mut out = Vec::new();
+        d.pump(0, 0, &mut out);
+        assert_eq!(out.len(), PIPELINE_DEPTH);
+        out.clear();
+        // Now queue a low-priority old command and a high-priority young one.
+        d.enqueue(
+            0,
+            MemCmd {
+                token: 100,
+                priority: 0,
+                ..rd(0, 64)
+            },
+            50,
+        );
+        d.enqueue(
+            0,
+            MemCmd {
+                token: 200,
+                priority: 3,
+                ..rd(64, 64)
+            },
+            50,
+        );
+        d.on_complete(0);
+        d.pump(0, 50, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].token, 200, "high priority must be served first");
+    }
+
+    #[test]
+    fn fcfs_among_equal_priority() {
+        let mut d = dev(TimingPreset::Ddr4, 1);
+        for i in 0..PIPELINE_DEPTH as u64 {
+            d.enqueue(0, MemCmd { token: i, ..rd(0, 64) }, 0);
+        }
+        let mut out = Vec::new();
+        d.pump(0, 0, &mut out);
+        out.clear();
+        // Two equal-priority commands to closed banks: older first.
+        let t = TimingPreset::Ddr4.timing();
+        d.enqueue(0, MemCmd { token: 10, ..rd(3 * t.row_bytes, 64) }, 10);
+        d.enqueue(0, MemCmd { token: 11, ..rd(5 * t.row_bytes, 64) }, 10);
+        d.on_complete(0);
+        d.pump(0, 10, &mut out);
+        assert_eq!(out[0].token, 10);
+    }
+
+    #[test]
+    fn streaming_saturates_bus_bandwidth() {
+        // Issue a long run of sequential 256 B reads; achieved bandwidth
+        // should approach the peak.
+        let t = TimingPreset::Hbm2eSuper.timing();
+        let mut d = dev(TimingPreset::Hbm2eSuper, 1);
+        let mut now = 0;
+        let n = 2000u64;
+        let mut done_times = Vec::new();
+        let mut out = Vec::new();
+        let mut issued = 0u64;
+        let mut completed = 0u64;
+        let mut inflight: Vec<Cycles> = Vec::new();
+        while completed < n {
+            while issued < n && inflight.len() < 32 {
+                d.enqueue(0, rd(issued * 256, 256), now);
+                issued += 1;
+                d.pump(0, now, &mut out);
+                for s in out.drain(..) {
+                    inflight.push(s.done_at);
+                }
+            }
+            inflight.sort_unstable();
+            let t0 = inflight.remove(0);
+            now = t0;
+            d.on_complete(0);
+            d.pump(0, now, &mut out);
+            for s in out.drain(..) {
+                inflight.push(s.done_at);
+            }
+            completed += 1;
+            done_times.push(t0);
+        }
+        let elapsed = *done_times.last().unwrap();
+        let gbs = d.achieved_gbs(elapsed);
+        assert!(
+            gbs > 0.8 * t.peak_gbs(),
+            "streaming should near-saturate: {gbs:.1} vs peak {:.1}",
+            t.peak_gbs()
+        );
+    }
+
+    #[test]
+    fn stats_count_reads_writes_bytes() {
+        let mut d = dev(TimingPreset::Ddr4, 2);
+        run_one(&mut d, 0, 0, rd(0, 64));
+        run_one(
+            &mut d,
+            1,
+            0,
+            MemCmd {
+                is_write: true,
+                ..rd(128, 256)
+            },
+        );
+        let s = d.stats();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.bytes, 64 + 256);
+        assert_eq!(s.enqueued, 2);
+        assert_eq!(d.channel_bytes(), vec![64, 256]);
+    }
+
+    #[test]
+    fn completion_never_before_arrival() {
+        let mut d = dev(TimingPreset::Hbm2eSuper, 1);
+        let done = run_one(&mut d, 0, 12345, rd(0, 64));
+        assert!(done > 12345);
+    }
+
+    #[test]
+    fn energy_accumulates() {
+        let mut d = dev(TimingPreset::Ddr4, 1);
+        run_one(&mut d, 0, 0, rd(0, 256));
+        let e = d.energy(1000);
+        assert!(e.dynamic_rw_j > 0.0);
+        assert!(e.act_pre_j > 0.0);
+        assert!(e.static_j > 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! DRAM energy accounting.
+//!
+//! The paper's Table I gives per-bit read/write energy and per-activation
+//! energy for both tiers; Fig 6 reports total memory energy (dynamic +
+//! static). We accumulate raw event counts in the device and convert to
+//! joules here, adding a per-channel background (static) power term so that
+//! runtime reductions translate into static-energy savings, as the paper
+//! observes for C11.
+
+use h2_sim_core::units::{cycles_to_ns, Cycles};
+
+/// Energy model parameters for one device class.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyParams {
+    /// Dynamic read/write energy per bit transferred (pJ/bit).
+    pub rw_pj_per_bit: f64,
+    /// Energy per activate+precharge pair (nJ).
+    pub act_pre_nj: f64,
+    /// Background (static) power per channel (mW).
+    pub background_mw_per_channel: f64,
+}
+
+/// An energy total decomposed the way Fig 6 discusses it.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Dynamic read/write energy (J).
+    pub dynamic_rw_j: f64,
+    /// Activate/precharge energy (J).
+    pub act_pre_j: f64,
+    /// Background/static energy over the elapsed window (J).
+    pub static_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.dynamic_rw_j + self.act_pre_j + self.static_j
+    }
+
+    /// Compute a breakdown from raw counters.
+    pub fn from_counts(
+        params: &EnergyParams,
+        bytes_transferred: u64,
+        activations: u64,
+        channels: usize,
+        elapsed: Cycles,
+    ) -> Self {
+        let dynamic_rw_j = bytes_transferred as f64 * 8.0 * params.rw_pj_per_bit * 1e-12;
+        let act_pre_j = activations as f64 * params.act_pre_nj * 1e-9;
+        // mW * ns = pJ.
+        let static_j =
+            params.background_mw_per_channel * channels as f64 * cycles_to_ns(elapsed) * 1e-12;
+        Self {
+            dynamic_rw_j,
+            act_pre_j,
+            static_j,
+        }
+    }
+
+    /// Sum two breakdowns (e.g. fast + slow tier).
+    pub fn plus(&self, other: &Self) -> Self {
+        Self {
+            dynamic_rw_j: self.dynamic_rw_j + other.dynamic_rw_j,
+            act_pre_j: self.act_pre_j + other.act_pre_j,
+            static_j: self.static_j + other.static_j,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: EnergyParams = EnergyParams {
+        rw_pj_per_bit: 33.0,
+        act_pre_nj: 15.0,
+        background_mw_per_channel: 150.0,
+    };
+
+    #[test]
+    fn dynamic_energy_scales_with_bytes() {
+        let a = EnergyBreakdown::from_counts(&P, 1000, 0, 1, 0);
+        let b = EnergyBreakdown::from_counts(&P, 2000, 0, 1, 0);
+        assert!((b.dynamic_rw_j / a.dynamic_rw_j - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_activation_is_15_nj() {
+        let e = EnergyBreakdown::from_counts(&P, 0, 1, 1, 0);
+        assert!((e.act_pre_j - 15e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn static_energy_scales_with_time_and_channels() {
+        // 150 mW x 4 channels x 1 second = 0.6 J. 1 s = 3.2e9 cycles.
+        let e = EnergyBreakdown::from_counts(&P, 0, 0, 4, 3_200_000_000);
+        assert!((e.static_j - 0.6).abs() < 1e-6, "{}", e.static_j);
+    }
+
+    #[test]
+    fn plus_adds_componentwise() {
+        let a = EnergyBreakdown::from_counts(&P, 64, 1, 1, 100);
+        let b = EnergyBreakdown::from_counts(&P, 128, 2, 2, 100);
+        let s = a.plus(&b);
+        assert!((s.total_j() - (a.total_j() + b.total_j())).abs() < 1e-18);
+    }
+
+    #[test]
+    fn per_bit_cost_matches_table1() {
+        // 64 B at 33 pJ/bit = 64*8*33 pJ = 16.896 nJ.
+        let e = EnergyBreakdown::from_counts(&P, 64, 0, 1, 0);
+        assert!((e.dynamic_rw_j - 16.896e-9).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,190 @@
+//! A deterministic discrete-event queue.
+//!
+//! The queue is a binary min-heap keyed on `(time, seq)` where `seq` is a
+//! monotonically increasing insertion counter. Two events scheduled for the
+//! same cycle therefore pop in insertion order, which keeps whole-system runs
+//! bit-reproducible regardless of payload type.
+
+use crate::units::Cycles;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event payload scheduled at a point in simulated time.
+#[derive(Debug, Clone)]
+pub struct Scheduled<E> {
+    /// Cycle at which the event fires.
+    pub time: Cycles,
+    /// Insertion sequence number; breaks ties deterministically.
+    pub seq: u64,
+    /// The payload.
+    pub payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic event queue over an arbitrary payload type `E`.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: Cycles,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+            popped: 0,
+        }
+    }
+
+    /// Current simulated time: the fire time of the last popped event.
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Total number of events popped so far (simulator throughput metric).
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `payload` to fire at absolute cycle `time`.
+    ///
+    /// Scheduling in the past is a logic error and panics in debug builds;
+    /// in release builds the event is clamped to `now`.
+    pub fn schedule_at(&mut self, time: Cycles, payload: E) {
+        debug_assert!(
+            time >= self.now,
+            "event scheduled in the past: {} < {}",
+            time,
+            self.now
+        );
+        let time = time.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, payload });
+    }
+
+    /// Schedule `payload` to fire `delta` cycles from now.
+    pub fn schedule_in(&mut self, delta: Cycles, payload: E) {
+        self.schedule_at(self.now + delta, payload);
+    }
+
+    /// Pop the earliest event, advancing `now` to its fire time.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.time >= self.now, "time went backwards");
+        self.now = ev.time;
+        self.popped += 1;
+        Some(ev)
+    }
+
+    /// Fire time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Cycles> {
+        self.heap.peek().map(|e| e.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(30, "c");
+        q.schedule_at(10, "a");
+        q.schedule_at(20, "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(q.now(), 30);
+        assert_eq!(q.events_processed(), 3);
+    }
+
+    #[test]
+    fn ties_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(5, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        let expected: Vec<_> = (0..100).collect();
+        assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, 1u8);
+        q.pop();
+        q.schedule_in(5, 2u8);
+        assert_eq!(q.peek_time(), Some(105));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_never_goes_backwards() {
+        let mut q = EventQueue::new();
+        q.schedule_at(1, 0u32);
+        let mut last = 0;
+        for i in 0..1000 {
+            let ev = q.pop().unwrap();
+            assert!(ev.time >= last);
+            last = ev.time;
+            if i < 500 {
+                q.schedule_in((i % 7) + 1, i as u32);
+                q.schedule_in((i % 3) + 1, i as u32);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    #[cfg(debug_assertions)]
+    fn past_scheduling_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule_at(100, ());
+        q.pop();
+        q.schedule_at(50, ());
+    }
+}

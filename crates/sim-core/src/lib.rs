@@ -1,0 +1,15 @@
+//! Core infrastructure for the Hydrogen reproduction: a deterministic
+//! discrete-event queue, seeded random-number streams, unit helpers, and
+//! small statistics utilities shared by every other crate in the workspace.
+//!
+//! Nothing in this crate knows about memories, caches, or processors; it is
+//! the substrate the simulator is built on.
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod units;
+
+pub use event::{EventQueue, Scheduled};
+pub use rng::SeededRng;
+pub use units::{Cycles, KIB, MIB};

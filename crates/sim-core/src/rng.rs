@@ -1,0 +1,159 @@
+//! Deterministic random-number streams.
+//!
+//! Every stochastic component in the simulator (trace generators, ProFess'
+//! probabilistic migration, the Prob swap variant, ...) derives its own
+//! independent stream from a single experiment seed plus a component label.
+//! Runs with the same seed are therefore bit-reproducible no matter how
+//! components interleave their draws.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A labelled, seeded ChaCha8 stream.
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    inner: ChaCha8Rng,
+}
+
+impl SeededRng {
+    /// Derive a stream from an experiment `seed` and a component `label`.
+    ///
+    /// The label is folded into the 32-byte ChaCha key with FNV-1a so that
+    /// distinct labels give statistically independent streams.
+    pub fn derive(seed: u64, label: &str) -> Self {
+        let mut key = [0u8; 32];
+        key[..8].copy_from_slice(&seed.to_le_bytes());
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in label.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        key[8..16].copy_from_slice(&h.to_le_bytes());
+        // A second mixing round decorrelates labels sharing a prefix.
+        let h2 = h.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ seed.rotate_left(17);
+        key[16..24].copy_from_slice(&h2.to_le_bytes());
+        Self {
+            inner: ChaCha8Rng::from_seed(key),
+        }
+    }
+
+    /// Uniform u64.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to [0,1]).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// Geometric-ish gap: uniform integer in `[lo, hi]` inclusive.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi);
+        self.inner.random_range(lo..=hi)
+    }
+
+    /// Approximately Zipf-distributed rank in `[0, n)` with exponent `s`,
+    /// via inverse-CDF on a truncated harmonic approximation. Small `s`
+    /// degrades gracefully toward uniform.
+    pub fn zipf(&mut self, n: u64, s: f64) -> u64 {
+        if n <= 1 {
+            return 0;
+        }
+        // Inverse of the continuous Zipf CDF: x = [(n^(1-s)-1)u + 1]^(1/(1-s))
+        let u = self.unit();
+        if (s - 1.0).abs() < 1e-6 {
+            // s == 1: CDF ~ ln(x)/ln(n)
+            let x = (u * (n as f64).ln()).exp();
+            return (x as u64).min(n - 1);
+        }
+        let e = 1.0 - s;
+        let x = (((n as f64).powf(e) - 1.0) * u + 1.0).powf(1.0 / e);
+        (x.floor() as u64).clamp(0, n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SeededRng::derive(42, "cpu0");
+        let mut b = SeededRng::derive(42, "cpu0");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let mut a = SeededRng::derive(42, "cpu0");
+        let mut b = SeededRng::derive(42, "cpu1");
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "streams should be independent");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SeededRng::derive(1, "x");
+        let mut b = SeededRng::derive(2, "x");
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn below_in_range() {
+        let mut r = SeededRng::derive(7, "t");
+        for _ in 0..1000 {
+            assert!(r.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SeededRng::derive(7, "t");
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn zipf_skews_low_ranks() {
+        let mut r = SeededRng::derive(7, "z");
+        let n = 1000u64;
+        let mut low = 0;
+        let draws = 10_000;
+        for _ in 0..draws {
+            if r.zipf(n, 0.99) < n / 10 {
+                low += 1;
+            }
+        }
+        // With heavy skew, far more than 10% of draws land in the lowest decile.
+        assert!(
+            low > draws / 4,
+            "zipf not skewed enough: {low}/{draws} in lowest decile"
+        );
+    }
+
+    #[test]
+    fn zipf_in_range() {
+        let mut r = SeededRng::derive(9, "z2");
+        for &s in &[0.0, 0.5, 1.0, 1.5] {
+            for _ in 0..1000 {
+                assert!(r.zipf(100, s) < 100);
+            }
+        }
+        assert_eq!(r.zipf(1, 1.0), 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Small statistics utilities: aggregate math used by the epoch controller
+//! and the experiment harness, and a generic labelled-counter table used for
+//! human-readable stat dumps.
+
+/// Geometric mean of a slice. Returns `NaN` on empty input; non-positive
+/// entries are clamped to a tiny epsilon so a single zero does not collapse
+/// the whole aggregate (matches common practice in architecture papers).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let s: f64 = xs.iter().map(|&x| x.max(1e-12).ln()).sum();
+    (s / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean. Returns `NaN` on empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Weighted sum of `values` with `weights` (must be same length).
+pub fn weighted_sum(values: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(values.len(), weights.len());
+    values.iter().zip(weights).map(|(v, w)| v * w).sum()
+}
+
+/// Exponentially weighted moving average with a fixed smoothing factor.
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Create with smoothing factor `alpha` in (0, 1]; higher = more reactive.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0);
+        Self { alpha, value: None }
+    }
+
+    /// Feed a sample, returning the updated average.
+    pub fn update(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(v) => v + self.alpha * (x - v),
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current average, if any sample has been fed.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+/// A labelled table of u64 counters with stable insertion order, used by
+/// components to expose their statistics uniformly.
+#[derive(Debug, Default, Clone)]
+pub struct CounterTable {
+    entries: Vec<(String, u64)>,
+}
+
+impl CounterTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add (or accumulate into) a named counter.
+    pub fn add(&mut self, name: &str, value: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|(n, _)| n == name) {
+            e.1 += value;
+        } else {
+            self.entries.push((name.to_string(), value));
+        }
+    }
+
+    /// Read a counter (0 if absent).
+    pub fn get(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Iterate `(name, value)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Number of counters.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no counters have been registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_nan());
+    }
+
+    #[test]
+    fn geomean_survives_zero() {
+        let g = geomean(&[0.0, 4.0]);
+        assert!(g.is_finite());
+        assert!(g < 4.0);
+    }
+
+    #[test]
+    fn mean_and_weighted() {
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((weighted_sum(&[1.0, 2.0], &[12.0, 1.0]) - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_converges() {
+        let mut e = Ewma::new(0.5);
+        for _ in 0..64 {
+            e.update(10.0);
+        }
+        assert!((e.value().unwrap() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ewma_first_sample_is_exact() {
+        let mut e = Ewma::new(0.1);
+        assert_eq!(e.update(5.0), 5.0);
+    }
+
+    #[test]
+    fn counter_table_accumulates() {
+        let mut t = CounterTable::new();
+        t.add("reads", 3);
+        t.add("writes", 1);
+        t.add("reads", 2);
+        assert_eq!(t.get("reads"), 5);
+        assert_eq!(t.get("writes"), 1);
+        assert_eq!(t.get("missing"), 0);
+        assert_eq!(t.len(), 2);
+        let names: Vec<_> = t.iter().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(names, vec!["reads", "writes"]);
+    }
+}

@@ -1,0 +1,235 @@
+//! System configuration (Table I, plus simulation scaling knobs).
+//!
+//! The paper simulates 5-billion-instruction windows on a machine with a
+//! multi-GB hybrid memory; a single-core laptop reproduction cannot. All
+//! structure sizes and time constants therefore carry a uniform scale: the
+//! default [`SystemConfig`] shrinks footprints and caches by 8× and the
+//! epoch/phase lengths by 40× while preserving every *ratio* the paper's
+//! phenomena depend on (fast:slow capacity = 1:8, fast:slow bandwidth =
+//! 4:1, LLC ≪ fast capacity ≪ footprint). `SystemConfig::paper()` holds the
+//! verbatim Table I values for reference and for the Table I dump.
+
+use h2_cache::HierarchyConfig;
+use h2_hybrid::types::Mode;
+use h2_mem::TimingPreset;
+use h2_sim_core::units::{Cycles, KIB, MIB};
+use h2_trace::Mix;
+
+/// Which sides of the processor run (solo runs feed Fig 2a / Fig 10a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Participants {
+    /// CPU and GPU together (the default contended system).
+    Both,
+    /// CPU workloads only.
+    CpuOnly,
+    /// GPU workload only.
+    GpuOnly,
+}
+
+/// Full system configuration.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// CPU cores (Table I: 8).
+    pub cpu_cores: usize,
+    /// GPU execution units (Table I: 96).
+    pub gpu_eus: usize,
+    /// Outstanding memory requests per EU context (latency tolerance).
+    pub gpu_ctx_slots: u32,
+    /// Non-blocking store-buffer entries per CPU core.
+    pub store_buffer: u32,
+    /// Independent demand loads a core may overlap (OoO MLP); dependent
+    /// (pointer-chase) loads always serialise.
+    pub cpu_mlp: u32,
+    /// IPC weights `(cpu, gpu)` for the optimisation goal (§IV: 12:1).
+    pub weights: (f64, f64),
+    /// On-chip cache hierarchy.
+    pub hierarchy: HierarchyConfig,
+    /// Hybrid memory block size in bytes (256).
+    pub block_bytes: u64,
+    /// Fast ways per set (4).
+    pub assoc: usize,
+    /// Fast-memory timing preset (HBM2E / HBM3 for Fig 5b).
+    pub fast_preset: TimingPreset,
+    /// Fast superchannels (4).
+    pub fast_channels: usize,
+    /// Slow-memory channels (4 × DDR4).
+    pub slow_channels: usize,
+    /// Cache or flat organisation.
+    pub mode: Mode,
+    /// Fast capacity override; default = scaled footprint / 8 (§V).
+    pub fast_capacity_override: Option<u64>,
+    /// Divide paper-scale footprints by this (default 8).
+    pub footprint_scale: u64,
+    /// On-chip remap cache bytes (256 kB scaled to 32 kB by default).
+    pub remap_cache_bytes: u64,
+    /// Sampling epoch length in cycles (§IV-C; paper 10 M, scaled 250 k).
+    pub epoch_cycles: Cycles,
+    /// Token-faucet period (§IV-B; paper 1 M, scaled 25 k).
+    pub faucet_cycles: Cycles,
+    /// Epochs per exploration phase (paper: 500 M / 10 M = 50).
+    pub epochs_per_phase: u64,
+    /// Warm-up cycles before measurement.
+    pub warmup_cycles: Cycles,
+    /// Measured window in cycles.
+    pub measure_cycles: Cycles,
+    /// Experiment seed (trace generators, stochastic policies).
+    pub seed: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::scaled()
+    }
+}
+
+impl SystemConfig {
+    /// The verbatim Table I configuration (for reference / config dumps;
+    /// running it end-to-end needs paper-scale time budgets).
+    pub fn paper() -> Self {
+        Self {
+            cpu_cores: 8,
+            gpu_eus: 96,
+            gpu_ctx_slots: 2,
+            store_buffer: 8,
+            cpu_mlp: 3,
+            weights: (12.0, 1.0),
+            hierarchy: HierarchyConfig::table1(),
+            block_bytes: 256,
+            assoc: 4,
+            fast_preset: TimingPreset::Hbm2eSuper,
+            fast_channels: 4,
+            slow_channels: 4,
+            mode: Mode::Cache,
+            fast_capacity_override: None,
+            footprint_scale: 1,
+            remap_cache_bytes: 256 * KIB,
+            epoch_cycles: 10_000_000,
+            faucet_cycles: 1_000_000,
+            epochs_per_phase: 50,
+            warmup_cycles: 50_000_000,
+            measure_cycles: 500_000_000,
+            seed: 42,
+        }
+    }
+
+    /// The default laptop-scale configuration: every capacity and time
+    /// constant shrunk uniformly (see module docs), all ratios preserved.
+    pub fn scaled() -> Self {
+        let mut h = HierarchyConfig::table1();
+        // Shrink the hierarchy 8x alongside the footprints.
+        h.cpu_l1.size_bytes = 8 * KIB;
+        h.cpu_l2.size_bytes = 128 * KIB;
+        h.gpu_l1.size_bytes = 16 * KIB;
+        h.llc.size_bytes = 2 * MIB;
+        Self {
+            footprint_scale: 8,
+            hierarchy: h,
+            remap_cache_bytes: 32 * KIB,
+            epoch_cycles: 125_000,
+            faucet_cycles: 25_000,
+            epochs_per_phase: 40,
+            warmup_cycles: 3_000_000,
+            measure_cycles: 2_000_000,
+            ..Self::paper()
+        }
+    }
+
+    /// An even smaller configuration for unit/integration tests.
+    pub fn tiny() -> Self {
+        let mut c = Self::scaled();
+        c.cpu_cores = 2;
+        c.gpu_eus = 16;
+        c.footprint_scale = 64;
+        c.hierarchy = HierarchyConfig::tiny();
+        c.remap_cache_bytes = 8 * KIB;
+        c.epoch_cycles = 50_000;
+        c.faucet_cycles = 10_000;
+        c.warmup_cycles = 100_000;
+        c.measure_cycles = 300_000;
+        c
+    }
+
+    /// Normalised weight pair (sums to 1).
+    pub fn norm_weights(&self) -> (f64, f64) {
+        let s = self.weights.0 + self.weights.1;
+        (self.weights.0 / s, self.weights.1 / s)
+    }
+
+    /// Fast-memory capacity for a mix: override, or scaled footprint / 8
+    /// rounded up so every set exists (min 1 MiB).
+    pub fn fast_capacity_for(&self, mix: &Mix) -> u64 {
+        if let Some(c) = self.fast_capacity_override {
+            return c;
+        }
+        let scaled: u64 = mix.total_footprint_bytes() / self.footprint_scale;
+        (scaled / 8).max(MIB)
+    }
+
+    /// Migrations per faucet period the slow tier can serve at 100 %
+    /// bandwidth (the token budget for level 1.0).
+    pub fn token_budget_per_period(&self) -> u64 {
+        let t = TimingPreset::Ddr4.timing();
+        let bytes_per_cycle = self.slow_channels as u64 * 64 / t.burst_64b;
+        (bytes_per_cycle * self.faucet_cycles / self.block_bytes).max(1)
+    }
+
+    /// Total simulated cycles (warm-up + measurement).
+    pub fn total_cycles(&self) -> Cycles {
+        self.warmup_cycles + self.measure_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_matches_table1() {
+        let c = SystemConfig::paper();
+        assert_eq!(c.cpu_cores, 8);
+        assert_eq!(c.gpu_eus, 96);
+        assert_eq!(c.weights, (12.0, 1.0));
+        assert_eq!(c.block_bytes, 256);
+        assert_eq!(c.assoc, 4);
+        assert_eq!(c.epoch_cycles, 10_000_000);
+        assert_eq!(c.epochs_per_phase * c.epoch_cycles, 500_000_000);
+    }
+
+    #[test]
+    fn scaled_preserves_ratios() {
+        let c = SystemConfig::scaled();
+        let mix = Mix::by_name("C1").unwrap();
+        let cap = c.fast_capacity_for(&mix);
+        let fp = mix.total_footprint_bytes() / c.footprint_scale;
+        // 1:8 fast:total ratio.
+        assert!((fp as f64 / cap as f64 - 8.0).abs() < 0.2);
+        // LLC well below fast capacity.
+        assert!(c.hierarchy.llc.size_bytes * 4 < cap);
+        // Epoch:phase ratio smaller than paper's but same order.
+        assert_eq!(c.epochs_per_phase, 40);
+    }
+
+    #[test]
+    fn token_budget_is_positive_and_sane() {
+        let c = SystemConfig::scaled();
+        let b = c.token_budget_per_period();
+        // 32 B/cycle x 25k cycles / 256 B = 3125.
+        assert_eq!(b, 3125);
+    }
+
+    #[test]
+    fn weights_normalise() {
+        let c = SystemConfig::paper();
+        let (wc, wg) = c.norm_weights();
+        assert!((wc + wg - 1.0).abs() < 1e-12);
+        assert!((wc / wg - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_override_wins() {
+        let mut c = SystemConfig::scaled();
+        c.fast_capacity_override = Some(7 * MIB);
+        let mix = Mix::by_name("C3").unwrap();
+        assert_eq!(c.fast_capacity_for(&mix), 7 * MIB);
+    }
+}

@@ -1,0 +1,21 @@
+//! Full-system simulation for the Hydrogen reproduction.
+//!
+//! Ties every substrate together: trace-driven CPU cores and GPU execution
+//! units ([`frontend`]), the Table I cache hierarchy, the hybrid memory
+//! controller with a pluggable partitioning policy ([`policies`]), DRAM
+//! devices, the epoch/faucet controllers, and the measurement window —
+//! driven by one deterministic event loop ([`runner`]).
+//!
+//! The main entry point is [`run_sim`]; examples and the experiment harness
+//! build on it.
+
+pub mod config;
+pub mod frontend;
+pub mod policies;
+pub mod report;
+pub mod runner;
+
+pub use config::{Participants, SystemConfig};
+pub use policies::PolicyKind;
+pub use report::RunReport;
+pub use runner::{run_sim, run_sim_parts, run_workloads};

@@ -1,0 +1,180 @@
+//! Run reports: everything a figure needs from one simulation.
+
+use h2_hybrid::policy::PolicyParams;
+use h2_hybrid::HmcStats;
+use h2_mem::device::MemStats;
+use h2_mem::EnergyBreakdown;
+
+/// One epoch's record in the adaptation trace (Hydrogen's search path).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRecord {
+    /// Epoch index since measurement start.
+    pub epoch: u64,
+    /// Weighted IPC measured in this epoch.
+    pub weighted_ipc: f64,
+    /// Policy `(bw, cap, tok)` in force *after* this epoch's adaptation.
+    pub bw: usize,
+    /// CPU ways.
+    pub cap: usize,
+    /// Token level.
+    pub tok: usize,
+    /// Whether this epoch triggered a remapping reconfiguration.
+    pub reconfigured: bool,
+}
+
+/// The result of one simulation run (measured window only).
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Policy label.
+    pub policy: String,
+    /// Mix name ("C1".."C12" or a custom label).
+    pub mix: String,
+    /// Cycles in the measured window.
+    pub measured_cycles: u64,
+    /// CPU instructions retired in the window (all cores).
+    pub cpu_instr: u64,
+    /// GPU instructions retired in the window (all EUs).
+    pub gpu_instr: u64,
+    /// Normalised IPC weights `(cpu, gpu)` used for objectives.
+    pub weights: (f64, f64),
+    /// Hybrid-memory statistics (window deltas).
+    pub hmc: HmcStats,
+    /// Fast-tier device statistics (window deltas).
+    pub fast: MemStats,
+    /// Slow-tier device statistics (window deltas).
+    pub slow: MemStats,
+    /// Fast-tier energy over the window.
+    pub fast_energy: EnergyBreakdown,
+    /// Slow-tier energy over the window.
+    pub slow_energy: EnergyBreakdown,
+    /// On-chip remap-cache hit rate over the whole run.
+    pub remap_hit_rate: f64,
+    /// Final policy parameters.
+    pub final_params: PolicyParams,
+    /// Per-epoch adaptation trace (measured window).
+    pub epoch_trace: Vec<EpochRecord>,
+    /// Total simulator events processed (throughput diagnostics).
+    pub events_processed: u64,
+    /// Mean CPU demand-read latency (LLC miss to data), cycles.
+    pub avg_cpu_read_latency: f64,
+    /// Mean GPU demand latency (LLC miss to data), cycles.
+    pub avg_gpu_read_latency: f64,
+    /// Per-channel bytes moved on the fast tier (whole run — balance
+    /// diagnostics).
+    pub fast_channel_bytes: Vec<u64>,
+    /// Per-channel bytes moved on the slow tier (whole run).
+    pub slow_channel_bytes: Vec<u64>,
+}
+
+impl RunReport {
+    /// CPU IPC over the window.
+    pub fn cpu_ipc(&self) -> f64 {
+        self.cpu_instr as f64 / self.measured_cycles.max(1) as f64
+    }
+
+    /// GPU IPC over the window.
+    pub fn gpu_ipc(&self) -> f64 {
+        self.gpu_instr as f64 / self.measured_cycles.max(1) as f64
+    }
+
+    /// The optimisation objective: weighted IPC.
+    pub fn weighted_ipc(&self) -> f64 {
+        self.weights.0 * self.cpu_ipc() + self.weights.1 * self.gpu_ipc()
+    }
+
+    /// Per-side speedups vs a baseline run `(cpu, gpu)`.
+    pub fn side_speedups(&self, base: &RunReport) -> (f64, f64) {
+        (
+            self.cpu_ipc() / base.cpu_ipc().max(1e-12),
+            self.gpu_ipc() / base.gpu_ipc().max(1e-12),
+        )
+    }
+
+    /// The paper's headline metric (artifact appendix): per-side speedups
+    /// vs the baseline, combined with the IPC weights.
+    pub fn weighted_speedup(&self, base: &RunReport) -> f64 {
+        let (sc, sg) = self.side_speedups(base);
+        self.weights.0 * sc + self.weights.1 * sg
+    }
+
+    /// Slowdown of one side vs its solo run (Fig 2a): `solo_ipc / ipc`.
+    pub fn cpu_slowdown(&self, solo_cpu: &RunReport) -> f64 {
+        solo_cpu.cpu_ipc() / self.cpu_ipc().max(1e-12)
+    }
+
+    /// GPU slowdown vs its solo run.
+    pub fn gpu_slowdown(&self, solo_gpu: &RunReport) -> f64 {
+        solo_gpu.gpu_ipc() / self.gpu_ipc().max(1e-12)
+    }
+
+    /// Total memory energy in joules (Fig 6).
+    pub fn energy_j(&self) -> f64 {
+        self.fast_energy.plus(&self.slow_energy).total_j()
+    }
+
+    /// Slow-tier traffic in bytes (migration-amplification diagnostics).
+    pub fn slow_traffic(&self) -> u64 {
+        self.slow.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cpu_instr: u64, gpu_instr: u64) -> RunReport {
+        RunReport {
+            policy: "test".into(),
+            mix: "C1".into(),
+            measured_cycles: 1000,
+            cpu_instr,
+            gpu_instr,
+            weights: (12.0 / 13.0, 1.0 / 13.0),
+            hmc: HmcStats::default(),
+            fast: MemStats::default(),
+            slow: MemStats::default(),
+            fast_energy: EnergyBreakdown::default(),
+            slow_energy: EnergyBreakdown::default(),
+            remap_hit_rate: 0.9,
+            final_params: PolicyParams {
+                bw: 1,
+                cap: 3,
+                tok: 3,
+                label: "t".into(),
+            },
+            epoch_trace: vec![],
+            events_processed: 0,
+            avg_cpu_read_latency: 0.0,
+            avg_gpu_read_latency: 0.0,
+            fast_channel_bytes: vec![],
+            slow_channel_bytes: vec![],
+        }
+    }
+
+    #[test]
+    fn ipcs_and_weighting() {
+        let r = report(2000, 13_000);
+        assert!((r.cpu_ipc() - 2.0).abs() < 1e-12);
+        assert!((r.gpu_ipc() - 13.0).abs() < 1e-12);
+        let w = r.weighted_ipc();
+        assert!((w - (12.0 / 13.0 * 2.0 + 1.0 / 13.0 * 13.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_speedup_vs_baseline() {
+        let base = report(1000, 10_000);
+        let fast = report(1500, 10_000);
+        let (sc, sg) = fast.side_speedups(&base);
+        assert!((sc - 1.5).abs() < 1e-9);
+        assert!((sg - 1.0).abs() < 1e-9);
+        let ws = fast.weighted_speedup(&base);
+        assert!((ws - (12.0 / 13.0 * 1.5 + 1.0 / 13.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slowdowns() {
+        let solo = report(2000, 0);
+        let shared = report(1000, 5000);
+        assert!((shared.cpu_slowdown(&solo) - 2.0).abs() < 1e-9);
+    }
+}

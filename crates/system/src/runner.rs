@@ -1,0 +1,861 @@
+//! The deterministic event-driven system runner.
+//!
+//! One [`EventQueue`] drives CPU cores, GPU contexts, the cache hierarchy,
+//! the hybrid memory controller, and both DRAM devices. Cores and contexts
+//! batch their private cache hits locally (no events) and interact with the
+//! event queue only at LLC misses, which keeps whole-system runs at a few
+//! million events even for memory-intensive mixes.
+
+use crate::config::{Participants, SystemConfig};
+use crate::frontend::{CoreBlock, CpuCore, GpuCtx};
+use crate::policies::PolicyKind;
+use crate::report::{EpochRecord, RunReport};
+use h2_cache::sram::{AccessOutcome, SetAssocCache};
+use h2_hybrid::hmc::{Hmc, HmcEvent, HmcOutput};
+use h2_hybrid::types::{HybridConfig, ReqClass, Tier};
+use h2_hybrid::HmcStats;
+use h2_mem::device::{MemStats, StartedCmd};
+use h2_mem::{EnergyBreakdown, MemDevice, TimingPreset};
+use h2_sim_core::units::{Cycles, MIB};
+use h2_sim_core::EventQueue;
+use h2_trace::{Mix, WorkloadSpec};
+
+/// Local batching horizon: a front-end processes private-cache hits for at
+/// most this many cycles before yielding an event.
+const MAX_BATCH: Cycles = 10_000;
+
+/// Guard gap between workload address windows.
+const GUARD: u64 = MIB;
+
+const KIND_CPU_READ: u64 = 1;
+const KIND_CPU_STORE: u64 = 2;
+const KIND_GPU: u64 = 3;
+const KIND_LLC_WB: u64 = 4;
+
+fn req_id(kind: u64, unit: usize) -> u64 {
+    (kind << 60) | unit as u64
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    CoreWake(usize),
+    CtxWake(usize),
+    HmcStart {
+        id: u64,
+        class: ReqClass,
+        addr: u64,
+        is_write: bool,
+        needs_response: bool,
+    },
+    HmcSram(u64),
+    MemDone {
+        tier: Tier,
+        channel: usize,
+        token: u64,
+    },
+    Epoch,
+    Faucet,
+    WarmupEnd,
+}
+
+struct Sim {
+    cfg: SystemConfig,
+    q: EventQueue<Ev>,
+    cores: Vec<CpuCore>,
+    l1s: Vec<SetAssocCache>,
+    l2s: Vec<SetAssocCache>,
+    ctxs: Vec<GpuCtx>,
+    gpu_l1s: Vec<SetAssocCache>,
+    llc: SetAssocCache,
+    hmc: Hmc,
+    fast: MemDevice,
+    slow: MemDevice,
+    end: Cycles,
+    /// Start of the GPU's address window (u64::MAX when no GPU side).
+    gpu_base: u64,
+    // Measurement snapshots (taken at WarmupEnd).
+    warm_cpu_instr: u64,
+    warm_gpu_instr: u64,
+    warm_hmc: HmcStats,
+    warm_fast: MemStats,
+    warm_slow: MemStats,
+    // Epoch bookkeeping.
+    last_cpu_instr: u64,
+    last_gpu_instr: u64,
+    epoch_idx: u64,
+    epoch_trace: Vec<EpochRecord>,
+    in_measurement: bool,
+    /// (issue_time FIFO per GPU ctx, total latency, responses) — demand
+    /// latency diagnostics.
+    gpu_issue_times: Vec<std::collections::VecDeque<Cycles>>,
+    gpu_lat_sum: u64,
+    gpu_lat_cnt: u64,
+    cpu_issue_times: Vec<std::collections::VecDeque<Cycles>>,
+    cpu_lat_sum: u64,
+    cpu_lat_cnt: u64,
+}
+
+impl Sim {
+    fn cpu_instr_total(&self) -> u64 {
+        self.cores.iter().map(|c| c.retired).sum()
+    }
+
+    fn gpu_instr_total(&self) -> u64 {
+        self.ctxs.iter().map(|c| c.retired).sum()
+    }
+
+    fn dev(&mut self, tier: Tier) -> &mut MemDevice {
+        match tier {
+            Tier::Fast => &mut self.fast,
+            Tier::Slow => &mut self.slow,
+        }
+    }
+
+    /// Enqueue + pump a device channel, scheduling completions.
+    fn issue_mem(&mut self, tier: Tier, channel: usize, cmd: h2_mem::MemCmd) {
+        let now = self.q.now();
+        let mut started: Vec<StartedCmd> = Vec::new();
+        let d = self.dev(tier);
+        d.enqueue(channel, cmd, now);
+        d.pump(channel, now, &mut started);
+        for s in started {
+            self.q.schedule_at(
+                s.done_at,
+                Ev::MemDone {
+                    tier,
+                    channel: s.channel,
+                    token: s.token,
+                },
+            );
+        }
+    }
+
+    fn process_outputs(&mut self, outputs: Vec<HmcOutput>) {
+        for o in outputs {
+            match o {
+                HmcOutput::Mem { tier, channel, cmd } => self.issue_mem(tier, channel, cmd),
+                HmcOutput::After { delay, token } => {
+                    self.q.schedule_in(delay, Ev::HmcSram(token));
+                }
+                HmcOutput::DemandReady { req_id } => self.route_response(req_id),
+                HmcOutput::Retired { .. } => {}
+            }
+        }
+    }
+
+    fn route_response(&mut self, id: u64) {
+        let kind = id >> 60;
+        let unit = (id & 0xFFFF_FFFF) as usize;
+        let now = self.q.now();
+        match kind {
+            KIND_CPU_READ => {
+                if let Some(t0) = self.cpu_issue_times[unit].pop_front() {
+                    self.cpu_lat_sum += now.saturating_sub(t0);
+                    self.cpu_lat_cnt += 1;
+                }
+                let c = &mut self.cores[unit];
+                c.reads_outstanding = c.reads_outstanding.saturating_sub(1);
+                let resume = match c.blocked {
+                    CoreBlock::ReadDependent => c.reads_outstanding == 0,
+                    CoreBlock::ReadMlp => c.reads_outstanding < self.cfg.cpu_mlp,
+                    _ => false,
+                };
+                if resume {
+                    c.blocked = CoreBlock::None;
+                    self.core_step(unit, now);
+                }
+            }
+            KIND_CPU_STORE => {
+                let c = &mut self.cores[unit];
+                c.stores_outstanding = c.stores_outstanding.saturating_sub(1);
+                if c.blocked == CoreBlock::Store {
+                    c.blocked = CoreBlock::None;
+                    self.core_step(unit, now);
+                }
+            }
+            KIND_GPU => {
+                if let Some(t0) = self.gpu_issue_times[unit].pop_front() {
+                    self.gpu_lat_sum += now.saturating_sub(t0);
+                    self.gpu_lat_cnt += 1;
+                }
+                let c = &mut self.ctxs[unit];
+                c.inflight = c.inflight.saturating_sub(1);
+                if c.blocked {
+                    c.blocked = false;
+                    self.ctx_step(unit, now);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Owner class of an address (CPU and GPU windows are disjoint).
+    fn class_of_addr(&self, addr: u64) -> ReqClass {
+        if addr >= self.gpu_base {
+            ReqClass::Gpu
+        } else {
+            ReqClass::Cpu
+        }
+    }
+
+    /// Dirty LLC victim: becomes a memory write transaction attributed to
+    /// the *owner* of the line (not the evicting requester), so ownership
+    /// metadata in the remap table stays truthful.
+    fn llc_writeback(&mut self, addr: u64, t: Cycles) {
+        let class = self.class_of_addr(addr);
+        self.q.schedule_at(
+            t.max(self.q.now()),
+            Ev::HmcStart {
+                id: req_id(KIND_LLC_WB, 0),
+                class,
+                addr,
+                is_write: true,
+                needs_response: false,
+            },
+        );
+    }
+
+    /// Insert a victim line into the LLC (write-back path), chaining any
+    /// dirty LLC victim to memory.
+    fn wb_into_llc(&mut self, addr: u64, t: Cycles) {
+        if let AccessOutcome::Miss {
+            victim: Some((vaddr, true)),
+        } = self.llc.access(addr, true)
+        {
+            self.llc_writeback(vaddr, t);
+        }
+    }
+
+    /// Insert an L1 victim into a core's L2, chaining further victims.
+    fn wb_into_l2(&mut self, core: usize, addr: u64, t: Cycles) {
+        if let AccessOutcome::Miss {
+            victim: Some((vaddr, true)),
+        } = self.l2s[core].access(addr, true)
+        {
+            self.wb_into_llc(vaddr, t);
+        }
+    }
+
+    /// Run core `i` from time `t0` until it blocks or exceeds the batch
+    /// horizon.
+    fn core_step(&mut self, i: usize, t0: Cycles) {
+        debug_assert_eq!(self.cores[i].blocked, CoreBlock::None);
+        let mut t = t0;
+        let deadline = t0 + MAX_BATCH;
+        loop {
+            if t >= self.end {
+                return; // run over; stop generating work
+            }
+            let r = match self.cores[i].stash.take() {
+                Some(r) => r,
+                None => {
+                    let r = self.cores[i].gen.next_ref();
+                    t += r.gap as Cycles;
+                    self.cores[i].retired += r.gap as u64 + 1;
+                    r
+                }
+            };
+
+            // L1.
+            match self.l1s[i].access(r.addr, r.write) {
+                AccessOutcome::Hit => {}
+                AccessOutcome::Miss { victim } => {
+                    if let Some((vaddr, true)) = victim {
+                        self.wb_into_l2(i, vaddr, t);
+                    }
+                    // L2.
+                    t += self.cfg.hierarchy.cpu_l2.latency;
+                    match self.l2s[i].access(r.addr, r.write) {
+                        AccessOutcome::Hit => {}
+                        AccessOutcome::Miss { victim } => {
+                            if let Some((vaddr, true)) = victim {
+                                self.wb_into_llc(vaddr, t);
+                            }
+                            // LLC.
+                            t += self.cfg.hierarchy.llc.latency;
+                            match self.llc.access(r.addr, r.write) {
+                                AccessOutcome::Hit => {}
+                                AccessOutcome::Miss { victim } => {
+                                    if let Some((vaddr, true)) = victim {
+                                        self.llc_writeback(vaddr, t);
+                                    }
+                                    // Memory access.
+                                    if r.write {
+                                        if self.cores[i].stores_outstanding
+                                            >= self.cfg.store_buffer
+                                        {
+                                            // Buffer full: stall until a
+                                            // store drains.
+                                            self.cores[i].stash =
+                                                Some(h2_trace::MemRef { gap: 0, ..r });
+                                            self.cores[i].blocked = CoreBlock::Store;
+                                            return;
+                                        }
+                                        self.cores[i].stores_outstanding += 1;
+                                        self.q.schedule_at(
+                                            t.max(self.q.now()),
+                                            Ev::HmcStart {
+                                                id: req_id(KIND_CPU_STORE, i),
+                                                class: ReqClass::Cpu,
+                                                addr: r.addr,
+                                                is_write: true,
+                                                needs_response: true,
+                                            },
+                                        );
+                                    } else {
+                                        self.cores[i].reads_outstanding += 1;
+                                        self.cpu_issue_times[i]
+                                            .push_back(t.max(self.q.now()));
+                                        self.q.schedule_at(
+                                            t.max(self.q.now()),
+                                            Ev::HmcStart {
+                                                id: req_id(KIND_CPU_READ, i),
+                                                class: ReqClass::Cpu,
+                                                addr: r.addr,
+                                                is_write: false,
+                                                needs_response: true,
+                                            },
+                                        );
+                                        // Dependent loads serialise; other
+                                        // loads overlap up to the MLP bound.
+                                        if r.dependent {
+                                            self.cores[i].blocked = CoreBlock::ReadDependent;
+                                            return;
+                                        }
+                                        if self.cores[i].reads_outstanding >= self.cfg.cpu_mlp {
+                                            self.cores[i].blocked = CoreBlock::ReadMlp;
+                                            return;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            if t >= deadline {
+                self.q.schedule_at(t, Ev::CoreWake(i));
+                return;
+            }
+        }
+    }
+
+    /// Run GPU context `j` from time `t0` until its slots fill or the batch
+    /// horizon passes.
+    fn ctx_step(&mut self, j: usize, t0: Cycles) {
+        let mut t = t0;
+        let deadline = t0 + MAX_BATCH;
+        let l1_idx = j / self.cfg.hierarchy.eus_per_gpu_l1;
+        loop {
+            if t >= self.end {
+                return;
+            }
+            if self.ctxs[j].inflight >= self.cfg.gpu_ctx_slots {
+                self.ctxs[j].blocked = true;
+                return;
+            }
+            let r = match self.ctxs[j].stash.take() {
+                Some(r) => r,
+                None => {
+                    let r = self.ctxs[j].gen.next_ref();
+                    t += r.gap as Cycles;
+                    self.ctxs[j].retired += r.gap as u64 + 1;
+                    r
+                }
+            };
+
+            match self.gpu_l1s[l1_idx].access(r.addr, r.write) {
+                AccessOutcome::Hit => {}
+                AccessOutcome::Miss { victim } => {
+                    if let Some((vaddr, true)) = victim {
+                        self.wb_into_llc(vaddr, t);
+                    }
+                    t += self.cfg.hierarchy.llc.latency;
+                    match self.llc.access(r.addr, r.write) {
+                        AccessOutcome::Hit => {}
+                        AccessOutcome::Miss { victim } => {
+                            if let Some((vaddr, true)) = victim {
+                                self.llc_writeback(vaddr, t);
+                            }
+                            self.ctxs[j].inflight += 1;
+                            self.gpu_issue_times[j].push_back(t.max(self.q.now()));
+                            self.q.schedule_at(
+                                t.max(self.q.now()),
+                                Ev::HmcStart {
+                                    id: req_id(KIND_GPU, j),
+                                    class: ReqClass::Gpu,
+                                    addr: r.addr,
+                                    is_write: r.write,
+                                    needs_response: true,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+
+            if t >= deadline {
+                self.q.schedule_at(t, Ev::CtxWake(j));
+                return;
+            }
+        }
+    }
+
+    fn on_epoch(&mut self) {
+        let cpu_now = self.cpu_instr_total();
+        let gpu_now = self.gpu_instr_total();
+        let d_cpu = cpu_now - self.last_cpu_instr;
+        let d_gpu = gpu_now - self.last_gpu_instr;
+        self.last_cpu_instr = cpu_now;
+        self.last_gpu_instr = gpu_now;
+
+        let (wc, wg) = self.cfg.norm_weights();
+        let ep = self.cfg.epoch_cycles.max(1) as f64;
+        let weighted_ipc = wc * d_cpu as f64 / ep + wg * d_gpu as f64 / ep;
+
+        let d = self.hmc.epoch_delta();
+        let sample = h2_hybrid::policy::EpochSample {
+            cycles: self.cfg.epoch_cycles,
+            cpu_instr: d_cpu,
+            gpu_instr: d_gpu,
+            weighted_ipc,
+            cpu_hits: d.fast_hits[0],
+            cpu_misses: d.fast_misses[0],
+            gpu_hits: d.fast_hits[1],
+            gpu_misses: d.fast_misses[1],
+            migrations: d.migrations[0] + d.migrations[1],
+            bypasses: d.bypasses[0] + d.bypasses[1],
+        };
+        let reconfigured = self.hmc.on_epoch(&sample);
+        self.epoch_idx += 1;
+
+        if self.in_measurement {
+            let p = self.hmc.policy().params();
+            self.epoch_trace.push(EpochRecord {
+                epoch: self.epoch_idx,
+                weighted_ipc,
+                bw: p.bw,
+                cap: p.cap,
+                tok: p.tok,
+                reconfigured,
+            });
+        }
+    }
+
+    fn snapshot_warm(&mut self) {
+        self.warm_cpu_instr = self.cpu_instr_total();
+        self.warm_gpu_instr = self.gpu_instr_total();
+        self.warm_hmc = self.hmc.stats();
+        self.warm_fast = self.fast.stats();
+        self.warm_slow = self.slow.stats();
+        self.in_measurement = true;
+    }
+
+    fn run(&mut self) {
+        while let Some(ev) = self.q.pop() {
+            if ev.time > self.end {
+                break;
+            }
+            match ev.payload {
+                Ev::CoreWake(i) => {
+                    if self.cores[i].blocked == CoreBlock::None {
+                        self.core_step(i, ev.time);
+                    }
+                }
+                Ev::CtxWake(j) => {
+                    if !self.ctxs[j].blocked {
+                        self.ctx_step(j, ev.time);
+                    }
+                }
+                Ev::HmcStart {
+                    id,
+                    class,
+                    addr,
+                    is_write,
+                    needs_response,
+                } => {
+                    let mut out = Vec::new();
+                    self.hmc
+                        .access(id, class, addr, is_write, needs_response, &mut out);
+                    self.process_outputs(out);
+                }
+                Ev::HmcSram(token) => {
+                    let mut out = Vec::new();
+                    self.hmc.handle(HmcEvent::SramDone(token), &mut out);
+                    self.process_outputs(out);
+                }
+                Ev::MemDone {
+                    tier,
+                    channel,
+                    token,
+                } => {
+                    self.dev(tier).on_complete(channel);
+                    let mut out = Vec::new();
+                    self.hmc.handle(HmcEvent::MemDone(token), &mut out);
+                    self.process_outputs(out);
+                    // Start queued successors.
+                    let now = self.q.now();
+                    let mut started = Vec::new();
+                    self.dev(tier).pump(channel, now, &mut started);
+                    for s in started {
+                        self.q.schedule_at(
+                            s.done_at,
+                            Ev::MemDone {
+                                tier,
+                                channel: s.channel,
+                                token: s.token,
+                            },
+                        );
+                    }
+                }
+                Ev::Epoch => {
+                    self.on_epoch();
+                    self.q.schedule_in(self.cfg.epoch_cycles, Ev::Epoch);
+                }
+                Ev::Faucet => {
+                    self.hmc.on_faucet();
+                    self.q.schedule_in(self.cfg.faucet_cycles, Ev::Faucet);
+                }
+                Ev::WarmupEnd => self.snapshot_warm(),
+            }
+        }
+    }
+}
+
+fn sub_stats(a: MemStats, b: MemStats) -> MemStats {
+    MemStats {
+        reads: a.reads - b.reads,
+        writes: a.writes - b.writes,
+        bytes: a.bytes - b.bytes,
+        activations: a.activations - b.activations,
+        row_hits: a.row_hits - b.row_hits,
+        busy_cycles: a.busy_cycles - b.busy_cycles,
+        enqueued: a.enqueued - b.enqueued,
+        max_queue: a.max_queue,
+    }
+}
+
+fn sub_hmc(a: HmcStats, b: HmcStats) -> HmcStats {
+    let mut d = a;
+    for i in 0..2 {
+        d.accesses[i] -= b.accesses[i];
+        d.fast_hits[i] -= b.fast_hits[i];
+        d.fast_misses[i] -= b.fast_misses[i];
+        d.migrations[i] -= b.migrations[i];
+        d.bypasses[i] -= b.bypasses[i];
+        d.migrations_denied[i] -= b.migrations_denied[i];
+        d.buffer_denied[i] -= b.buffer_denied[i];
+    }
+    d.victim_writebacks -= b.victim_writebacks;
+    d.swaps -= b.swaps;
+    d.lazy_fixups -= b.lazy_fixups;
+    d.meta_reads -= b.meta_reads;
+    d.meta_writebacks -= b.meta_writebacks;
+    d
+}
+
+/// Run an arbitrary set of workloads under a policy.
+///
+/// * `cpu_specs` — one entry per core slot (cycled if shorter than
+///   `cfg.cpu_cores`); empty = no CPU side.
+/// * `gpu_spec` — the GPU kernel; `None` = no GPU side.
+/// * `fast_capacity` — fast-tier bytes (callers usually take
+///   [`SystemConfig::fast_capacity_for`] so solo and shared runs see the
+///   same machine).
+pub fn run_workloads(
+    cfg: &SystemConfig,
+    label: &str,
+    cpu_specs: &[WorkloadSpec],
+    gpu_spec: Option<&WorkloadSpec>,
+    kind: PolicyKind,
+    fast_capacity: u64,
+) -> RunReport {
+    let mut hybrid = HybridConfig {
+        block_bytes: cfg.block_bytes,
+        assoc: cfg.assoc,
+        fast_channels: cfg.fast_channels,
+        slow_channels: cfg.slow_channels,
+        fast_capacity,
+        mode: cfg.mode,
+        remap_cache_bytes: cfg.remap_cache_bytes,
+        chaining: false,
+        extra_tag_latency: 0,
+        free_swaps: false,
+        migration_buffers: 96,
+    };
+    let policy = kind.build(cfg, &mut hybrid);
+    let hmc = Hmc::new(hybrid, policy, cfg.seed);
+
+    // Address layout: CPU copies first, then GPU contexts (all GPU contexts
+    // share one window — EUs partition one kernel's data).
+    let mut base = 0u64;
+    let mut cores = Vec::new();
+    let mut l1s = Vec::new();
+    let mut l2s = Vec::new();
+    if !cpu_specs.is_empty() {
+        for i in 0..cfg.cpu_cores {
+            let spec = &cpu_specs[i % cpu_specs.len()];
+            let gen = spec.instantiate(cfg.seed, i as u32, base, cfg.footprint_scale);
+            base += gen.footprint() + GUARD;
+            cores.push(CpuCore::new(gen));
+            l1s.push(SetAssocCache::new(cfg.hierarchy.cpu_l1.clone()));
+            l2s.push(SetAssocCache::new(cfg.hierarchy.cpu_l2.clone()));
+        }
+    }
+    let mut ctxs = Vec::new();
+    let mut gpu_l1s = Vec::new();
+    let mut gpu_window_base = u64::MAX;
+    if let Some(spec) = gpu_spec {
+        let gpu_base = base;
+        gpu_window_base = gpu_base;
+        for j in 0..cfg.gpu_eus {
+            let gen = spec.instantiate(cfg.seed, 1000 + j as u32, gpu_base, cfg.footprint_scale);
+            ctxs.push(GpuCtx::new(gen));
+        }
+        let n_l1 = cfg.gpu_eus.div_ceil(cfg.hierarchy.eus_per_gpu_l1);
+        for _ in 0..n_l1 {
+            gpu_l1s.push(SetAssocCache::new(cfg.hierarchy.gpu_l1.clone()));
+        }
+    }
+
+    let n_ctx = ctxs.len();
+    let n_core = cores.len();
+    let mut sim = Sim {
+        cfg: cfg.clone(),
+        q: EventQueue::new(),
+        cores,
+        l1s,
+        l2s,
+        ctxs,
+        gpu_l1s,
+        llc: SetAssocCache::new(cfg.hierarchy.llc.clone()),
+        hmc,
+        fast: MemDevice::new(cfg.fast_preset.timing(), cfg.fast_channels),
+        slow: MemDevice::with_scheduling(TimingPreset::Ddr4.timing(), cfg.slow_channels, false),
+        end: cfg.total_cycles(),
+        gpu_base: gpu_window_base,
+        warm_cpu_instr: 0,
+        warm_gpu_instr: 0,
+        warm_hmc: HmcStats::default(),
+        warm_fast: MemStats::default(),
+        warm_slow: MemStats::default(),
+        last_cpu_instr: 0,
+        last_gpu_instr: 0,
+        epoch_idx: 0,
+        epoch_trace: Vec::new(),
+        in_measurement: false,
+        gpu_issue_times: (0..n_ctx).map(|_| Default::default()).collect(),
+        gpu_lat_sum: 0,
+        gpu_lat_cnt: 0,
+        cpu_issue_times: (0..n_core).map(|_| Default::default()).collect(),
+        cpu_lat_sum: 0,
+        cpu_lat_cnt: 0,
+    };
+
+    // Stagger initial wake-ups so front-ends do not move in lockstep.
+    for i in 0..sim.cores.len() {
+        sim.q.schedule_at(1 + i as u64 * 7, Ev::CoreWake(i));
+    }
+    for j in 0..sim.ctxs.len() {
+        sim.q.schedule_at(3 + j as u64 * 5, Ev::CtxWake(j));
+    }
+    sim.q.schedule_at(cfg.epoch_cycles, Ev::Epoch);
+    sim.q.schedule_at(cfg.faucet_cycles, Ev::Faucet);
+    sim.q.schedule_at(cfg.warmup_cycles, Ev::WarmupEnd);
+
+    sim.run();
+
+    let (rc_hits, rc_misses, _) = sim.hmc.remap_cache_counts();
+    let rc_total = rc_hits + rc_misses;
+    let fast_d = sub_stats(sim.fast.stats(), sim.warm_fast);
+    let slow_d = sub_stats(sim.slow.stats(), sim.warm_slow);
+    let fast_t = cfg.fast_preset.timing();
+    let slow_t = TimingPreset::Ddr4.timing();
+
+    RunReport {
+        policy: kind.label(),
+        mix: label.to_string(),
+        measured_cycles: cfg.measure_cycles,
+        cpu_instr: sim.cpu_instr_total() - sim.warm_cpu_instr,
+        gpu_instr: sim.gpu_instr_total() - sim.warm_gpu_instr,
+        weights: cfg.norm_weights(),
+        hmc: sub_hmc(sim.hmc.stats(), sim.warm_hmc),
+        fast: fast_d,
+        slow: slow_d,
+        fast_energy: EnergyBreakdown::from_counts(
+            &fast_t.energy,
+            fast_d.bytes,
+            fast_d.activations,
+            cfg.fast_channels,
+            cfg.measure_cycles,
+        ),
+        slow_energy: EnergyBreakdown::from_counts(
+            &slow_t.energy,
+            slow_d.bytes,
+            slow_d.activations,
+            cfg.slow_channels,
+            cfg.measure_cycles,
+        ),
+        remap_hit_rate: if rc_total == 0 {
+            0.0
+        } else {
+            rc_hits as f64 / rc_total as f64
+        },
+        final_params: sim.hmc.policy().params(),
+        epoch_trace: sim.epoch_trace,
+        events_processed: sim.q.events_processed(),
+        avg_cpu_read_latency: sim.cpu_lat_sum as f64 / sim.cpu_lat_cnt.max(1) as f64,
+        avg_gpu_read_latency: sim.gpu_lat_sum as f64 / sim.gpu_lat_cnt.max(1) as f64,
+        fast_channel_bytes: sim.fast.channel_bytes(),
+        slow_channel_bytes: sim.slow.channel_bytes(),
+    }
+}
+
+/// Run a Table II mix with selectable participants.
+pub fn run_sim_parts(
+    cfg: &SystemConfig,
+    mix: &Mix,
+    kind: PolicyKind,
+    parts: Participants,
+) -> RunReport {
+    let cpu_specs = mix.cpu_specs();
+    let gpu_spec = mix.gpu_spec();
+    // The machine (fast capacity) is sized for the full mix even in solo
+    // runs, exactly like "running them alone" on the same system.
+    let cap = cfg.fast_capacity_for(mix);
+    match parts {
+        Participants::Both => {
+            run_workloads(cfg, mix.name, &cpu_specs, Some(&gpu_spec), kind, cap)
+        }
+        Participants::CpuOnly => run_workloads(cfg, mix.name, &cpu_specs, None, kind, cap),
+        Participants::GpuOnly => run_workloads(cfg, mix.name, &[], Some(&gpu_spec), kind, cap),
+    }
+}
+
+/// Run a Table II mix (CPU + GPU together) under `kind`.
+pub fn run_sim(cfg: &SystemConfig, mix: &Mix, kind: PolicyKind) -> RunReport {
+    run_sim_parts(cfg, mix, kind, Participants::Both)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SystemConfig {
+        SystemConfig::tiny()
+    }
+
+    #[test]
+    fn baseline_run_produces_progress() {
+        let cfg = tiny();
+        let mix = Mix::by_name("C1").unwrap();
+        let r = run_sim(&cfg, &mix, PolicyKind::NoPart);
+        assert!(r.cpu_instr > 0, "CPU made progress");
+        assert!(r.gpu_instr > 0, "GPU made progress");
+        assert!(r.weighted_ipc() > 0.0);
+        assert!(r.hmc.accesses[0] > 0 && r.hmc.accesses[1] > 0);
+        assert!(r.slow.bytes > 0 && r.fast.bytes > 0);
+        assert!(r.energy_j() > 0.0);
+    }
+
+    #[test]
+    fn determinism_bit_identical() {
+        let cfg = tiny();
+        let mix = Mix::by_name("C2").unwrap();
+        let a = run_sim(&cfg, &mix, PolicyKind::HydrogenFull);
+        let b = run_sim(&cfg, &mix, PolicyKind::HydrogenFull);
+        assert_eq!(a.cpu_instr, b.cpu_instr);
+        assert_eq!(a.gpu_instr, b.gpu_instr);
+        assert_eq!(a.hmc, b.hmc);
+        assert_eq!(a.fast, b.fast);
+        assert_eq!(a.slow, b.slow);
+        assert_eq!(a.events_processed, b.events_processed);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = tiny();
+        let mix = Mix::by_name("C1").unwrap();
+        let a = run_sim(&cfg, &mix, PolicyKind::NoPart);
+        cfg.seed = 7;
+        let b = run_sim(&cfg, &mix, PolicyKind::NoPart);
+        assert_ne!(a.cpu_instr, b.cpu_instr);
+    }
+
+    #[test]
+    fn solo_runs_have_one_side_only() {
+        let cfg = tiny();
+        let mix = Mix::by_name("C1").unwrap();
+        let cpu = run_sim_parts(&cfg, &mix, PolicyKind::NoPart, Participants::CpuOnly);
+        assert!(cpu.cpu_instr > 0);
+        assert_eq!(cpu.gpu_instr, 0);
+        let gpu = run_sim_parts(&cfg, &mix, PolicyKind::NoPart, Participants::GpuOnly);
+        assert_eq!(gpu.cpu_instr, 0);
+        assert!(gpu.gpu_instr > 0);
+    }
+
+    #[test]
+    fn contention_slows_both_sides() {
+        let cfg = tiny();
+        let mix = Mix::by_name("C5").unwrap();
+        let both = run_sim(&cfg, &mix, PolicyKind::NoPart);
+        let cpu_solo = run_sim_parts(&cfg, &mix, PolicyKind::NoPart, Participants::CpuOnly);
+        let gpu_solo = run_sim_parts(&cfg, &mix, PolicyKind::NoPart, Participants::GpuOnly);
+        assert!(
+            both.cpu_slowdown(&cpu_solo) > 1.02,
+            "CPU should suffer from sharing: {}",
+            both.cpu_slowdown(&cpu_solo)
+        );
+        assert!(
+            both.gpu_slowdown(&gpu_solo) > 1.0,
+            "GPU should suffer at least slightly: {}",
+            both.gpu_slowdown(&gpu_solo)
+        );
+    }
+
+    #[test]
+    fn all_policies_complete() {
+        let cfg = tiny();
+        let mix = Mix::by_name("C3").unwrap();
+        for kind in PolicyKind::fig5_designs() {
+            let r = run_sim(&cfg, &mix, kind);
+            assert!(r.cpu_instr > 0, "{}", kind.label());
+            assert!(r.gpu_instr > 0, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn epoch_trace_recorded_in_measurement() {
+        let cfg = tiny();
+        let mix = Mix::by_name("C1").unwrap();
+        let r = run_sim(&cfg, &mix, PolicyKind::HydrogenFull);
+        let expected = cfg.measure_cycles / cfg.epoch_cycles;
+        assert!(
+            (r.epoch_trace.len() as u64) >= expected.saturating_sub(2),
+            "trace len {} vs expected ~{}",
+            r.epoch_trace.len(),
+            expected
+        );
+    }
+
+    #[test]
+    fn hashcache_uses_direct_mapped_geometry() {
+        let mut cfg = tiny();
+        cfg.assoc = 1;
+        let mix = Mix::by_name("C1").unwrap();
+        let r = run_sim(&cfg, &mix, PolicyKind::HashCache);
+        assert!(r.cpu_instr > 0);
+    }
+
+    #[test]
+    fn flat_mode_runs() {
+        let mut cfg = tiny();
+        cfg.mode = h2_hybrid::types::Mode::Flat;
+        let mix = Mix::by_name("C4").unwrap();
+        let r = run_sim(&cfg, &mix, PolicyKind::HydrogenFull);
+        assert!(r.cpu_instr > 0 && r.gpu_instr > 0);
+        // Flat mode: every migration writes the victim back.
+        assert!(r.hmc.victim_writebacks > 0);
+    }
+}

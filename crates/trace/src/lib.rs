@@ -1,0 +1,21 @@
+//! Synthetic workload traces for the Hydrogen reproduction.
+//!
+//! The paper drives its simulator with Pin traces of SPEC CPU2017 and GPU
+//! kernel traces of Rodinia and MLPerf BERT; none of those are available
+//! here, so this crate provides *characterised synthetic generators*: each
+//! named workload is a preset of footprint, locality structure, streaming
+//! fraction, pointer-chase fraction, write ratio, and compute gap chosen to
+//! reproduce the published memory behaviour of the original benchmark (see
+//! DESIGN.md §1 for the substitution argument).
+//!
+//! Generators are deterministic given an experiment seed and generate
+//! references lazily — no trace files.
+
+pub mod mix;
+pub mod pattern;
+pub mod spec;
+pub mod workloads;
+
+pub use mix::Mix;
+pub use pattern::{MemRef, Pattern};
+pub use spec::{TraceGen, WorkloadClass, WorkloadSpec};

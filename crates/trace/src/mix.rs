@@ -1,0 +1,128 @@
+//! The Table II workload combinations C1–C12.
+//!
+//! Each mix pairs four CPU benchmarks (run in SPEC "rate mode" with two
+//! copies each, filling the 8 cores) with one GPU workload, exactly as in
+//! the paper.
+
+use crate::spec::WorkloadSpec;
+use crate::workloads;
+
+/// One CPU+GPU workload combination from Table II.
+#[derive(Debug, Clone)]
+pub struct Mix {
+    /// Combination id: "C1" .. "C12".
+    pub name: &'static str,
+    /// The four CPU benchmark names (each run as 2 copies).
+    pub cpu: [&'static str; 4],
+    /// The GPU benchmark name.
+    pub gpu: &'static str,
+}
+
+/// Table II verbatim.
+pub const TABLE2: [Mix; 12] = [
+    Mix { name: "C1", cpu: ["gcc", "mcf", "lbm", "roms"], gpu: "backprop" },
+    Mix { name: "C2", cpu: ["omnetpp", "lbm", "gcc", "xz"], gpu: "backprop" },
+    Mix { name: "C3", cpu: ["roms", "mcf", "deepsjeng", "cactusBSSN"], gpu: "hotspot" },
+    Mix { name: "C4", cpu: ["lbm", "fotonik3d", "deepsjeng", "omnetpp"], gpu: "lud" },
+    Mix { name: "C5", cpu: ["roms", "lbm", "deepsjeng", "fotonik3d"], gpu: "streamcluster" },
+    Mix { name: "C6", cpu: ["omnetpp", "xz", "roms", "deepsjeng"], gpu: "pathfinder" },
+    Mix { name: "C7", cpu: ["bwaves", "gcc", "xz", "fotonik3d"], gpu: "needle" },
+    Mix { name: "C8", cpu: ["fotonik3d", "gcc", "omnetpp", "deepsjeng"], gpu: "bfs" },
+    Mix { name: "C9", cpu: ["mcf", "cactusBSSN", "roms", "deepsjeng"], gpu: "srad" },
+    Mix { name: "C10", cpu: ["deepsjeng", "xz", "roms", "bwaves"], gpu: "pathfinder" },
+    Mix { name: "C11", cpu: ["omnetpp", "gcc", "fotonik3d", "lbm"], gpu: "bert" },
+    Mix { name: "C12", cpu: ["mcf", "gcc", "cactusBSSN", "omnetpp"], gpu: "bert" },
+];
+
+impl Mix {
+    /// Look a mix up by name ("C1".."C12", case-insensitive).
+    pub fn by_name(name: &str) -> Option<Mix> {
+        TABLE2
+            .iter()
+            .find(|m| m.name.eq_ignore_ascii_case(name))
+            .cloned()
+    }
+
+    /// All twelve mixes.
+    pub fn all() -> Vec<Mix> {
+        TABLE2.to_vec()
+    }
+
+    /// The CPU workload specs for this mix, two copies of each benchmark in
+    /// rate mode, in core order (8 entries).
+    pub fn cpu_specs(&self) -> Vec<WorkloadSpec> {
+        let mut v = Vec::with_capacity(8);
+        for copy in 0..2 {
+            for name in self.cpu {
+                let _ = copy;
+                v.push(
+                    workloads::by_name(name)
+                        .unwrap_or_else(|| panic!("unknown CPU workload {name}")),
+                );
+            }
+        }
+        v
+    }
+
+    /// The GPU workload spec for this mix.
+    pub fn gpu_spec(&self) -> WorkloadSpec {
+        workloads::by_name(self.gpu).unwrap_or_else(|| panic!("unknown GPU workload {}", self.gpu))
+    }
+
+    /// Total paper-scale footprint (8 CPU copies + GPU) in bytes.
+    pub fn total_footprint_bytes(&self) -> u64 {
+        let cpu: u64 = self.cpu_specs().iter().map(|w| w.footprint_bytes).sum();
+        cpu + self.gpu_spec().footprint_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadClass;
+
+    #[test]
+    fn twelve_mixes_resolve() {
+        assert_eq!(Mix::all().len(), 12);
+        for m in Mix::all() {
+            let cpus = m.cpu_specs();
+            assert_eq!(cpus.len(), 8, "{}: rate mode = 8 copies", m.name);
+            assert!(cpus.iter().all(|w| w.class == WorkloadClass::Cpu));
+            assert_eq!(m.gpu_spec().class, WorkloadClass::Gpu);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let c5 = Mix::by_name("c5").unwrap();
+        assert_eq!(c5.gpu, "streamcluster");
+        assert!(Mix::by_name("C99").is_none());
+    }
+
+    #[test]
+    fn rate_mode_duplicates_each_benchmark() {
+        let c1 = Mix::by_name("C1").unwrap();
+        let names: Vec<_> = c1.cpu_specs().iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec!["gcc", "mcf", "lbm", "roms", "gcc", "mcf", "lbm", "roms"]
+        );
+    }
+
+    #[test]
+    fn footprints_sum() {
+        let c1 = Mix::by_name("C1").unwrap();
+        let expect = 2 * (48 + 192 + 208 + 176) + 384;
+        assert_eq!(c1.total_footprint_bytes(), expect * h2_sim_core::units::MIB);
+    }
+
+    #[test]
+    fn table2_matches_paper_rows() {
+        assert_eq!(Mix::by_name("C11").unwrap().gpu, "bert");
+        assert_eq!(Mix::by_name("C12").unwrap().gpu, "bert");
+        assert_eq!(
+            Mix::by_name("C7").unwrap().cpu,
+            ["bwaves", "gcc", "xz", "fotonik3d"]
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! Access-pattern primitives.
+//!
+//! A workload is a weighted mixture of these primitives (see
+//! [`crate::spec`]). Each primitive owns its cursor state and produces byte
+//! offsets within the workload's footprint; the spec layer aligns them,
+//! assigns read/write, and spaces them with compute gaps.
+
+use h2_sim_core::SeededRng;
+
+/// One memory reference emitted by a trace generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRef {
+    /// Non-memory instructions executed before this reference.
+    pub gap: u32,
+    /// Byte address (already offset by the workload's base address).
+    pub addr: u64,
+    /// Store (true) or load (false).
+    pub write: bool,
+    /// Dependent load (pointer chase): the front-end must not overlap it
+    /// with the next reference.
+    pub dependent: bool,
+}
+
+/// An access-pattern primitive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pattern {
+    /// `streams` interleaved sequential walks (unit = 64 B), e.g. lbm's
+    /// lattice sweeps or a GPU kernel's coalesced streams.
+    Stream {
+        /// Number of concurrent sequential streams.
+        streams: u32,
+        /// Stride between consecutive references of one stream, in bytes.
+        stride: u64,
+    },
+    /// Zipf-distributed accesses over a hot region covering `hot_frac` of
+    /// the footprint, falling back to uniform cold accesses with probability
+    /// `1 - hot_prob` (temporal locality: gcc, xz, deepsjeng).
+    Hot {
+        /// Fraction of the footprint that is hot.
+        hot_frac: f64,
+        /// Probability a reference targets the hot region.
+        hot_prob: f64,
+        /// Zipf skew within the hot region.
+        zipf_s: f64,
+    },
+    /// Uniform random over the whole footprint (omnetpp-style).
+    Rand,
+    /// Uniform random *dependent* loads — pointer chasing (mcf).
+    Chase,
+    /// Row sweep touching the element plus its ±1-row neighbours
+    /// (cactusBSSN, hotspot, srad).
+    Stencil {
+        /// Bytes per logical row of the grid.
+        row_bytes: u64,
+    },
+    /// Repeated sweeps over a tile, advancing after `reuse` sweeps
+    /// (blocked algorithms: lud, parts of BERT GEMMs).
+    Tiled {
+        /// Tile size in bytes.
+        tile_bytes: u64,
+        /// Sweeps over the tile before moving on.
+        reuse: u32,
+    },
+    /// Diagonal wavefront over a 2-D grid (needle).
+    Wavefront {
+        /// Bytes per logical row of the grid.
+        row_bytes: u64,
+    },
+}
+
+/// Runtime state for one pattern instance.
+#[derive(Debug, Clone)]
+pub(crate) struct PatternState {
+    pattern: Pattern,
+    cursors: Vec<u64>,
+    next_stream: usize,
+    phase: u64,
+}
+
+impl PatternState {
+    pub(crate) fn new(pattern: Pattern, rng: &mut SeededRng, footprint: u64) -> Self {
+        let cursors = match &pattern {
+            Pattern::Stream { streams, .. } => (0..*streams)
+                .map(|_| rng.below(footprint.max(64)) & !63)
+                .collect(),
+            _ => vec![0],
+        };
+        Self {
+            pattern,
+            cursors,
+            next_stream: 0,
+            phase: 0,
+        }
+    }
+
+    /// Produce the next byte offset in `[0, footprint)` plus a
+    /// dependent-load flag.
+    pub(crate) fn next(&mut self, rng: &mut SeededRng, footprint: u64) -> (u64, bool) {
+        debug_assert!(footprint >= 4096, "footprint too small");
+        match &self.pattern {
+            Pattern::Stream { stride, .. } => {
+                let i = self.next_stream;
+                self.next_stream = (self.next_stream + 1) % self.cursors.len();
+                let at = self.cursors[i];
+                self.cursors[i] = (at + stride) % footprint;
+                (at, false)
+            }
+            Pattern::Hot {
+                hot_frac,
+                hot_prob,
+                zipf_s,
+            } => {
+                let hot_bytes = ((footprint as f64 * hot_frac) as u64).max(4096);
+                if rng.chance(*hot_prob) {
+                    let lines = hot_bytes / 64;
+                    let rank = rng.zipf(lines, *zipf_s);
+                    // Spread ranks over the hot region so hot lines are not
+                    // physically clustered (defeats pure spatial locality).
+                    let line = rank.wrapping_mul(0x9e37_79b9_7f4a_7c15) % lines;
+                    (line * 64, false)
+                } else {
+                    (rng.below(footprint) & !63, false)
+                }
+            }
+            Pattern::Rand => (rng.below(footprint) & !63, false),
+            Pattern::Chase => (rng.below(footprint) & !63, true),
+            Pattern::Stencil { row_bytes } => {
+                let at = self.cursors[0];
+                let row = *row_bytes;
+                // Touch sequence: centre, north, south, advance.
+                let offset = match self.phase % 3 {
+                    0 => at,
+                    1 => at.wrapping_sub(row) % footprint,
+                    _ => (at + row) % footprint,
+                };
+                self.phase += 1;
+                if self.phase % 3 == 0 {
+                    self.cursors[0] = (at + 64) % footprint;
+                }
+                (offset % footprint, false)
+            }
+            Pattern::Tiled { tile_bytes, reuse } => {
+                let tile = (*tile_bytes).min(footprint).max(4096);
+                let tiles = (footprint / tile).max(1);
+                let tile_idx = (self.phase / ((tile / 64) * *reuse as u64)) % tiles;
+                let within = self.cursors[0];
+                self.cursors[0] = (within + 64) % tile;
+                self.phase += 1;
+                (tile_idx * tile + within, false)
+            }
+            Pattern::Wavefront { row_bytes } => {
+                let row = (*row_bytes).max(64);
+                let rows = (footprint / row).max(1);
+                // Walk anti-diagonals: element (r, d - r) for d = phase.
+                let d = self.phase / rows;
+                let r = self.phase % rows;
+                self.phase += 1;
+                let col = (d + r) % (row / 64);
+                ((r * row + col * 64) % footprint, false)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FP: u64 = 1 << 20; // 1 MiB
+
+    fn run(p: Pattern, n: usize) -> Vec<(u64, bool)> {
+        let mut rng = SeededRng::derive(1, "pat");
+        let mut st = PatternState::new(p, &mut rng, FP);
+        (0..n).map(|_| st.next(&mut rng, FP)).collect()
+    }
+
+    #[test]
+    fn all_patterns_stay_in_footprint() {
+        let pats = vec![
+            Pattern::Stream { streams: 3, stride: 64 },
+            Pattern::Hot { hot_frac: 0.1, hot_prob: 0.8, zipf_s: 0.9 },
+            Pattern::Rand,
+            Pattern::Chase,
+            Pattern::Stencil { row_bytes: 4096 },
+            Pattern::Tiled { tile_bytes: 64 * 1024, reuse: 4 },
+            Pattern::Wavefront { row_bytes: 4096 },
+        ];
+        for p in pats {
+            for (addr, _) in run(p.clone(), 10_000) {
+                assert!(addr < FP, "{p:?} escaped: {addr}");
+                assert_eq!(addr % 64, 0, "{p:?} unaligned");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_is_sequential_per_stream() {
+        let refs = run(Pattern::Stream { streams: 1, stride: 64 }, 100);
+        for w in refs.windows(2) {
+            let (a, _) = w[0];
+            let (b, _) = w[1];
+            assert_eq!((a + 64) % FP, b);
+        }
+    }
+
+    #[test]
+    fn chase_is_dependent_others_not() {
+        assert!(run(Pattern::Chase, 10).iter().all(|&(_, d)| d));
+        assert!(run(Pattern::Rand, 10).iter().all(|&(_, d)| !d));
+    }
+
+    #[test]
+    fn hot_pattern_concentrates_accesses() {
+        let refs = run(
+            Pattern::Hot { hot_frac: 0.05, hot_prob: 0.9, zipf_s: 0.99 },
+            20_000,
+        );
+        // Count distinct lines: strong reuse means far fewer lines than refs.
+        let mut lines: Vec<u64> = refs.iter().map(|&(a, _)| a / 64).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        assert!(
+            lines.len() < refs.len() / 3,
+            "too little reuse: {} distinct / {}",
+            lines.len(),
+            refs.len()
+        );
+    }
+
+    #[test]
+    fn rand_pattern_spreads_accesses() {
+        let refs = run(Pattern::Rand, 10_000);
+        let mut lines: Vec<u64> = refs.iter().map(|&(a, _)| a / 64).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        assert!(lines.len() > refs.len() * 2 / 3);
+    }
+
+    #[test]
+    fn tiled_reuses_tile_before_advancing() {
+        let refs = run(Pattern::Tiled { tile_bytes: 8192, reuse: 2 }, 256);
+        // First 256 refs (= 2 sweeps of a 128-line tile) stay in tile 0.
+        assert!(refs.iter().all(|&(a, _)| a < 8192));
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = run(Pattern::Rand, 100);
+        let b = run(Pattern::Rand, 100);
+        assert_eq!(a, b);
+    }
+}

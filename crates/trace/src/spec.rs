@@ -1,0 +1,225 @@
+//! Workload specifications and the trace generator that realises them.
+
+use crate::pattern::{MemRef, Pattern, PatternState};
+use h2_sim_core::units::MIB;
+use h2_sim_core::SeededRng;
+
+/// Which side of the heterogeneous processor a workload runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadClass {
+    /// Latency-sensitive CPU workload (SPEC CPU2017-like).
+    Cpu,
+    /// Bandwidth-hungry GPU workload (Rodinia / MLPerf-like).
+    Gpu,
+}
+
+/// A named synthetic workload: a weighted mixture of access patterns plus
+/// intensity and write-ratio parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Benchmark name ("mcf", "backprop", ...).
+    pub name: &'static str,
+    /// CPU or GPU side.
+    pub class: WorkloadClass,
+    /// Memory footprint in bytes at paper scale (scaled down by the system
+    /// config's `footprint_scale` when instantiated).
+    pub footprint_bytes: u64,
+    /// Weighted mixture of access patterns.
+    pub mixture: Vec<(f64, Pattern)>,
+    /// Fraction of references that are stores.
+    pub write_ratio: f64,
+    /// Mean non-memory instructions between references (intensity knob);
+    /// actual gaps are uniform in `[mean/2, 3*mean/2]`.
+    pub mean_gap: u32,
+}
+
+impl WorkloadSpec {
+    /// Convenience constructor used by the preset tables.
+    pub fn new(
+        name: &'static str,
+        class: WorkloadClass,
+        footprint_mib: u64,
+        mixture: Vec<(f64, Pattern)>,
+        write_ratio: f64,
+        mean_gap: u32,
+    ) -> Self {
+        assert!(!mixture.is_empty());
+        assert!(mixture.iter().all(|(w, _)| *w > 0.0));
+        Self {
+            name,
+            class,
+            footprint_bytes: footprint_mib * MIB,
+            mixture,
+            write_ratio,
+            mean_gap: mean_gap.max(1),
+        }
+    }
+
+    /// Instantiate a generator for one running copy of this workload.
+    ///
+    /// * `seed`/`instance` — determinism: each copy gets its own stream.
+    /// * `base_addr` — where this copy's footprint starts in physical space.
+    /// * `footprint_scale` — divides the paper-scale footprint (≥ 4 kB).
+    pub fn instantiate(
+        &self,
+        seed: u64,
+        instance: u32,
+        base_addr: u64,
+        footprint_scale: u64,
+    ) -> TraceGen {
+        let footprint = (self.footprint_bytes / footprint_scale.max(1)).max(4096);
+        let label = format!("{}#{}", self.name, instance);
+        let mut rng = SeededRng::derive(seed, &label);
+        let states = self
+            .mixture
+            .iter()
+            .map(|(w, p)| (*w, PatternState::new(p.clone(), &mut rng, footprint)))
+            .collect();
+        let total_weight: f64 = self.mixture.iter().map(|(w, _)| w).sum();
+        TraceGen {
+            rng,
+            states,
+            total_weight,
+            footprint,
+            base_addr,
+            write_ratio: self.write_ratio,
+            gap_lo: self.mean_gap / 2,
+            gap_hi: self.mean_gap + self.mean_gap / 2,
+            emitted: 0,
+        }
+    }
+}
+
+/// A lazily evaluated, deterministic reference stream for one workload copy.
+#[derive(Debug)]
+pub struct TraceGen {
+    rng: SeededRng,
+    states: Vec<(f64, PatternState)>,
+    total_weight: f64,
+    footprint: u64,
+    base_addr: u64,
+    write_ratio: f64,
+    gap_lo: u32,
+    gap_hi: u32,
+    emitted: u64,
+}
+
+impl TraceGen {
+    /// The scaled footprint of this copy in bytes.
+    pub fn footprint(&self) -> u64 {
+        self.footprint
+    }
+
+    /// Base physical address of this copy.
+    pub fn base_addr(&self) -> u64 {
+        self.base_addr
+    }
+
+    /// References generated so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Produce the next memory reference. Streams are infinite (benchmarks
+    /// loop over their phases, as in the paper's 5-billion-instruction
+    /// windows).
+    pub fn next_ref(&mut self) -> MemRef {
+        // Pick a mixture component by weight.
+        let mut pick = self.rng.unit() * self.total_weight;
+        let mut idx = 0;
+        for (i, (w, _)) in self.states.iter().enumerate() {
+            if pick < *w {
+                idx = i;
+                break;
+            }
+            pick -= *w;
+            idx = i;
+        }
+        let footprint = self.footprint;
+        let (offset, dependent) = self.states[idx].1.next(&mut self.rng, footprint);
+        let write = self.rng.chance(self.write_ratio);
+        let gap = self.rng.range_inclusive(self.gap_lo as u64, self.gap_hi as u64) as u32;
+        self.emitted += 1;
+        MemRef {
+            gap,
+            addr: self.base_addr + (offset & !63),
+            write,
+            dependent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::new(
+            "test",
+            WorkloadClass::Cpu,
+            8,
+            vec![
+                (0.6, Pattern::Hot { hot_frac: 0.1, hot_prob: 0.8, zipf_s: 0.9 }),
+                (0.4, Pattern::Stream { streams: 2, stride: 64 }),
+            ],
+            0.3,
+            6,
+        )
+    }
+
+    #[test]
+    fn refs_within_window() {
+        let base = 1 << 30;
+        let mut g = spec().instantiate(42, 0, base, 8);
+        let fp = g.footprint();
+        assert_eq!(fp, 1024 * 1024);
+        for _ in 0..10_000 {
+            let r = g.next_ref();
+            assert!(r.addr >= base && r.addr < base + fp);
+            assert_eq!(r.addr % 64, 0);
+        }
+        assert_eq!(g.emitted(), 10_000);
+    }
+
+    #[test]
+    fn gaps_bracket_mean() {
+        let mut g = spec().instantiate(42, 0, 0, 8);
+        let gaps: Vec<u32> = (0..5000).map(|_| g.next_ref().gap).collect();
+        assert!(gaps.iter().all(|&x| (3..=9).contains(&x)));
+        let mean = gaps.iter().map(|&x| x as f64).sum::<f64>() / gaps.len() as f64;
+        assert!((mean - 6.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn write_ratio_approximated() {
+        let mut g = spec().instantiate(42, 0, 0, 8);
+        let writes = (0..20_000).filter(|_| g.next_ref().write).count();
+        let ratio = writes as f64 / 20_000.0;
+        assert!((ratio - 0.3).abs() < 0.03, "ratio {ratio}");
+    }
+
+    #[test]
+    fn instances_are_decorrelated() {
+        let mut a = spec().instantiate(42, 0, 0, 8);
+        let mut b = spec().instantiate(42, 1, 0, 8);
+        let same = (0..100)
+            .filter(|_| a.next_ref().addr == b.next_ref().addr)
+            .count();
+        assert!(same < 10);
+    }
+
+    #[test]
+    fn same_seed_identical_streams() {
+        let mut a = spec().instantiate(7, 3, 64, 8);
+        let mut b = spec().instantiate(7, 3, 64, 8);
+        for _ in 0..1000 {
+            assert_eq!(a.next_ref(), b.next_ref());
+        }
+    }
+
+    #[test]
+    fn footprint_floor_is_4k() {
+        let g = spec().instantiate(1, 0, 0, u64::MAX);
+        assert_eq!(g.footprint(), 4096);
+    }
+}

@@ -1,0 +1,323 @@
+//! Named workload presets.
+//!
+//! CPU presets model the memory-intensive SPEC CPU2017 benchmarks the paper
+//! uses (Table II); GPU presets model the Rodinia kernels plus MLPerf BERT.
+//! Parameters are chosen from published characterisations: footprint at
+//! paper scale, locality structure, write ratio, and memory intensity
+//! (mean instruction gap between references).
+
+use crate::pattern::Pattern;
+use crate::spec::{WorkloadClass, WorkloadSpec};
+
+/// Look up any preset (CPU or GPU) by benchmark name.
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    cpu_workloads()
+        .into_iter()
+        .chain(gpu_workloads())
+        .find(|w| w.name == name)
+}
+
+/// All CPU presets (memory-intensive SPEC CPU2017 subset used in Table II).
+pub fn cpu_workloads() -> Vec<WorkloadSpec> {
+    use Pattern::*;
+    use WorkloadClass::Cpu;
+    vec![
+        // gcc: modest footprint, strong temporal locality on IR structures.
+        WorkloadSpec::new(
+            "gcc",
+            Cpu,
+            48,
+            vec![
+                (0.7, Hot { hot_frac: 0.08, hot_prob: 0.85, zipf_s: 0.95 }),
+                (0.3, Stream { streams: 2, stride: 64 }),
+            ],
+            0.30,
+            13,
+        ),
+        // mcf: huge footprint, dominated by dependent pointer chasing.
+        WorkloadSpec::new(
+            "mcf",
+            Cpu,
+            192,
+            vec![
+                (0.65, Chase),
+                (0.25, Hot { hot_frac: 0.05, hot_prob: 0.7, zipf_s: 0.9 }),
+                (0.10, Stream { streams: 1, stride: 64 }),
+            ],
+            0.22,
+            6,
+        ),
+        // lbm: lattice-Boltzmann, write-heavy streaming sweeps.
+        WorkloadSpec::new(
+            "lbm",
+            Cpu,
+            208,
+            vec![(0.9, Stream { streams: 6, stride: 64 }), (0.1, Rand)],
+            0.45,
+            8,
+        ),
+        // roms: ocean model, streaming with stencil reuse.
+        WorkloadSpec::new(
+            "roms",
+            Cpu,
+            176,
+            vec![
+                (0.55, Stream { streams: 4, stride: 64 }),
+                (0.45, Stencil { row_bytes: 8192 }),
+            ],
+            0.36,
+            9,
+        ),
+        // omnetpp: discrete-event simulation, scattered small objects.
+        WorkloadSpec::new(
+            "omnetpp",
+            Cpu,
+            80,
+            vec![
+                (0.55, Rand),
+                (0.45, Hot { hot_frac: 0.1, hot_prob: 0.75, zipf_s: 0.9 }),
+            ],
+            0.34,
+            9,
+        ),
+        // xz: compression, mixed dictionary locality and streaming.
+        WorkloadSpec::new(
+            "xz",
+            Cpu,
+            96,
+            vec![
+                (0.45, Hot { hot_frac: 0.12, hot_prob: 0.8, zipf_s: 0.85 }),
+                (0.35, Stream { streams: 2, stride: 64 }),
+                (0.20, Rand),
+            ],
+            0.33,
+            11,
+        ),
+        // deepsjeng: chess, hash-table probes over a small footprint.
+        WorkloadSpec::new(
+            "deepsjeng",
+            Cpu,
+            32,
+            vec![
+                (0.7, Hot { hot_frac: 0.25, hot_prob: 0.7, zipf_s: 0.7 }),
+                (0.3, Rand),
+            ],
+            0.30,
+            15,
+        ),
+        // cactusBSSN: numerical relativity, 3-D stencils.
+        WorkloadSpec::new(
+            "cactusBSSN",
+            Cpu,
+            144,
+            vec![
+                (0.8, Stencil { row_bytes: 16384 }),
+                (0.2, Stream { streams: 3, stride: 64 }),
+            ],
+            0.36,
+            9,
+        ),
+        // fotonik3d: FDTD, streaming field updates.
+        WorkloadSpec::new(
+            "fotonik3d",
+            Cpu,
+            160,
+            vec![
+                (0.85, Stream { streams: 5, stride: 64 }),
+                (0.15, Stencil { row_bytes: 8192 }),
+            ],
+            0.31,
+            9,
+        ),
+        // bwaves: blast-wave CFD, bandwidth-bound streaming.
+        WorkloadSpec::new(
+            "bwaves",
+            Cpu,
+            192,
+            vec![(0.9, Stream { streams: 6, stride: 64 }), (0.1, Rand)],
+            0.40,
+            8,
+        ),
+    ]
+}
+
+/// All GPU presets (Rodinia kernels + MLPerf BERT inference).
+pub fn gpu_workloads() -> Vec<WorkloadSpec> {
+    use Pattern::*;
+    use WorkloadClass::Gpu;
+    vec![
+        // backprop: dense layer sweeps, forward + weight update (writes).
+        WorkloadSpec::new(
+            "backprop",
+            Gpu,
+            384,
+            vec![(0.9, Stream { streams: 8, stride: 64 }), (0.1, Rand)],
+            0.40,
+            2,
+        ),
+        // hotspot: 2-D thermal stencil.
+        WorkloadSpec::new(
+            "hotspot",
+            Gpu,
+            320,
+            vec![
+                (0.85, Stencil { row_bytes: 16384 }),
+                (0.15, Stream { streams: 4, stride: 64 }),
+            ],
+            0.33,
+            2,
+        ),
+        // lud: blocked LU decomposition, strong tile reuse.
+        WorkloadSpec::new(
+            "lud",
+            Gpu,
+            192,
+            vec![
+                (0.8, Tiled { tile_bytes: 256 * 1024, reuse: 6 }),
+                (0.2, Stream { streams: 2, stride: 64 }),
+            ],
+            0.30,
+            3,
+        ),
+        // streamcluster: extremely memory-intensive point streaming plus
+        // random centre lookups — the paper's hardest migration case (C5).
+        WorkloadSpec::new(
+            "streamcluster",
+            Gpu,
+            512,
+            vec![(0.7, Stream { streams: 12, stride: 64 }), (0.3, Rand)],
+            0.20,
+            1,
+        ),
+        // pathfinder: row-by-row dynamic programming sweep.
+        WorkloadSpec::new(
+            "pathfinder",
+            Gpu,
+            384,
+            vec![(0.95, Stream { streams: 4, stride: 64 }), (0.05, Rand)],
+            0.25,
+            2,
+        ),
+        // needle (Needleman-Wunsch): diagonal wavefront.
+        WorkloadSpec::new(
+            "needle",
+            Gpu,
+            320,
+            vec![
+                (0.8, Wavefront { row_bytes: 16384 }),
+                (0.2, Stream { streams: 2, stride: 64 }),
+            ],
+            0.33,
+            3,
+        ),
+        // bfs: irregular frontier expansion.
+        WorkloadSpec::new(
+            "bfs",
+            Gpu,
+            448,
+            vec![
+                (0.6, Rand),
+                (0.4, Stream { streams: 4, stride: 64 }),
+            ],
+            0.25,
+            2,
+        ),
+        // srad: speckle-reducing anisotropic diffusion stencil.
+        WorkloadSpec::new(
+            "srad",
+            Gpu,
+            352,
+            vec![
+                (0.8, Stencil { row_bytes: 16384 }),
+                (0.2, Stream { streams: 3, stride: 64 }),
+            ],
+            0.40,
+            2,
+        ),
+        // bert: MLPerf BERT inference — large GEMM streaming with some
+        // weight-tile reuse.
+        WorkloadSpec::new(
+            "bert",
+            Gpu,
+            768,
+            vec![
+                (0.6, Stream { streams: 8, stride: 64 }),
+                (0.4, Tiled { tile_bytes: 512 * 1024, reuse: 4 }),
+            ],
+            0.30,
+            1,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2_sim_core::units::MIB;
+
+    #[test]
+    fn all_table2_names_resolve() {
+        for n in [
+            "gcc", "mcf", "lbm", "roms", "omnetpp", "xz", "deepsjeng",
+            "cactusBSSN", "fotonik3d", "bwaves",
+        ] {
+            let w = by_name(n).unwrap_or_else(|| panic!("missing {n}"));
+            assert_eq!(w.class, WorkloadClass::Cpu);
+        }
+        for n in [
+            "backprop", "hotspot", "lud", "streamcluster", "pathfinder",
+            "needle", "bfs", "srad", "bert",
+        ] {
+            let w = by_name(n).unwrap_or_else(|| panic!("missing {n}"));
+            assert_eq!(w.class, WorkloadClass::Gpu);
+        }
+        assert!(by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn gpu_is_more_intensive_than_cpu() {
+        let cpu_mean: f64 = cpu_workloads()
+            .iter()
+            .map(|w| w.mean_gap as f64)
+            .sum::<f64>()
+            / cpu_workloads().len() as f64;
+        let gpu_mean: f64 = gpu_workloads()
+            .iter()
+            .map(|w| w.mean_gap as f64)
+            .sum::<f64>()
+            / gpu_workloads().len() as f64;
+        assert!(
+            gpu_mean < cpu_mean,
+            "GPU should issue memory refs more densely"
+        );
+    }
+
+    #[test]
+    fn footprints_are_plausible() {
+        for w in cpu_workloads().iter().chain(gpu_workloads().iter()) {
+            assert!(w.footprint_bytes >= 32 * MIB, "{} too small", w.name);
+            assert!(w.footprint_bytes <= 768 * MIB, "{} too large", w.name);
+            assert!(w.write_ratio > 0.0 && w.write_ratio < 0.6);
+        }
+    }
+
+    #[test]
+    fn mcf_chases_pointers() {
+        let mcf = by_name("mcf").unwrap();
+        let mut g = mcf.instantiate(1, 0, 0, 8);
+        let dep = (0..1000).filter(|_| g.next_ref().dependent).count();
+        assert!(dep > 400, "mcf should be chase-heavy: {dep}");
+    }
+
+    #[test]
+    fn every_preset_generates() {
+        for w in cpu_workloads().into_iter().chain(gpu_workloads()) {
+            let mut g = w.instantiate(9, 0, 0, 8);
+            let fp = g.footprint();
+            for _ in 0..2000 {
+                let r = g.next_ref();
+                assert!(r.addr < fp, "{} escaped", w.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! HPC co-location scenario: an exascale-style node runs CPU-side physics
+//! (CFD/stencil codes) while the integrated GPU serves BERT inference —
+//! the paper's C11/C12 motif. Compare how each memory-management design
+//! trades CPU and GPU performance, and how fair the outcome is.
+//!
+//! ```sh
+//! cargo run --release --example hpc_colocation
+//! ```
+
+use hydrogen_repro::prelude::*;
+
+fn main() {
+    let cfg = SystemConfig::default();
+    let mix = Mix::by_name("C11").unwrap();
+    println!(
+        "node: {} CPU cores ({:?} x2) + {} EU GPU running {}\n",
+        cfg.cpu_cores, mix.cpu, cfg.gpu_eus, mix.gpu
+    );
+
+    // Solo runs define each side's entitlement.
+    let cpu_solo = run_sim_parts(&cfg, &mix, PolicyKind::NoPart, Participants::CpuOnly);
+    let gpu_solo = run_sim_parts(&cfg, &mix, PolicyKind::NoPart, Participants::GpuOnly);
+    let base = run_sim(&cfg, &mix, PolicyKind::NoPart);
+
+    println!(
+        "{:<20} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "design", "wspeedup", "CPU slow", "GPU slow", "fairness", "energy(J)"
+    );
+    let designs = [
+        PolicyKind::NoPart,
+        PolicyKind::HashCache,
+        PolicyKind::Profess,
+        PolicyKind::WayPart,
+        PolicyKind::HydrogenFull,
+    ];
+    for kind in designs {
+        let r = run_sim(&cfg, &mix, kind);
+        let cs = r.cpu_slowdown(&cpu_solo);
+        let gs = r.gpu_slowdown(&gpu_solo);
+        // Fairness: ratio of the two slowdowns (1.0 = perfectly balanced).
+        let fairness = cs.min(gs) / cs.max(gs);
+        println!(
+            "{:<20} {:>9.3} {:>9.2} {:>9.2} {:>9.2} {:>10.4}",
+            r.policy,
+            r.weighted_speedup(&base),
+            cs,
+            gs,
+            fairness,
+            r.energy_j(),
+        );
+    }
+    println!(
+        "\nHydrogen's goal (§IV): maximise weighted IPC at CPU:GPU = {}:{} while \
+         keeping both sides' slowdowns bounded.",
+        cfg.weights.0, cfg.weights.1
+    );
+}

@@ -1,0 +1,62 @@
+//! Explore Hydrogen's three-dimensional `(bw, cap, tok)` design space by
+//! hand, then watch the online hill climber walk it.
+//!
+//! ```sh
+//! cargo run --release --example policy_explorer [MIX]
+//! ```
+
+use hydrogen_repro::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "C5".into());
+    let mix = Mix::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown mix {name}");
+        std::process::exit(1);
+    });
+    let cfg = SystemConfig::default();
+    let base = run_sim(&cfg, &mix, PolicyKind::NoPart);
+    println!("{} baseline weighted IPC: {:.4}\n", mix.name, base.weighted_ipc());
+
+    // A manual slice of the static design space.
+    println!("static configurations (speedup vs baseline):");
+    println!("{:<22} {:>8} {:>8} {:>8}", "config", "weighted", "CPU", "GPU");
+    for (bw, cap, tok) in [
+        (0usize, 2usize, 3usize),
+        (1, 3, 3),
+        (2, 3, 3),
+        (3, 3, 3),
+        (2, 2, 5),
+        (3, 4, 3),
+    ] {
+        let r = run_sim(&cfg, &mix, PolicyKind::HydrogenStatic { bw, cap, tok });
+        let (sc, sg) = r.side_speedups(&base);
+        println!(
+            "{:<22} {:>8.3} {:>8.3} {:>8.3}",
+            format!("bw={bw} cap={cap} tok={tok}"),
+            r.weighted_speedup(&base),
+            sc,
+            sg
+        );
+    }
+
+    // The online search.
+    let full = run_sim(&cfg, &mix, PolicyKind::HydrogenFull);
+    println!(
+        "\nonline Hydrogen: speedup {:.3}, converged to {}",
+        full.weighted_speedup(&base),
+        full.final_params.label
+    );
+    println!("\nhill-climbing trace (measured epochs):");
+    println!("{:>6} {:>10} {:>4} {:>4} {:>4} {:>8}", "epoch", "wIPC", "bw", "cap", "tok", "reconfig");
+    for e in full.epoch_trace.iter().take(24) {
+        println!(
+            "{:>6} {:>10.4} {:>4} {:>4} {:>4} {:>8}",
+            e.epoch,
+            e.weighted_ipc,
+            e.bw,
+            e.cap,
+            e.tok,
+            if e.reconfigured { "yes" } else { "" }
+        );
+    }
+}

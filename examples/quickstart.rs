@@ -1,0 +1,67 @@
+//! Quickstart: run one Table II mix under the non-partitioned baseline and
+//! full Hydrogen, and print the headline comparison.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [MIX]
+//! ```
+
+use hydrogen_repro::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let mix_name = std::env::args().nth(1).unwrap_or_else(|| "C1".to_string());
+    let mix = Mix::by_name(&mix_name).unwrap_or_else(|| {
+        eprintln!("unknown mix {mix_name}; use C1..C12");
+        std::process::exit(1);
+    });
+
+    let cfg = SystemConfig::default();
+    println!(
+        "mix {}: CPU = {:?} (x2 rate mode), GPU = {}",
+        mix.name, mix.cpu, mix.gpu
+    );
+    println!(
+        "fast capacity {} MiB, epoch {} kcyc, window {} Mcyc\n",
+        cfg.fast_capacity_for(&mix) >> 20,
+        cfg.epoch_cycles / 1000,
+        cfg.measure_cycles / 1_000_000
+    );
+
+    let t0 = Instant::now();
+    let base = run_sim(&cfg, &mix, PolicyKind::NoPart);
+    let t_base = t0.elapsed();
+    let t0 = Instant::now();
+    let h2 = run_sim(&cfg, &mix, PolicyKind::HydrogenFull);
+    let t_h2 = t0.elapsed();
+
+    for r in [&base, &h2] {
+        println!(
+            "{:<16} cpu_ipc {:.3}  gpu_ipc {:.3}  weighted {:.3}  hitC {:.2} hitG {:.2}  migr {}  bypass {}  swaps {}  slowGB/s {:.1}",
+            r.policy,
+            r.cpu_ipc(),
+            r.gpu_ipc(),
+            r.weighted_ipc(),
+            r.hmc.hit_rate(hydrogen_repro::hybrid::types::ReqClass::Cpu),
+            r.hmc.hit_rate(hydrogen_repro::hybrid::types::ReqClass::Gpu),
+            r.hmc.migrations[0] + r.hmc.migrations[1],
+            r.hmc.bypasses[0] + r.hmc.bypasses[1],
+            r.hmc.swaps,
+            r.slow.bytes as f64 / (r.measured_cycles as f64 / 3.2),
+        );
+    }
+    println!(
+        "\nHydrogen weighted speedup vs baseline: {:.3}x",
+        h2.weighted_speedup(&base)
+    );
+    println!(
+        "final Hydrogen config: {}",
+        h2.final_params.label
+    );
+    println!(
+        "sim wall time: baseline {:.1}s ({} events), hydrogen {:.1}s ({} events)",
+        t_base.as_secs_f64(),
+        base.events_processed,
+        t_h2.as_secs_f64(),
+        h2.events_processed
+    );
+}

@@ -1,0 +1,50 @@
+//! # hydrogen-repro
+//!
+//! A full reproduction of **"Hydrogen: Contention-Aware Hybrid Memory for
+//! Heterogeneous CPU-GPU Architectures" (Li & Gao, SC 2024)** in pure Rust:
+//! a discrete-event CPU-GPU memory-system simulator, the Hydrogen
+//! partitioning architecture, the baselines it is compared against, and a
+//! harness that regenerates every table and figure of the paper's evaluation.
+//!
+//! This umbrella crate re-exports the workspace crates under stable paths:
+//!
+//! * [`sim`] — discrete-event engine, deterministic RNG, stats helpers.
+//! * [`mem`] — DRAM channel/bank timing models (HBM2E, HBM3, DDR4) + energy.
+//! * [`cache`] — SRAM cache models (L1/L2/LLC/remap cache).
+//! * [`trace`] — synthetic CPU/GPU workload generators and the C1–C12 mixes.
+//! * [`hybrid`] — the two-tier hybrid memory layer and the policy trait.
+//! * [`hydrogen`] — the paper's contribution: decoupled partitioning,
+//!   token-based migration, epoch-based hill climbing, lazy reconfiguration.
+//! * [`baselines`] — NoPart, WayPart, HAShCache, ProFess.
+//! * [`system`] — the full-system model and run loop.
+//! * [`harness`] — per-figure experiment drivers.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use hydrogen_repro::prelude::*;
+//!
+//! let mix = Mix::by_name("C1").unwrap();
+//! let cfg = SystemConfig::default();
+//! let report = run_sim(&cfg, &mix, PolicyKind::HydrogenFull);
+//! println!("weighted IPC = {:.3}", report.weighted_ipc());
+//! ```
+
+pub use h2_baselines as baselines;
+pub use h2_cache as cache;
+pub use h2_harness as harness;
+pub use h2_hybrid as hybrid;
+pub use h2_hydrogen as hydrogen;
+pub use h2_mem as mem;
+pub use h2_sim_core as sim;
+pub use h2_system as system;
+pub use h2_trace as trace;
+
+/// Convenience re-exports for examples and downstream users.
+pub mod prelude {
+    pub use h2_system::config::{Participants, SystemConfig};
+    pub use h2_system::policies::PolicyKind;
+    pub use h2_system::report::RunReport;
+    pub use h2_system::{run_sim, run_sim_parts, run_workloads};
+    pub use h2_trace::mix::Mix;
+}

@@ -1,0 +1,123 @@
+//! Cross-crate accounting invariants checked on real end-to-end runs, over
+//! every policy and both hybrid modes.
+
+use hydrogen_repro::hybrid::types::{Mode, ReqClass};
+use hydrogen_repro::prelude::*;
+
+fn tiny() -> SystemConfig {
+    SystemConfig::tiny()
+}
+
+fn all_policies() -> Vec<PolicyKind> {
+    let mut v = PolicyKind::fig5_designs();
+    v.push(PolicyKind::NoPart);
+    v.push(PolicyKind::HydrogenStatic { bw: 2, cap: 3, tok: 3 });
+    v
+}
+
+#[test]
+fn hits_plus_misses_equal_accesses() {
+    let cfg = tiny();
+    let mix = Mix::by_name("C4").unwrap();
+    for kind in all_policies() {
+        let r = run_sim(&cfg, &mix, kind);
+        for class in [ReqClass::Cpu, ReqClass::Gpu] {
+            let i = class.idx();
+            assert_eq!(
+                r.hmc.fast_hits[i] + r.hmc.fast_misses[i],
+                r.hmc.accesses[i],
+                "{} {:?}",
+                r.policy,
+                class
+            );
+        }
+    }
+}
+
+#[test]
+fn misses_split_into_migrations_bypasses_denials() {
+    let cfg = tiny();
+    let mix = Mix::by_name("C5").unwrap();
+    for kind in all_policies() {
+        let r = run_sim(&cfg, &mix, kind);
+        for i in 0..2 {
+            assert_eq!(
+                r.hmc.migrations[i] + r.hmc.bypasses[i],
+                r.hmc.fast_misses[i],
+                "{} class {}",
+                r.policy,
+                i
+            );
+            // Every denial becomes a bypass.
+            assert!(
+                r.hmc.bypasses[i] >= r.hmc.migrations_denied[i] + r.hmc.buffer_denied[i],
+                "{} class {}",
+                r.policy,
+                i
+            );
+        }
+    }
+}
+
+#[test]
+fn traffic_and_energy_are_positive_and_consistent() {
+    let cfg = tiny();
+    let mix = Mix::by_name("C7").unwrap();
+    for kind in [PolicyKind::NoPart, PolicyKind::HydrogenFull] {
+        let r = run_sim(&cfg, &mix, kind);
+        assert!(r.fast.bytes > 0 && r.slow.bytes > 0, "{}", r.policy);
+        assert!(r.energy_j() > 0.0);
+        // Bus busy time is consistent with bytes moved (64 B per >=1 cycle).
+        assert!(r.fast.busy_cycles as u64 * 64 >= r.fast.bytes, "{}", r.policy);
+        // Row hits + activations cover all commands.
+        assert_eq!(
+            r.fast.row_hits + r.fast.activations,
+            r.fast.reads + r.fast.writes,
+            "{}",
+            r.policy
+        );
+    }
+}
+
+#[test]
+fn flat_mode_every_migration_writes_back() {
+    let mut cfg = tiny();
+    cfg.mode = Mode::Flat;
+    let mix = Mix::by_name("C1").unwrap();
+    let r = run_sim(&cfg, &mix, PolicyKind::NoPart);
+    let migrations = r.hmc.migrations[0] + r.hmc.migrations[1];
+    assert!(migrations > 0);
+    // In flat mode every migration displaces the only copy: the write-back
+    // count must track migrations plus lazy fixups (cold fills into invalid
+    // ways are the exception, hence >= a substantial fraction).
+    assert!(
+        r.hmc.victim_writebacks * 2 >= migrations,
+        "flat-mode writebacks too rare: {} vs {migrations}",
+        r.hmc.victim_writebacks
+    );
+}
+
+#[test]
+fn full_isolation_config_keeps_gpu_out_of_fast() {
+    let cfg = tiny();
+    let mix = Mix::by_name("C6").unwrap();
+    // bw=4, cap=4: every way belongs to the CPU.
+    let r = run_sim(
+        &cfg,
+        &mix,
+        PolicyKind::HydrogenStatic { bw: 4, cap: 4, tok: 7 },
+    );
+    assert_eq!(r.hmc.migrations[1], 0, "GPU must never migrate");
+    assert_eq!(r.hmc.bypasses[1], r.hmc.fast_misses[1]);
+    // GPU still makes progress through the slow tier.
+    assert!(r.gpu_instr > 0);
+}
+
+#[test]
+fn remap_cache_hit_rate_is_sane() {
+    let cfg = tiny();
+    let mix = Mix::by_name("C2").unwrap();
+    let r = run_sim(&cfg, &mix, PolicyKind::NoPart);
+    assert!(r.remap_hit_rate >= 0.0 && r.remap_hit_rate <= 1.0);
+    assert!(r.hmc.meta_reads > 0, "tiny remap cache must miss sometimes");
+}

@@ -1,0 +1,136 @@
+//! Property-based tests over the core data structures, exercised through
+//! the public crate APIs.
+
+use hydrogen_repro::hybrid::types::{HybridConfig, ReqClass};
+use hydrogen_repro::hybrid::RemapTable;
+use hydrogen_repro::hydrogen::partition::PartitionMap;
+use hydrogen_repro::hydrogen::TokenBucket;
+use hydrogen_repro::sim::SeededRng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The partition masks always split the ways exactly between classes,
+    /// for every legal (n, bw, cap) and any set.
+    #[test]
+    fn partition_masks_are_exact_partitions(
+        n in 1usize..=16,
+        bw_frac in 0.0f64..=1.0,
+        cap_frac in 0.0f64..=1.0,
+        set in 0u64..100_000,
+    ) {
+        let bw = (bw_frac * n as f64) as usize;
+        let cap = bw + (cap_frac * (n - bw) as f64) as usize;
+        let m = PartitionMap::new(n, bw.min(n), cap.min(n));
+        let cpu = m.cpu_mask(set);
+        let gpu = m.gpu_mask(set);
+        prop_assert_eq!(cpu & gpu, 0);
+        prop_assert_eq!((cpu | gpu) as u32, (1u32 << n) - 1);
+        prop_assert_eq!(cpu.count_ones() as usize, cap.min(n));
+    }
+
+    /// way_channel and channel_way are inverse bijections per set.
+    #[test]
+    fn way_channel_bijective(
+        bw in 0usize..=4,
+        set in 0u64..10_000,
+    ) {
+        let m = PartitionMap::new(4, bw, 4);
+        let mut seen = [false; 4];
+        for w in 0..4 {
+            let c = m.way_channel(set, w);
+            prop_assert!(c < 4);
+            prop_assert!(!seen[c], "channel used twice");
+            seen[c] = true;
+            prop_assert_eq!(m.channel_way(set, c), w);
+        }
+    }
+
+    /// A single-step cap change relocates exactly one way per set.
+    #[test]
+    fn consistent_hashing_minimal_remap(set in 0u64..50_000, cap in 1usize..4) {
+        let a = PartitionMap::new(4, 1, cap);
+        let b = PartitionMap::new(4, 1, cap + 1);
+        prop_assert_eq!(a.changed_ways(&b, set).count_ones(), 1);
+    }
+
+    /// The token bucket never goes negative and never grants more than its
+    /// cap, for arbitrary spend/refill interleavings.
+    #[test]
+    fn token_bucket_bounded(ops in proptest::collection::vec(0u8..3, 1..200)) {
+        let mut b = TokenBucket::new(50, 3);
+        for op in ops {
+            match op {
+                0 => { let _ = b.try_spend(1); }
+                1 => { let _ = b.try_spend(2); }
+                _ => b.refill(),
+            }
+            prop_assert!(b.available() <= 2 * b.grant().max(1) + 100);
+        }
+    }
+
+    /// The remap table never stores duplicate tags in a set and never
+    /// reports dirty on invalid ways, under random fill/touch/invalidate.
+    #[test]
+    fn remap_table_invariants(ops in proptest::collection::vec((0u64..64, 0u64..32, 0u8..4), 1..300)) {
+        let cfg = HybridConfig {
+            fast_capacity: 64 * 1024,
+            ..HybridConfig::default()
+        };
+        let mut t = RemapTable::new(&cfg);
+        for (set, tag, op) in ops {
+            match op {
+                0 | 1 => {
+                    if t.lookup(set, tag).is_none() {
+                        if let Some(w) = t.pick_victim(set, 0b1111) {
+                            t.fill(set, w, tag, ReqClass::Cpu, op == 1);
+                        }
+                    }
+                }
+                2 => {
+                    if let Some(w) = t.lookup(set, tag) {
+                        t.touch(set, w, true);
+                    }
+                }
+                _ => {
+                    if let Some(w) = t.lookup(set, tag) {
+                        t.invalidate(set, w);
+                    }
+                }
+            }
+            prop_assert!(t.check_no_duplicate_tags());
+            for w in t.set_view(set) {
+                prop_assert!(w.valid || !w.dirty, "dirty invalid way");
+            }
+        }
+    }
+
+    /// Trace generators stay inside their window for every preset.
+    #[test]
+    fn traces_stay_in_window(seed in 0u64..1000, pick in 0usize..19) {
+        let all: Vec<_> = hydrogen_repro::trace::workloads::cpu_workloads()
+            .into_iter()
+            .chain(hydrogen_repro::trace::workloads::gpu_workloads())
+            .collect();
+        let spec = &all[pick % all.len()];
+        let base = 1u64 << 32;
+        let mut g = spec.instantiate(seed, 0, base, 16);
+        for _ in 0..500 {
+            let r = g.next_ref();
+            prop_assert!(r.addr >= base);
+            prop_assert!(r.addr < base + g.footprint());
+            prop_assert_eq!(r.addr % 64, 0);
+        }
+    }
+
+    /// Seeded RNG streams with equal labels agree; zipf stays in range.
+    #[test]
+    fn rng_stream_properties(seed in 0u64..10_000, n in 1u64..10_000) {
+        let mut a = SeededRng::derive(seed, "x");
+        let mut b = SeededRng::derive(seed, "x");
+        prop_assert_eq!(a.next_u64(), b.next_u64());
+        prop_assert!(a.zipf(n, 0.9) < n);
+        prop_assert!(a.below(n) < n);
+    }
+}
