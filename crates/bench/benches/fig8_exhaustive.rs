@@ -4,7 +4,7 @@
 fn main() {
     // cargo passes --bench/--test harness flags; ignore them.
     let profile = h2_harness::Profile::from_env();
-    let mut cache = h2_harness::RunCache::new();
+    let mut cache = h2_harness::RunCache::persistent();
     let tables = h2_harness::run_experiment("fig8", &profile, &mut cache)
         .expect("known experiment id");
     for t in tables {

@@ -1,126 +1,167 @@
-//! Criterion microbenchmarks of the simulator's hot paths: the event queue,
-//! the DRAM device scheduler, the remap table, rendezvous hashing, trace
-//! generation, and a short whole-system run (events/second).
+//! Microbenchmarks of the simulator's hot paths: the event queue (calendar
+//! vs legacy heap engine, several depths and horizons), run-cache job-key
+//! hashing, the DRAM device scheduler, the remap table, rendezvous hashing,
+//! trace generation, and a short whole-system run.
+//!
+//! `cargo bench --bench micro` times everything; `-- --test` smoke-runs
+//! each once; a plain argument filters by substring (e.g. `-- queue`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use h2_bench::Bench;
+use h2_harness::cache::Job;
 use h2_hybrid::remap::RemapTable;
 use h2_hybrid::types::{HybridConfig, ReqClass};
 use h2_hydrogen::partition::PartitionMap;
 use h2_mem::{MemCmd, MemDevice, TimingPreset};
-use h2_sim_core::EventQueue;
+use h2_sim_core::{EngineKind, EventQueue};
 use h2_system::{run_sim, PolicyKind, SystemConfig};
 use h2_trace::workloads;
 use h2_trace::Mix;
 use std::hint::black_box;
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1000u64 {
-                q.schedule_at((i * 7919) % 5000, i);
+/// Steady-state round: schedule `depth` events relative to `now`, drain
+/// them all. The queue is constructed once outside the timed region — real
+/// simulations build one queue and push hundreds of millions of events
+/// through it, so construction is fully amortised.
+fn queue_round(q: &mut EventQueue<u64>, depth: u64, horizon: u64) -> u64 {
+    let now = q.now();
+    for i in 0..depth {
+        q.schedule_at(now + (i * 7919) % horizon, i);
+    }
+    let mut sum = 0u64;
+    while let Some(e) = q.pop() {
+        sum = sum.wrapping_add(e.payload);
+    }
+    sum
+}
+
+fn bench_event_queue(b: &mut Bench) {
+    for depth in [256u64, 1024, 4096, 16_384] {
+        // Near-horizon: everything lands in the calendar wheel, the common
+        // case during simulation (latencies are tens-to-thousands of cycles).
+        let horizon = 5000.max(depth / 2);
+        for (tag, kind) in [("calendar", EngineKind::Calendar), ("heap", EngineKind::Heap)] {
+            let mut q = EventQueue::with_engine(kind);
+            b.bench(&format!("event_queue_{tag}_{depth}"), move || {
+                black_box(queue_round(&mut q, depth, horizon))
+            });
+        }
+    }
+    // Mixed horizon: ~1/8 of events far in the future (epoch/faucet timers),
+    // exercising the overflow heap and its drain path.
+    for (tag, kind) in [("calendar", EngineKind::Calendar), ("heap", EngineKind::Heap)] {
+        let mut q = EventQueue::with_engine(kind);
+        b.bench(&format!("event_queue_{tag}_4096_mixed"), move || {
+            let now = q.now();
+            for i in 0..4096u64 {
+                let t = if i % 8 == 0 {
+                    100_000 + (i * 104_729) % 3_000_000
+                } else {
+                    (i * 7919) % 5000
+                };
+                q.schedule_at(now + t, i);
             }
             let mut sum = 0u64;
             while let Some(e) = q.pop() {
                 sum = sum.wrapping_add(e.payload);
             }
             black_box(sum)
-        })
-    });
+        });
+    }
 }
 
-fn bench_dram_device(c: &mut Criterion) {
-    c.bench_function("dram_channel_1k_cmds", |b| {
-        b.iter(|| {
-            let mut d = MemDevice::new(TimingPreset::Ddr4.timing(), 1);
-            let mut out = Vec::new();
-            let mut now = 0;
-            for i in 0..1000u64 {
-                d.enqueue(
-                    0,
-                    MemCmd {
-                        addr: (i * 12289) % (1 << 26),
-                        bytes: 64,
-                        is_write: i % 3 == 0,
-                        priority: 0,
-                        token: i,
-                    },
-                    now,
-                );
-                d.pump(0, now, &mut out);
-                if let Some(s) = out.pop() {
-                    now = s.done_at;
-                    d.on_complete(0);
-                }
-                out.clear();
+fn bench_job_key(b: &mut Bench) {
+    let cfg = SystemConfig::paper();
+    let mix = Mix::by_name("C1").unwrap();
+    let job = Job::new(&cfg, &mix, PolicyKind::HydrogenFull);
+    b.bench("cache_job_key_u128", || black_box(job.key()));
+}
+
+fn bench_dram_device(b: &mut Bench) {
+    b.bench("dram_channel_1k_cmds", || {
+        let mut d = MemDevice::new(TimingPreset::Ddr4.timing(), 1);
+        let mut out = Vec::new();
+        let mut now = 0;
+        for i in 0..1000u64 {
+            d.enqueue(
+                0,
+                MemCmd {
+                    addr: (i * 12289) % (1 << 26),
+                    bytes: 64,
+                    is_write: i % 3 == 0,
+                    priority: 0,
+                    token: i,
+                },
+                now,
+            );
+            d.pump(0, now, &mut out);
+            if let Some(s) = out.pop() {
+                now = s.done_at;
+                d.on_complete(0);
             }
-            black_box(d.stats().bytes)
-        })
+            out.clear();
+        }
+        black_box(d.stats().bytes)
     });
 }
 
-fn bench_remap_table(c: &mut Criterion) {
+fn bench_remap_table(b: &mut Bench) {
     let cfg = HybridConfig::default();
-    c.bench_function("remap_table_lookup_fill", |b| {
-        let mut t = RemapTable::new(&cfg);
-        let sets = cfg.num_sets();
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let set = (i * 48271) % sets;
-            let tag = i % 97;
-            match t.lookup(set, tag) {
-                Some(w) => t.touch(set, w, false),
-                None => {
-                    if let Some(w) = t.pick_victim(set, 0b1111) {
-                        t.fill(set, w, tag, ReqClass::Cpu, false);
-                    }
+    let mut t = RemapTable::new(&cfg);
+    let sets = cfg.num_sets();
+    let mut i = 0u64;
+    b.bench("remap_table_lookup_fill", || {
+        i += 1;
+        let set = (i * 48271) % sets;
+        let tag = i % 97;
+        match t.lookup(set, tag) {
+            Some(w) => t.touch(set, w, false),
+            None => {
+                if let Some(w) = t.pick_victim(set, 0b1111) {
+                    t.fill(set, w, tag, ReqClass::Cpu, false);
                 }
             }
-            black_box(())
-        })
+        }
     });
 }
 
-fn bench_partition_map(c: &mut Criterion) {
+fn bench_partition_map(b: &mut Bench) {
     let m = PartitionMap::new(4, 1, 3);
-    c.bench_function("rendezvous_cpu_mask", |b| {
-        let mut s = 0u64;
-        b.iter(|| {
-            s += 1;
-            black_box(m.cpu_mask(s))
-        })
+    let mut s = 0u64;
+    b.bench("rendezvous_cpu_mask", || {
+        s += 1;
+        black_box(m.cpu_mask(s))
     });
 }
 
-fn bench_trace_gen(c: &mut Criterion) {
+fn bench_trace_gen(b: &mut Bench) {
     let spec = workloads::by_name("mcf").unwrap();
-    c.bench_function("trace_gen_mcf_ref", |b| {
-        let mut g = spec.instantiate(1, 0, 0, 8);
-        b.iter(|| black_box(g.next_ref()))
-    });
+    let mut g = spec.instantiate(1, 0, 0, 8);
+    b.bench("trace_gen_mcf_ref", || black_box(g.next_ref()));
 }
 
-fn bench_full_system(c: &mut Criterion) {
+fn bench_full_system(b: &mut Bench) {
     let mut cfg = SystemConfig::tiny();
     cfg.warmup_cycles = 50_000;
     cfg.measure_cycles = 100_000;
     let mix = Mix::by_name("C1").unwrap();
-    let mut g = c.benchmark_group("full_system");
-    g.sample_size(10);
-    g.bench_function("tiny_c1_hydrogen_150k_cycles", |b| {
-        b.iter(|| black_box(run_sim(&cfg, &mix, PolicyKind::HydrogenFull).events_processed))
-    });
-    g.finish();
+    for (tag, kind) in [("calendar", EngineKind::Calendar), ("heap", EngineKind::Heap)] {
+        cfg.engine = kind;
+        let c = cfg.clone();
+        let m = mix.clone();
+        b.bench(&format!("full_system_tiny_c1_150k_{tag}"), move || {
+            black_box(run_sim(&c, &m, PolicyKind::HydrogenFull).events_processed)
+        });
+    }
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_dram_device,
-    bench_remap_table,
-    bench_partition_map,
-    bench_trace_gen,
-    bench_full_system
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::new();
+    bench_event_queue(&mut b);
+    bench_job_key(&mut b);
+    bench_dram_device(&mut b);
+    bench_remap_table(&mut b);
+    bench_partition_map(&mut b);
+    bench_trace_gen(&mut b);
+    bench_full_system(&mut b);
+    b.finish();
+}

@@ -3,7 +3,7 @@
 
 fn main() {
     let profile = h2_harness::Profile::from_env();
-    let mut cache = h2_harness::RunCache::new();
+    let mut cache = h2_harness::RunCache::persistent();
     let tables = h2_harness::run_experiment("verify", &profile, &mut cache)
         .expect("known experiment id");
     for t in tables {

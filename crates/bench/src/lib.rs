@@ -1,4 +1,135 @@
-//! Bench-only crate: all content lives in `benches/` — one standalone
-//! (harness = false) target per paper table/figure that prints the
-//! reproduced rows and writes CSVs, plus criterion microbenchmarks of the
-//! simulator's hot paths (`micro`).
+//! Bench-only crate: the paper targets in `benches/` — one standalone
+//! (harness = false) target per table/figure that prints the reproduced
+//! rows and writes CSVs — plus `micro`, microbenchmarks of the simulator's
+//! hot paths built on the tiny harness below.
+//!
+//! The harness is in-repo (no criterion: the workspace builds with zero
+//! external dependencies). It understands cargo's bench conventions:
+//! `cargo bench --bench micro -- --test` runs every benchmark once as a
+//! smoke test; a trailing plain argument filters benchmarks by substring.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Parsed bench CLI: `[filter] [--test]` (cargo's own flags are ignored).
+pub struct BenchArgs {
+    /// Substring filter on benchmark names.
+    pub filter: Option<String>,
+    /// Smoke mode: one iteration per benchmark, no timing statistics.
+    pub test: bool,
+}
+
+impl BenchArgs {
+    /// Parse `std::env::args`, ignoring flags cargo's harness would eat.
+    pub fn from_env() -> Self {
+        let mut filter = None;
+        let mut test = false;
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--test" => test = true,
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Self { filter, test }
+    }
+}
+
+/// A named group of benchmarks sharing the CLI args.
+pub struct Bench {
+    args: BenchArgs,
+    ran: usize,
+}
+
+impl Bench {
+    /// New runner from the process args.
+    pub fn new() -> Self {
+        Self { args: BenchArgs::from_env(), ran: 0 }
+    }
+
+    /// Whether `name` passes the CLI filter.
+    fn selected(&self, name: &str) -> bool {
+        self.args
+            .filter
+            .as_deref()
+            .is_none_or(|f| name.contains(f))
+    }
+
+    /// Run one benchmark: `f` is one iteration whose result is blackboxed.
+    /// Prints `name ... <ns>/iter`, or runs once in `--test` mode.
+    /// Returns the measured ns/iter (0 in `--test` mode or when filtered).
+    pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) -> u64 {
+        if !self.selected(name) {
+            return 0;
+        }
+        self.ran += 1;
+        if self.args.test {
+            black_box(f());
+            println!("test {name} ... ok");
+            return 0;
+        }
+        // Warm up and size the batch so one measured pass is ~50ms.
+        let t0 = Instant::now();
+        let mut warm_iters = 0u64;
+        while t0.elapsed() < Duration::from_millis(30) {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = t0.elapsed().as_nanos() as u64 / warm_iters.max(1);
+        let batch = (50_000_000 / per_iter.max(1)).clamp(1, 10_000_000);
+
+        // Best-of-5 batches: robust to scheduler noise, biased low like
+        // most micro harnesses.
+        let mut best = u64::MAX;
+        for _ in 0..5 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as u64 / batch;
+            best = best.min(ns);
+        }
+        println!("{name:<44} {best:>12} ns/iter");
+        best
+    }
+
+    /// Final line; exits non-zero if a filter matched nothing.
+    pub fn finish(self) {
+        if self.ran == 0 {
+            eprintln!("no benchmarks matched the filter");
+            std::process::exit(1);
+        }
+        if self.args.test {
+            println!("\n{} benchmarks ran in --test mode", self.ran);
+        }
+    }
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_matching() {
+        let b = Bench { args: BenchArgs { filter: Some("queue".into()), test: true }, ran: 0 };
+        assert!(b.selected("event_queue_4k"));
+        assert!(!b.selected("dram_channel"));
+        let b = Bench { args: BenchArgs { filter: None, test: true }, ran: 0 };
+        assert!(b.selected("anything"));
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut b = Bench { args: BenchArgs { filter: None, test: true }, ran: 0 };
+        let mut count = 0;
+        b.bench("x", || count += 1);
+        assert_eq!(count, 1);
+        assert_eq!(b.ran, 1);
+    }
+}

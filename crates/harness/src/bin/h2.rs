@@ -7,7 +7,9 @@
 //! ```
 //!
 //! Scale with `H2_PROFILE=quick|default|full`; `H2_VERBOSE=1` for progress.
-//! CSVs are written to `results/`.
+//! CSVs are written to `results/`. Completed simulations persist in
+//! `results/.runcache/` and are replayed on re-runs; set `H2_RUNCACHE=off`
+//! to disable, or point it at an alternate directory.
 
 use h2_harness::{run_experiment, Profile, RunCache, ALL_EXPERIMENTS};
 use std::path::Path;
@@ -37,7 +39,7 @@ fn main() {
 }
 
 fn run_ids(ids: &[&str], profile: &Profile) {
-    let mut cache = RunCache::new();
+    let mut cache = RunCache::persistent();
     let t0 = std::time::Instant::now();
     let results_dir = Path::new("results");
     for id in ids {
@@ -58,10 +60,9 @@ fn run_ids(ids: &[&str], profile: &Profile) {
         }
     }
     eprintln!(
-        "[h2] {} experiments, {} simulations executed ({} cached) in {:.0}s",
+        "[h2] {} experiments in {:.0}s: {}",
         ids.len(),
-        cache.executed,
-        cache.len().saturating_sub(cache.executed),
-        t0.elapsed().as_secs_f64()
+        t0.elapsed().as_secs_f64(),
+        cache.summary()
     );
 }

@@ -1,14 +1,26 @@
-//! Per-process memoisation of simulation runs.
+//! Two-level memoisation of simulation runs.
 //!
 //! Several experiments need the same runs (every figure needs per-mix
-//! baselines; Fig 6 reuses Fig 5's runs). The cache keys on a canonical
-//! string describing the configuration, mix, policy and participants, and
-//! fans jobs out over a small crossbeam-channel worker pool when more than
-//! one CPU is available.
+//! baselines; Fig 6 reuses Fig 5's runs). Jobs are keyed by a structured
+//! `u128` hash of the full configuration ([`crate::key::job_key`]); lookups
+//! go memory → disk ([`crate::persist::DiskTier`]) → simulate. Batches are
+//! deduplicated before dispatch and fanned out over a `std::thread` worker
+//! pool when more than one CPU is available.
+//!
+//! The disk tier (default `results/.runcache/`) survives process restarts:
+//! re-running an experiment after a crash or `^C` replays completed
+//! simulations from disk and only executes the remainder. Control it with
+//! `H2_RUNCACHE`: unset → default directory, a path → that directory,
+//! `off`/`0` → memory-only.
 
+use crate::key::job_key;
+use crate::persist::DiskTier;
 use h2_system::{run_sim_parts, Participants, PolicyKind, RunReport, SystemConfig};
 use h2_trace::Mix;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// One simulation job.
 #[derive(Debug, Clone)]
@@ -34,129 +46,207 @@ impl Job {
         }
     }
 
-    /// Canonical cache key.
-    pub fn key(&self) -> String {
-        let c = &self.cfg;
-        format!(
-            "{}|{:?}|{:?}|cores{}|eus{}|slots{}|mlp{}|w{:?}|blk{}|a{}|fc{}|sc{}|{:?}|cap{:?}|fs{}|rc{}|ep{}|fau{}|ph{}|wu{}|me{}|seed{}|{:?}",
-            self.mix.name,
-            self.kind,
-            self.parts,
-            c.cpu_cores,
-            c.gpu_eus,
-            c.gpu_ctx_slots,
-            c.cpu_mlp,
-            c.weights,
-            c.block_bytes,
-            c.assoc,
-            c.fast_channels,
-            c.slow_channels,
-            c.mode,
-            c.fast_capacity_override,
-            c.footprint_scale,
-            c.remap_cache_bytes,
-            c.epoch_cycles,
-            c.faucet_cycles,
-            c.epochs_per_phase,
-            c.warmup_cycles,
-            c.measure_cycles,
-            c.seed,
-            c.fast_preset,
-        )
+    /// Canonical cache key (stable across processes).
+    pub fn key(&self) -> u128 {
+        job_key(&self.cfg, &self.mix, self.kind, self.parts)
     }
 }
 
-/// Memoising simulation runner.
+/// The default persistent-cache directory: `results/.runcache` under the
+/// nearest ancestor that already has a `results/` dir or is a repo root —
+/// so `cargo bench` targets (whose CWD is the package dir) share one cache
+/// with the `h2` CLI (run from the workspace root).
+fn default_cache_dir() -> std::path::PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let mut at = cwd.as_path();
+    loop {
+        if at.join("results").is_dir() || at.join(".git").is_dir() {
+            return at.join("results/.runcache");
+        }
+        match at.parent() {
+            Some(p) => at = p,
+            None => return cwd.join("results/.runcache"),
+        }
+    }
+}
+
+/// Memoising simulation runner with an optional persistent tier.
 #[derive(Default)]
 pub struct RunCache {
-    map: HashMap<String, RunReport>,
-    /// Runs actually executed (cache misses).
+    map: HashMap<u128, RunReport>,
+    disk: Option<DiskTier>,
+    /// Runs actually executed (missed both tiers).
     pub executed: usize,
+    /// In-memory cache hits.
+    pub hits: usize,
+    /// Runs replayed from the persistent tier.
+    pub disk_hits: usize,
+    /// Duplicate jobs collapsed within `run_batch` calls.
+    pub deduped: usize,
+    /// Total simulator events across executed runs.
+    pub sim_events: u64,
+    /// Total wall-clock seconds spent inside executed simulations (summed
+    /// across workers, so it can exceed elapsed time).
+    pub sim_wall_s: f64,
     /// Print progress lines to stderr.
     pub verbose: bool,
 }
 
 impl RunCache {
-    /// Empty cache.
+    /// Memory-only cache (tests, throwaway runs).
     pub fn new() -> Self {
         Self {
-            map: HashMap::new(),
-            executed: 0,
             verbose: std::env::var("H2_VERBOSE").is_ok(),
+            ..Self::default()
         }
+    }
+
+    /// Cache backed by the persistent tier. Honours `H2_RUNCACHE`:
+    /// `off`/`0` disables the disk tier, any other value overrides the
+    /// directory (default `results/.runcache` at the workspace root).
+    /// Falls back to memory-only if the directory cannot be created.
+    pub fn persistent() -> Self {
+        let mut c = Self::new();
+        let dir = match std::env::var("H2_RUNCACHE") {
+            Ok(v) if v == "off" || v == "0" => return c,
+            Ok(v) => std::path::PathBuf::from(v),
+            Err(_) => default_cache_dir(),
+        };
+        match DiskTier::open(&dir) {
+            Ok(t) => c.disk = Some(t),
+            Err(e) => eprintln!("[h2] run cache disabled ({}: {e})", dir.display()),
+        }
+        c
+    }
+
+    /// Cache backed by an explicit directory (tests).
+    pub fn with_disk_dir(dir: &Path) -> std::io::Result<Self> {
+        let mut c = Self::new();
+        c.disk = Some(DiskTier::open(dir)?);
+        Ok(c)
+    }
+
+    /// Whether a persistent tier is attached.
+    pub fn is_persistent(&self) -> bool {
+        self.disk.is_some()
+    }
+
+    /// Look a key up in both tiers, promoting disk hits into memory.
+    fn fetch(&mut self, key: u128) -> Option<RunReport> {
+        if let Some(r) = self.map.get(&key) {
+            self.hits += 1;
+            return Some(r.clone());
+        }
+        if let Some(disk) = &self.disk {
+            if let Some(r) = disk.load(key) {
+                self.disk_hits += 1;
+                self.map.insert(key, r.clone());
+                return Some(r);
+            }
+        }
+        None
+    }
+
+    /// Record a finished run in both tiers.
+    fn admit(&mut self, key: u128, report: &RunReport) {
+        self.executed += 1;
+        self.sim_events += report.events_processed;
+        self.sim_wall_s += report.wall_s;
+        if let Some(disk) = &self.disk {
+            if let Err(e) = disk.store(key, report) {
+                eprintln!("[h2] run cache write failed: {e}");
+            }
+        }
+        self.map.insert(key, report.clone());
     }
 
     /// Run (or fetch) a single job.
     pub fn run(&mut self, job: &Job) -> RunReport {
         let key = job.key();
-        if let Some(r) = self.map.get(&key) {
-            return r.clone();
+        if let Some(r) = self.fetch(key) {
+            return r;
         }
         if self.verbose {
             eprintln!("[h2] running {} / {:?} / {:?}", job.mix.name, job.kind, job.parts);
         }
-        let t0 = std::time::Instant::now();
         let report = run_sim_parts(&job.cfg, &job.mix, job.kind, job.parts);
-        self.executed += 1;
         if self.verbose {
             eprintln!(
-                "[h2]   done in {:.1}s ({} events)",
-                t0.elapsed().as_secs_f64(),
-                report.events_processed
+                "[h2]   done in {:.1}s ({} events, {:.2} Mev/s)",
+                report.wall_s,
+                report.events_processed,
+                report.events_per_sec / 1e6
             );
         }
-        self.map.insert(key, report.clone());
+        self.admit(key, &report);
         report
     }
 
-    /// Run a batch of jobs, using a worker pool when multiple CPUs exist.
-    /// Results come back in job order.
+    /// Run a batch of jobs, deduplicating identical jobs and using a worker
+    /// pool when multiple CPUs exist. Results come back in job order.
     pub fn run_batch(&mut self, jobs: &[Job]) -> Vec<RunReport> {
+        // Partition into cached and to-run, collapsing duplicates so each
+        // distinct key is simulated at most once per batch.
+        let mut pending = HashSet::new();
+        let mut misses: Vec<(u128, Job)> = Vec::new();
+        for job in jobs {
+            let key = job.key();
+            if self.map.contains_key(&key) {
+                self.hits += 1;
+                continue;
+            }
+            if !pending.insert(key) {
+                self.deduped += 1;
+                continue;
+            }
+            if let Some(r) = self.disk.as_ref().and_then(|d| d.load(key)) {
+                self.disk_hits += 1;
+                self.map.insert(key, r);
+                continue;
+            }
+            misses.push((key, job.clone()));
+        }
+
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
-            .min(jobs.len().max(1));
-        // Partition into cached and to-run (preserving order on return).
-        let misses: Vec<(usize, Job)> = jobs
-            .iter()
-            .enumerate()
-            .filter(|(_, j)| !self.map.contains_key(&j.key()))
-            .map(|(i, j)| (i, j.clone()))
-            .collect();
+            .min(misses.len().max(1));
 
         if workers <= 1 || misses.len() <= 1 {
-            for (_, j) in &misses {
-                self.run(j);
+            for (key, job) in &misses {
+                if self.verbose {
+                    eprintln!("[h2] running {} / {:?} / {:?}", job.mix.name, job.kind, job.parts);
+                }
+                let r = run_sim_parts(&job.cfg, &job.mix, job.kind, job.parts);
+                self.admit(*key, &r);
             }
         } else {
-            let (tx_job, rx_job) = crossbeam::channel::unbounded::<(usize, Job)>();
-            let (tx_res, rx_res) = crossbeam::channel::unbounded::<(usize, RunReport)>();
-            for m in &misses {
-                tx_job.send(m.clone()).unwrap();
-            }
-            drop(tx_job);
+            let next = AtomicUsize::new(0);
+            let (tx, rx) = mpsc::channel::<(usize, RunReport)>();
+            let misses_ref = &misses;
             std::thread::scope(|s| {
                 for _ in 0..workers {
-                    let rx = rx_job.clone();
-                    let tx = tx_res.clone();
-                    s.spawn(move || {
-                        while let Ok((i, job)) = rx.recv() {
-                            let r = run_sim_parts(&job.cfg, &job.mix, job.kind, job.parts);
-                            tx.send((i, r)).unwrap();
+                    let tx = tx.clone();
+                    let next = &next;
+                    s.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((_, job)) = misses_ref.get(i) else { break };
+                        let r = run_sim_parts(&job.cfg, &job.mix, job.kind, job.parts);
+                        if tx.send((i, r)).is_err() {
+                            break;
                         }
                     });
                 }
-                drop(tx_res);
-                for (i, r) in rx_res {
-                    self.executed += 1;
-                    self.map.insert(jobs[i].key(), r);
+                drop(tx);
+                for (i, r) in rx {
+                    self.admit(misses_ref[i].0, &r);
                 }
             });
         }
         jobs.iter().map(|j| self.map[&j.key()].clone()).collect()
     }
 
-    /// Number of distinct cached runs.
+    /// Number of distinct cached runs in memory.
     pub fn len(&self) -> usize {
         self.map.len()
     }
@@ -165,6 +255,22 @@ impl RunCache {
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
+
+    /// One-line summary of cache activity for CLI output.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "{} executed, {} memory hits, {} disk hits, {} deduped",
+            self.executed, self.hits, self.disk_hits, self.deduped
+        );
+        if self.sim_wall_s > 0.0 {
+            s.push_str(&format!(
+                "; {:.2}M events at {:.2} Mev/s aggregate",
+                self.sim_events as f64 / 1e6,
+                self.sim_events as f64 / self.sim_wall_s / 1e6
+            ));
+        }
+        s
+    }
 }
 
 #[cfg(test)]
@@ -172,11 +278,13 @@ mod tests {
     use super::*;
 
     fn tiny_job(kind: PolicyKind) -> Job {
-        Job::new(
-            &SystemConfig::tiny(),
-            &Mix::by_name("C1").unwrap(),
-            kind,
-        )
+        Job::new(&SystemConfig::tiny(), &Mix::by_name("C1").unwrap(), kind)
+    }
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("h2-cache-{}-{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
     }
 
     #[test]
@@ -187,6 +295,7 @@ mod tests {
         let executed_after_first = c.executed;
         let b = c.run(&j);
         assert_eq!(c.executed, executed_after_first, "second call cached");
+        assert_eq!(c.hits, 1);
         assert_eq!(a.cpu_instr, b.cpu_instr);
     }
 
@@ -208,10 +317,69 @@ mod tests {
     }
 
     #[test]
+    fn batch_dedups_identical_jobs() {
+        let mut c = RunCache::new();
+        let j = tiny_job(PolicyKind::NoPart);
+        let rs = c.run_batch(&[j.clone(), j.clone(), j.clone(), tiny_job(PolicyKind::WayPart)]);
+        assert_eq!(rs.len(), 4);
+        assert_eq!(c.executed, 2, "duplicates collapsed before dispatch");
+        assert_eq!(c.deduped, 2);
+        assert_eq!(rs[0].cpu_instr, rs[1].cpu_instr);
+        assert_eq!(rs[0].cpu_instr, rs[2].cpu_instr);
+    }
+
+    #[test]
     fn participants_in_key() {
         let mut j = tiny_job(PolicyKind::NoPart);
         let k1 = j.key();
         j.parts = Participants::CpuOnly;
         assert_ne!(k1, j.key());
+    }
+
+    #[test]
+    fn persistent_tier_survives_restart() {
+        let dir = tmp_dir("restart");
+        let j = tiny_job(PolicyKind::NoPart);
+        let first = {
+            let mut c = RunCache::with_disk_dir(&dir).unwrap();
+            let r = c.run(&j);
+            assert_eq!(c.executed, 1);
+            r
+        };
+        // "New process": fresh in-memory map, same directory.
+        let mut c2 = RunCache::with_disk_dir(&dir).unwrap();
+        let again = c2.run(&j);
+        assert_eq!(c2.executed, 0, "replayed from disk, not re-simulated");
+        assert_eq!(c2.disk_hits, 1);
+        assert_eq!(again.cpu_instr, first.cpu_instr);
+        assert_eq!(again.epoch_trace, first.epoch_trace);
+
+        // A batch over the same job also comes from disk.
+        let mut c3 = RunCache::with_disk_dir(&dir).unwrap();
+        let rs = c3.run_batch(&[j.clone(), j.clone()]);
+        assert_eq!(c3.executed, 0);
+        assert_eq!(c3.disk_hits, 1);
+        // The duplicate lands after the disk promotion, so it counts as a
+        // memory hit rather than a dedup.
+        assert_eq!(c3.deduped, 0);
+        assert_eq!(c3.hits, 1);
+        assert_eq!(rs[0].cpu_instr, first.cpu_instr);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_bump_invalidates_persisted_runs() {
+        let dir = tmp_dir("inval");
+        let j = tiny_job(PolicyKind::NoPart);
+        {
+            let mut c = RunCache::with_disk_dir(&dir).unwrap();
+            c.run(&j);
+        }
+        std::fs::write(dir.join("VERSION"), "schema0+v0.0.0").unwrap();
+        let mut c2 = RunCache::with_disk_dir(&dir).unwrap();
+        c2.run(&j);
+        assert_eq!(c2.executed, 1, "stale cache wiped; run re-executed");
+        assert_eq!(c2.disk_hits, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

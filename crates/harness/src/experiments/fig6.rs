@@ -84,6 +84,9 @@ mod tests {
             final_params: PolicyParams { bw: 0, cap: 0, tok: 0, label: String::new() },
             epoch_trace: vec![],
             events_processed: 0,
+            wall_s: 0.0,
+            events_per_sec: 0.0,
+            clamped_events: 0,
             avg_cpu_read_latency: 0.0,
             avg_gpu_read_latency: 0.0,
             fast_channel_bytes: vec![],

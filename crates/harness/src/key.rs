@@ -1,0 +1,214 @@
+//! Canonical, collision-resistant cache keys for simulation jobs.
+//!
+//! A [`Job`](crate::cache::Job) used to be keyed by a ~25-field `format!`
+//! string — slow to build, allocation-heavy, and silently incomplete (it
+//! omitted the store buffer and the whole cache hierarchy). The structured
+//! encoder below serialises every field that influences a run into a
+//! canonical little-endian byte stream and hashes it with FNV-1a/128,
+//! giving a fixed-width `u128` key that is cheap to compare, to use as a
+//! `HashMap` key, and to name on-disk cache entries with.
+//!
+//! The one deliberate omission is [`SystemConfig::engine`]: the two event
+//! engines are proved bit-identical by the differential tests, so flipping
+//! the engine must *hit* the cache, not re-simulate.
+
+use h2_system::{Participants, PolicyKind, SystemConfig};
+use h2_trace::Mix;
+
+/// Bump whenever the key encoding below changes shape, so persisted cache
+/// entries keyed under the old scheme can never alias new ones.
+pub const KEY_SCHEMA_VERSION: u32 = 1;
+
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// FNV-1a over the byte stream, 128-bit variant.
+pub fn fnv1a_128(bytes: &[u8]) -> u128 {
+    let mut h = FNV128_OFFSET;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(FNV128_PRIME);
+    }
+    h
+}
+
+/// Canonical byte-stream builder for key material.
+#[derive(Debug, Default)]
+pub struct KeyEncoder {
+    buf: Vec<u8>,
+}
+
+impl KeyEncoder {
+    /// Fresh encoder, pre-tagged with the key schema version.
+    pub fn new() -> Self {
+        let mut e = Self { buf: Vec::with_capacity(256) };
+        e.u32(KEY_SCHEMA_VERSION);
+        e
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.u64(x);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    /// Finish: hash the accumulated stream.
+    pub fn finish(&self) -> u128 {
+        fnv1a_128(&self.buf)
+    }
+}
+
+fn participants_tag(p: Participants) -> u8 {
+    match p {
+        Participants::Both => 0,
+        Participants::CpuOnly => 1,
+        Participants::GpuOnly => 2,
+    }
+}
+
+fn encode_mix(e: &mut KeyEncoder, mix: &Mix) {
+    e.str(mix.name);
+    for name in mix.cpu {
+        e.str(name);
+    }
+    e.str(mix.gpu);
+}
+
+fn encode_config(e: &mut KeyEncoder, c: &SystemConfig) {
+    e.u64(c.cpu_cores as u64);
+    e.u64(c.gpu_eus as u64);
+    e.u64(c.gpu_ctx_slots as u64);
+    e.u64(c.store_buffer as u64);
+    e.u64(c.cpu_mlp as u64);
+    e.f64(c.weights.0);
+    e.f64(c.weights.1);
+    for cache in [
+        &c.hierarchy.cpu_l1,
+        &c.hierarchy.cpu_l2,
+        &c.hierarchy.gpu_l1,
+        &c.hierarchy.llc,
+    ] {
+        e.u64(cache.size_bytes);
+        e.u64(cache.ways as u64);
+        e.u64(cache.line_bytes);
+        e.u64(cache.latency);
+    }
+    e.u64(c.hierarchy.eus_per_gpu_l1 as u64);
+    e.u64(c.block_bytes);
+    e.u64(c.assoc as u64);
+    // Debug strings are a stable, exhaustive discriminant for these small
+    // config enums (a new variant automatically gets a distinct tag).
+    e.str(&format!("{:?}", c.fast_preset));
+    e.u64(c.fast_channels as u64);
+    e.u64(c.slow_channels as u64);
+    e.str(&format!("{:?}", c.mode));
+    e.opt_u64(c.fast_capacity_override);
+    e.u64(c.footprint_scale);
+    e.u64(c.remap_cache_bytes);
+    e.u64(c.epoch_cycles);
+    e.u64(c.faucet_cycles);
+    e.u64(c.epochs_per_phase);
+    e.u64(c.warmup_cycles);
+    e.u64(c.measure_cycles);
+    e.u64(c.seed);
+    // `c.engine` intentionally excluded — see module docs.
+}
+
+/// The canonical key of one (config, mix, policy, participants) job.
+pub fn job_key(
+    cfg: &SystemConfig,
+    mix: &Mix,
+    kind: PolicyKind,
+    parts: Participants,
+) -> u128 {
+    let mut e = KeyEncoder::new();
+    encode_mix(&mut e, mix);
+    // Labels are unique per policy variant, including the parameterised
+    // ones (swap variants, static (bw, cap, tok) points).
+    e.str(&kind.label());
+    e.u8(participants_tag(parts));
+    encode_config(&mut e, cfg);
+    e.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_input_sensitive() {
+        let a = fnv1a_128(b"hello");
+        let b = fnv1a_128(b"hello");
+        let c = fnv1a_128(b"hellp");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(fnv1a_128(b""), 0);
+    }
+
+    #[test]
+    fn every_config_field_changes_the_key() {
+        let mix = Mix::by_name("C1").unwrap();
+        let base = SystemConfig::tiny();
+        let key = |c: &SystemConfig| job_key(c, &mix, PolicyKind::NoPart, Participants::Both);
+        let k0 = key(&base);
+
+        let mut c = base.clone();
+        c.seed += 1;
+        assert_ne!(key(&c), k0, "seed");
+        let mut c = base.clone();
+        c.store_buffer += 1;
+        assert_ne!(key(&c), k0, "store_buffer (missing from the old string key)");
+        let mut c = base.clone();
+        c.hierarchy.llc.size_bytes *= 2;
+        assert_ne!(key(&c), k0, "hierarchy (missing from the old string key)");
+        let mut c = base.clone();
+        c.fast_capacity_override = Some(123);
+        assert_ne!(key(&c), k0, "capacity override");
+        let mut c = base.clone();
+        c.measure_cycles += 1;
+        assert_ne!(key(&c), k0, "measure window");
+    }
+
+    #[test]
+    fn engine_choice_does_not_change_the_key() {
+        let mix = Mix::by_name("C1").unwrap();
+        let mut c = SystemConfig::tiny();
+        let k0 = job_key(&c, &mix, PolicyKind::NoPart, Participants::Both);
+        c.engine = h2_sim_core::EngineKind::Heap;
+        assert_eq!(job_key(&c, &mix, PolicyKind::NoPart, Participants::Both), k0);
+    }
+
+    #[test]
+    fn static_policy_points_get_distinct_keys() {
+        let mix = Mix::by_name("C1").unwrap();
+        let c = SystemConfig::tiny();
+        let a = job_key(&c, &mix, PolicyKind::HydrogenStatic { bw: 1, cap: 2, tok: 3 }, Participants::Both);
+        let b = job_key(&c, &mix, PolicyKind::HydrogenStatic { bw: 1, cap: 3, tok: 2 }, Participants::Both);
+        assert_ne!(a, b);
+    }
+}

@@ -12,6 +12,8 @@
 
 pub mod cache;
 pub mod experiments;
+pub mod key;
+pub mod persist;
 pub mod profile;
 pub mod table;
 

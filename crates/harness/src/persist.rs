@@ -1,0 +1,466 @@
+//! The persistent on-disk tier of the run cache.
+//!
+//! Layout: one file per cached run under the cache directory (default
+//! `results/.runcache/`), named `<032x-key>.h2r`, plus a `VERSION` file
+//! holding the cache tag. Entries are a small hand-rolled little-endian
+//! binary encoding of [`RunReport`] behind a `H2RC` magic + tag header (no
+//! serde — the workspace builds with zero external dependencies).
+//!
+//! Invalidation rule: the tag couples a hand-bumped schema number with the
+//! crate version. When the directory's `VERSION` (or an entry's header)
+//! does not match the running binary's tag, the stale entries are removed
+//! wholesale and the cache restarts cold. Bump [`SCHEMA_VERSION`] whenever
+//! simulator behaviour or this encoding changes.
+
+use h2_system::report::{EpochRecord, RunReport};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Entry-file magic.
+const MAGIC: [u8; 4] = *b"H2RC";
+
+/// Bump on any change to simulator results or to the encoding below.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The full cache tag: schema + code revision (crate version).
+pub fn cache_tag() -> String {
+    format!("schema{}+v{}", SCHEMA_VERSION, env!("CARGO_PKG_VERSION"))
+}
+
+// --- minimal binary codec -------------------------------------------------
+
+#[derive(Default)]
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn arr2(&mut self, v: [u64; 2]) {
+        self.u64(v[0]);
+        self.u64(v[1]);
+    }
+    fn vec_u64(&mut self, v: &[u64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.u64(x);
+        }
+    }
+}
+
+struct Dec<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(b: &'a [u8]) -> Self {
+        Self { b, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.b.len() {
+            return None;
+        }
+        let s = &self.b[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+    fn str(&mut self) -> Option<String> {
+        let n = self.u64()? as usize;
+        if n > self.b.len() {
+            return None;
+        }
+        String::from_utf8(self.take(n)?.to_vec()).ok()
+    }
+    fn arr2(&mut self) -> Option<[u64; 2]> {
+        Some([self.u64()?, self.u64()?])
+    }
+    fn vec_u64(&mut self) -> Option<Vec<u64>> {
+        let n = self.u64()? as usize;
+        if n.checked_mul(8)? > self.b.len() {
+            return None;
+        }
+        (0..n).map(|_| self.u64()).collect()
+    }
+    fn done(&self) -> bool {
+        self.pos == self.b.len()
+    }
+}
+
+fn encode_report(r: &RunReport, tag: &str) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.buf.extend_from_slice(&MAGIC);
+    e.u32(SCHEMA_VERSION);
+    e.str(tag);
+
+    e.str(&r.policy);
+    e.str(&r.mix);
+    e.u64(r.measured_cycles);
+    e.u64(r.cpu_instr);
+    e.u64(r.gpu_instr);
+    e.f64(r.weights.0);
+    e.f64(r.weights.1);
+
+    let h = &r.hmc;
+    e.arr2(h.accesses);
+    e.arr2(h.fast_hits);
+    e.arr2(h.fast_misses);
+    e.arr2(h.migrations);
+    e.arr2(h.bypasses);
+    e.u64(h.victim_writebacks);
+    e.u64(h.swaps);
+    e.u64(h.lazy_fixups);
+    e.u64(h.meta_reads);
+    e.u64(h.meta_writebacks);
+    e.arr2(h.migrations_denied);
+    e.arr2(h.buffer_denied);
+
+    for m in [&r.fast, &r.slow] {
+        e.u64(m.reads);
+        e.u64(m.writes);
+        e.u64(m.bytes);
+        e.u64(m.activations);
+        e.u64(m.row_hits);
+        e.u64(m.busy_cycles);
+        e.u64(m.enqueued);
+        e.u64(m.max_queue);
+    }
+    for en in [&r.fast_energy, &r.slow_energy] {
+        e.f64(en.dynamic_rw_j);
+        e.f64(en.act_pre_j);
+        e.f64(en.static_j);
+    }
+    e.f64(r.remap_hit_rate);
+    e.u64(r.final_params.bw as u64);
+    e.u64(r.final_params.cap as u64);
+    e.u64(r.final_params.tok as u64);
+    e.str(&r.final_params.label);
+
+    e.u64(r.epoch_trace.len() as u64);
+    for ep in &r.epoch_trace {
+        e.u64(ep.epoch);
+        e.f64(ep.weighted_ipc);
+        e.u64(ep.bw as u64);
+        e.u64(ep.cap as u64);
+        e.u64(ep.tok as u64);
+        e.u8(ep.reconfigured as u8);
+    }
+
+    e.u64(r.events_processed);
+    e.f64(r.wall_s);
+    e.f64(r.events_per_sec);
+    e.u64(r.clamped_events);
+    e.f64(r.avg_cpu_read_latency);
+    e.f64(r.avg_gpu_read_latency);
+    e.vec_u64(&r.fast_channel_bytes);
+    e.vec_u64(&r.slow_channel_bytes);
+    e.buf
+}
+
+fn decode_report(bytes: &[u8], tag: &str) -> Option<RunReport> {
+    let mut d = Dec::new(bytes);
+    if d.take(4)? != MAGIC || d.u32()? != SCHEMA_VERSION || d.str()? != tag {
+        return None;
+    }
+
+    let policy = d.str()?;
+    let mix = d.str()?;
+    let measured_cycles = d.u64()?;
+    let cpu_instr = d.u64()?;
+    let gpu_instr = d.u64()?;
+    let weights = (d.f64()?, d.f64()?);
+
+    let hmc = h2_hybrid::HmcStats {
+        accesses: d.arr2()?,
+        fast_hits: d.arr2()?,
+        fast_misses: d.arr2()?,
+        migrations: d.arr2()?,
+        bypasses: d.arr2()?,
+        victim_writebacks: d.u64()?,
+        swaps: d.u64()?,
+        lazy_fixups: d.u64()?,
+        meta_reads: d.u64()?,
+        meta_writebacks: d.u64()?,
+        migrations_denied: d.arr2()?,
+        buffer_denied: d.arr2()?,
+    };
+
+    let mut mems = Vec::with_capacity(2);
+    for _ in 0..2 {
+        mems.push(h2_mem::device::MemStats {
+            reads: d.u64()?,
+            writes: d.u64()?,
+            bytes: d.u64()?,
+            activations: d.u64()?,
+            row_hits: d.u64()?,
+            busy_cycles: d.u64()?,
+            enqueued: d.u64()?,
+            max_queue: d.u64()?,
+        });
+    }
+    let slow = mems.pop()?;
+    let fast = mems.pop()?;
+
+    let mut energies = Vec::with_capacity(2);
+    for _ in 0..2 {
+        energies.push(h2_mem::EnergyBreakdown {
+            dynamic_rw_j: d.f64()?,
+            act_pre_j: d.f64()?,
+            static_j: d.f64()?,
+        });
+    }
+    let slow_energy = energies.pop()?;
+    let fast_energy = energies.pop()?;
+
+    let remap_hit_rate = d.f64()?;
+    let final_params = h2_hybrid::policy::PolicyParams {
+        bw: d.u64()? as usize,
+        cap: d.u64()? as usize,
+        tok: d.u64()? as usize,
+        label: d.str()?,
+    };
+
+    let n_epochs = d.u64()? as usize;
+    if n_epochs > bytes.len() {
+        return None;
+    }
+    let mut epoch_trace = Vec::with_capacity(n_epochs);
+    for _ in 0..n_epochs {
+        epoch_trace.push(EpochRecord {
+            epoch: d.u64()?,
+            weighted_ipc: d.f64()?,
+            bw: d.u64()? as usize,
+            cap: d.u64()? as usize,
+            tok: d.u64()? as usize,
+            reconfigured: d.u8()? != 0,
+        });
+    }
+
+    let events_processed = d.u64()?;
+    let wall_s = d.f64()?;
+    let events_per_sec = d.f64()?;
+    let clamped_events = d.u64()?;
+    let avg_cpu_read_latency = d.f64()?;
+    let avg_gpu_read_latency = d.f64()?;
+    let fast_channel_bytes = d.vec_u64()?;
+    let slow_channel_bytes = d.vec_u64()?;
+    if !d.done() {
+        return None;
+    }
+
+    Some(RunReport {
+        policy,
+        mix,
+        measured_cycles,
+        cpu_instr,
+        gpu_instr,
+        weights,
+        hmc,
+        fast,
+        slow,
+        fast_energy,
+        slow_energy,
+        remap_hit_rate,
+        final_params,
+        epoch_trace,
+        events_processed,
+        wall_s,
+        events_per_sec,
+        clamped_events,
+        avg_cpu_read_latency,
+        avg_gpu_read_latency,
+        fast_channel_bytes,
+        slow_channel_bytes,
+    })
+}
+
+// --- the disk tier --------------------------------------------------------
+
+/// A directory of persisted runs, validated against [`cache_tag`].
+#[derive(Debug)]
+pub struct DiskTier {
+    dir: PathBuf,
+    tag: String,
+}
+
+impl DiskTier {
+    /// Open (creating if needed) the tier at `dir`. A tag mismatch wipes
+    /// stale entries so the cache restarts cold instead of serving results
+    /// from an older simulator revision.
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        let tag = cache_tag();
+        let version_file = dir.join("VERSION");
+        let on_disk = fs::read_to_string(&version_file).unwrap_or_default();
+        if on_disk != tag {
+            for entry in fs::read_dir(dir)?.flatten() {
+                let p = entry.path();
+                if p.extension().is_some_and(|e| e == "h2r") {
+                    let _ = fs::remove_file(p);
+                }
+            }
+            fs::write(&version_file, &tag)?;
+        }
+        Ok(Self { dir: dir.to_path_buf(), tag })
+    }
+
+    /// The directory this tier lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: u128) -> PathBuf {
+        self.dir.join(format!("{key:032x}.h2r"))
+    }
+
+    /// Load a persisted run, if present and valid.
+    pub fn load(&self, key: u128) -> Option<RunReport> {
+        let bytes = fs::read(self.entry_path(key)).ok()?;
+        decode_report(&bytes, &self.tag)
+    }
+
+    /// Persist a run (atomically: write temp, then rename, so a concurrent
+    /// reader or a crash never sees a half-written entry).
+    pub fn store(&self, key: u128, report: &RunReport) -> io::Result<()> {
+        let bytes = encode_report(report, &self.tag);
+        let tmp = self
+            .dir
+            .join(format!("{key:032x}.h2r.tmp{}", std::process::id()));
+        fs::write(&tmp, &bytes)?;
+        fs::rename(&tmp, self.entry_path(key))
+    }
+
+    /// Number of entries currently on disk.
+    pub fn entries(&self) -> usize {
+        fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.flatten()
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "h2r"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2_system::{run_sim, PolicyKind, SystemConfig};
+    use h2_trace::Mix;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "h2-persist-{}-{}",
+            name,
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sample_report() -> RunReport {
+        let mut cfg = SystemConfig::tiny();
+        cfg.warmup_cycles = 50_000;
+        cfg.measure_cycles = 100_000;
+        run_sim(&cfg, &Mix::by_name("C1").unwrap(), PolicyKind::HydrogenFull)
+    }
+
+    fn assert_reports_equal(a: &RunReport, b: &RunReport) {
+        assert_eq!(a.policy, b.policy);
+        assert_eq!(a.mix, b.mix);
+        assert_eq!(a.cpu_instr, b.cpu_instr);
+        assert_eq!(a.gpu_instr, b.gpu_instr);
+        assert_eq!(a.hmc, b.hmc);
+        assert_eq!(a.fast, b.fast);
+        assert_eq!(a.slow, b.slow);
+        assert_eq!(a.weights, b.weights);
+        assert_eq!(a.remap_hit_rate.to_bits(), b.remap_hit_rate.to_bits());
+        assert_eq!(a.final_params, b.final_params);
+        assert_eq!(a.epoch_trace, b.epoch_trace);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.wall_s.to_bits(), b.wall_s.to_bits());
+        assert_eq!(a.clamped_events, b.clamped_events);
+        assert_eq!(a.fast_channel_bytes, b.fast_channel_bytes);
+        assert_eq!(a.slow_channel_bytes, b.slow_channel_bytes);
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let r = sample_report();
+        let bytes = encode_report(&r, "tagX");
+        let back = decode_report(&bytes, "tagX").expect("decodes");
+        assert_reports_equal(&r, &back);
+    }
+
+    #[test]
+    fn tag_mismatch_rejects() {
+        let r = sample_report();
+        let bytes = encode_report(&r, "tagX");
+        assert!(decode_report(&bytes, "tagY").is_none());
+    }
+
+    #[test]
+    fn truncated_entry_rejects() {
+        let r = sample_report();
+        let bytes = encode_report(&r, "t");
+        for cut in [0, 3, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_report(&bytes[..cut], "t").is_none(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn disk_tier_stores_and_loads() {
+        let dir = tmp_dir("roundtrip");
+        let tier = DiskTier::open(&dir).unwrap();
+        let r = sample_report();
+        assert!(tier.load(7).is_none());
+        tier.store(7, &r).unwrap();
+        assert_eq!(tier.entries(), 1);
+        let back = tier.load(7).expect("hit");
+        assert_reports_equal(&r, &back);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatch_wipes_entries() {
+        let dir = tmp_dir("wipe");
+        let tier = DiskTier::open(&dir).unwrap();
+        tier.store(1, &sample_report()).unwrap();
+        assert_eq!(tier.entries(), 1);
+        // Simulate an older binary's cache.
+        fs::write(dir.join("VERSION"), "schema0+v0.0.0").unwrap();
+        let tier2 = DiskTier::open(&dir).unwrap();
+        assert_eq!(tier2.entries(), 0, "stale entries removed");
+        assert!(tier2.load(1).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

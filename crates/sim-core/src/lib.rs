@@ -10,6 +10,6 @@ pub mod rng;
 pub mod stats;
 pub mod units;
 
-pub use event::{EventQueue, Scheduled};
+pub use event::{EngineKind, EventQueue, Scheduled};
 pub use rng::SeededRng;
 pub use units::{Cycles, KIB, MIB};

@@ -13,6 +13,7 @@ use h2_cache::HierarchyConfig;
 use h2_hybrid::types::Mode;
 use h2_mem::TimingPreset;
 use h2_sim_core::units::{Cycles, KIB, MIB};
+use h2_sim_core::EngineKind;
 use h2_trace::Mix;
 
 /// Which sides of the processor run (solo runs feed Fig 2a / Fig 10a).
@@ -74,6 +75,10 @@ pub struct SystemConfig {
     pub measure_cycles: Cycles,
     /// Experiment seed (trace generators, stochastic policies).
     pub seed: u64,
+    /// Event-queue engine. Both engines are bit-identical (proved by the
+    /// differential tests), so this is not part of the run-cache key; the
+    /// `Heap` oracle exists for differential testing and benchmarking.
+    pub engine: EngineKind,
 }
 
 impl Default for SystemConfig {
@@ -109,6 +114,7 @@ impl SystemConfig {
             warmup_cycles: 50_000_000,
             measure_cycles: 500_000_000,
             seed: 42,
+            engine: EngineKind::default(),
         }
     }
 

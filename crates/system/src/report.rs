@@ -55,6 +55,15 @@ pub struct RunReport {
     pub epoch_trace: Vec<EpochRecord>,
     /// Total simulator events processed (throughput diagnostics).
     pub events_processed: u64,
+    /// Host wall-clock seconds the whole simulation took (warm-up +
+    /// measurement). Zero for synthetic reports.
+    pub wall_s: f64,
+    /// Simulator throughput: events processed per host second.
+    pub events_per_sec: f64,
+    /// Events scheduled in the past and clamped to `now` by the event
+    /// queue (release builds). Non-zero values flag scheduling bugs that
+    /// debug assertions would have caught.
+    pub clamped_events: u64,
     /// Mean CPU demand-read latency (LLC miss to data), cycles.
     pub avg_cpu_read_latency: f64,
     /// Mean GPU demand latency (LLC miss to data), cycles.
@@ -144,6 +153,9 @@ mod tests {
             },
             epoch_trace: vec![],
             events_processed: 0,
+            wall_s: 0.0,
+            events_per_sec: 0.0,
+            clamped_events: 0,
             avg_cpu_read_latency: 0.0,
             avg_gpu_read_latency: 0.0,
             fast_channel_bytes: vec![],

@@ -619,11 +619,12 @@ pub fn run_workloads(
         }
     }
 
+    let t_start = std::time::Instant::now();
     let n_ctx = ctxs.len();
     let n_core = cores.len();
     let mut sim = Sim {
         cfg: cfg.clone(),
-        q: EventQueue::new(),
+        q: EventQueue::with_engine(cfg.engine),
         cores,
         l1s,
         l2s,
@@ -665,6 +666,7 @@ pub fn run_workloads(
     sim.q.schedule_at(cfg.warmup_cycles, Ev::WarmupEnd);
 
     sim.run();
+    let wall_s = t_start.elapsed().as_secs_f64();
 
     let (rc_hits, rc_misses, _) = sim.hmc.remap_cache_counts();
     let rc_total = rc_hits + rc_misses;
@@ -705,6 +707,9 @@ pub fn run_workloads(
         final_params: sim.hmc.policy().params(),
         epoch_trace: sim.epoch_trace,
         events_processed: sim.q.events_processed(),
+        wall_s,
+        events_per_sec: sim.q.events_processed() as f64 / wall_s.max(1e-9),
+        clamped_events: sim.q.clamped_events(),
         avg_cpu_read_latency: sim.cpu_lat_sum as f64 / sim.cpu_lat_cnt.max(1) as f64,
         avg_gpu_read_latency: sim.gpu_lat_sum as f64 / sim.gpu_lat_cnt.max(1) as f64,
         fast_channel_bytes: sim.fast.channel_bytes(),
@@ -771,6 +776,37 @@ mod tests {
         assert_eq!(a.fast, b.fast);
         assert_eq!(a.slow, b.slow);
         assert_eq!(a.events_processed, b.events_processed);
+    }
+
+    /// Acceptance check for the calendar-queue engine: an identical-seed
+    /// end-to-end run must be bit-identical on both engines.
+    #[test]
+    fn calendar_and_heap_engines_are_bit_identical() {
+        let mut cfg = tiny();
+        let mix = Mix::by_name("C1").unwrap();
+        cfg.engine = h2_sim_core::EngineKind::Calendar;
+        let a = run_sim(&cfg, &mix, PolicyKind::HydrogenFull);
+        cfg.engine = h2_sim_core::EngineKind::Heap;
+        let b = run_sim(&cfg, &mix, PolicyKind::HydrogenFull);
+        assert_eq!(a.cpu_instr, b.cpu_instr);
+        assert_eq!(a.gpu_instr, b.gpu_instr);
+        assert_eq!(a.hmc, b.hmc);
+        assert_eq!(a.fast, b.fast);
+        assert_eq!(a.slow, b.slow);
+        assert_eq!(a.epoch_trace, b.epoch_trace);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.clamped_events, b.clamped_events);
+        assert_eq!(a.fast_channel_bytes, b.fast_channel_bytes);
+        assert_eq!(a.slow_channel_bytes, b.slow_channel_bytes);
+    }
+
+    #[test]
+    fn run_reports_throughput() {
+        let cfg = tiny();
+        let mix = Mix::by_name("C1").unwrap();
+        let r = run_sim(&cfg, &mix, PolicyKind::NoPart);
+        assert!(r.wall_s > 0.0);
+        assert!(r.events_per_sec > 0.0);
     }
 
     #[test]

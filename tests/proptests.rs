@@ -1,90 +1,122 @@
-//! Property-based tests over the core data structures, exercised through
-//! the public crate APIs.
+//! Randomised property tests over the core data structures, exercised
+//! through the public crate APIs.
+//!
+//! Gated behind the `proptest` cargo feature (on by default). The case
+//! generator is the simulator's own [`SeededRng`] rather than an external
+//! property-testing crate, so the suite builds with no registry access;
+//! every case is deterministic and a failure message names the case seed.
+
+#![cfg(feature = "proptest")]
 
 use hydrogen_repro::hybrid::types::{HybridConfig, ReqClass};
 use hydrogen_repro::hybrid::RemapTable;
 use hydrogen_repro::hydrogen::partition::PartitionMap;
 use hydrogen_repro::hydrogen::TokenBucket;
-use hydrogen_repro::sim::SeededRng;
-use proptest::prelude::*;
+use hydrogen_repro::sim::{EngineKind, EventQueue, SeededRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// The partition masks always split the ways exactly between classes,
-    /// for every legal (n, bw, cap) and any set.
-    #[test]
-    fn partition_masks_are_exact_partitions(
-        n in 1usize..=16,
-        bw_frac in 0.0f64..=1.0,
-        cap_frac in 0.0f64..=1.0,
-        set in 0u64..100_000,
-    ) {
-        let bw = (bw_frac * n as f64) as usize;
-        let cap = bw + (cap_frac * (n - bw) as f64) as usize;
+/// Run `f` against `CASES` independent deterministic RNG streams.
+fn cases(label: &str, f: impl Fn(u64, &mut SeededRng)) {
+    for case in 0..CASES {
+        let mut rng = SeededRng::derive(case, label);
+        f(case, &mut rng);
+    }
+}
+
+/// The partition masks always split the ways exactly between classes, for
+/// every legal (n, bw, cap) and any set.
+#[test]
+fn partition_masks_are_exact_partitions() {
+    cases("prop.partition", |case, rng| {
+        let n = 1 + rng.below(16) as usize;
+        let bw = (rng.unit() * n as f64) as usize;
+        let cap = bw + (rng.unit() * (n - bw) as f64) as usize;
+        let set = rng.below(100_000);
         let m = PartitionMap::new(n, bw.min(n), cap.min(n));
         let cpu = m.cpu_mask(set);
         let gpu = m.gpu_mask(set);
-        prop_assert_eq!(cpu & gpu, 0);
-        prop_assert_eq!((cpu | gpu) as u32, (1u32 << n) - 1);
-        prop_assert_eq!(cpu.count_ones() as usize, cap.min(n));
-    }
+        assert_eq!(cpu & gpu, 0, "case {case}: overlapping masks");
+        assert_eq!((cpu | gpu) as u32, (1u32 << n) - 1, "case {case}: not a partition");
+        assert_eq!(cpu.count_ones() as usize, cap.min(n), "case {case}: wrong CPU share");
+    });
+}
 
-    /// way_channel and channel_way are inverse bijections per set.
-    #[test]
-    fn way_channel_bijective(
-        bw in 0usize..=4,
-        set in 0u64..10_000,
-    ) {
+/// way_channel and channel_way are inverse bijections per set.
+#[test]
+fn way_channel_bijective() {
+    cases("prop.bijective", |case, rng| {
+        let bw = rng.below(5) as usize;
+        let set = rng.below(10_000);
         let m = PartitionMap::new(4, bw, 4);
         let mut seen = [false; 4];
         for w in 0..4 {
             let c = m.way_channel(set, w);
-            prop_assert!(c < 4);
-            prop_assert!(!seen[c], "channel used twice");
+            assert!(c < 4, "case {case}");
+            assert!(!seen[c], "case {case}: channel used twice");
             seen[c] = true;
-            prop_assert_eq!(m.channel_way(set, c), w);
+            assert_eq!(m.channel_way(set, c), w, "case {case}: not inverse");
         }
-    }
+    });
+}
 
-    /// A single-step cap change relocates exactly one way per set.
-    #[test]
-    fn consistent_hashing_minimal_remap(set in 0u64..50_000, cap in 1usize..4) {
+/// A single-step cap change relocates exactly one way per set.
+#[test]
+fn consistent_hashing_minimal_remap() {
+    cases("prop.minremap", |case, rng| {
+        let set = rng.below(50_000);
+        let cap = 1 + rng.below(3) as usize;
         let a = PartitionMap::new(4, 1, cap);
         let b = PartitionMap::new(4, 1, cap + 1);
-        prop_assert_eq!(a.changed_ways(&b, set).count_ones(), 1);
-    }
+        assert_eq!(a.changed_ways(&b, set).count_ones(), 1, "case {case}");
+    });
+}
 
-    /// The token bucket never goes negative and never grants more than its
-    /// cap, for arbitrary spend/refill interleavings.
-    #[test]
-    fn token_bucket_bounded(ops in proptest::collection::vec(0u8..3, 1..200)) {
+/// The token bucket never goes negative and never grants more than its
+/// cap, for arbitrary spend/refill interleavings.
+#[test]
+fn token_bucket_bounded() {
+    cases("prop.tokens", |case, rng| {
         let mut b = TokenBucket::new(50, 3);
-        for op in ops {
-            match op {
-                0 => { let _ = b.try_spend(1); }
-                1 => { let _ = b.try_spend(2); }
+        let ops = 1 + rng.below(200);
+        for _ in 0..ops {
+            match rng.below(3) {
+                0 => {
+                    let _ = b.try_spend(1);
+                }
+                1 => {
+                    let _ = b.try_spend(2);
+                }
                 _ => b.refill(),
             }
-            prop_assert!(b.available() <= 2 * b.grant().max(1) + 100);
+            assert!(
+                b.available() <= 2 * b.grant().max(1) + 100,
+                "case {case}: bucket overfilled"
+            );
         }
-    }
+    });
+}
 
-    /// The remap table never stores duplicate tags in a set and never
-    /// reports dirty on invalid ways, under random fill/touch/invalidate.
-    #[test]
-    fn remap_table_invariants(ops in proptest::collection::vec((0u64..64, 0u64..32, 0u8..4), 1..300)) {
+/// The remap table never stores duplicate tags in a set and never reports
+/// dirty on invalid ways, under random fill/touch/invalidate.
+#[test]
+fn remap_table_invariants() {
+    cases("prop.remap", |case, rng| {
         let cfg = HybridConfig {
             fast_capacity: 64 * 1024,
             ..HybridConfig::default()
         };
         let mut t = RemapTable::new(&cfg);
-        for (set, tag, op) in ops {
-            match op {
+        let ops = 1 + rng.below(300);
+        for _ in 0..ops {
+            let set = rng.below(64);
+            let tag = rng.below(32);
+            match rng.below(4) {
                 0 | 1 => {
+                    let dirty = rng.chance(0.5);
                     if t.lookup(set, tag).is_none() {
                         if let Some(w) = t.pick_victim(set, 0b1111) {
-                            t.fill(set, w, tag, ReqClass::Cpu, op == 1);
+                            t.fill(set, w, tag, ReqClass::Cpu, dirty);
                         }
                     }
                 }
@@ -99,38 +131,113 @@ proptest! {
                     }
                 }
             }
-            prop_assert!(t.check_no_duplicate_tags());
+            assert!(t.check_no_duplicate_tags(), "case {case}: duplicate tags");
             for w in t.set_view(set) {
-                prop_assert!(w.valid || !w.dirty, "dirty invalid way");
+                assert!(w.valid || !w.dirty, "case {case}: dirty invalid way");
             }
         }
-    }
+    });
+}
 
-    /// Trace generators stay inside their window for every preset.
-    #[test]
-    fn traces_stay_in_window(seed in 0u64..1000, pick in 0usize..19) {
-        let all: Vec<_> = hydrogen_repro::trace::workloads::cpu_workloads()
-            .into_iter()
-            .chain(hydrogen_repro::trace::workloads::gpu_workloads())
-            .collect();
-        let spec = &all[pick % all.len()];
+/// Trace generators stay inside their window for every preset.
+#[test]
+fn traces_stay_in_window() {
+    let all: Vec<_> = hydrogen_repro::trace::workloads::cpu_workloads()
+        .into_iter()
+        .chain(hydrogen_repro::trace::workloads::gpu_workloads())
+        .collect();
+    cases("prop.traces", |case, rng| {
+        let seed = rng.below(1000);
+        let spec = &all[rng.below(all.len() as u64) as usize];
         let base = 1u64 << 32;
         let mut g = spec.instantiate(seed, 0, base, 16);
         for _ in 0..500 {
             let r = g.next_ref();
-            prop_assert!(r.addr >= base);
-            prop_assert!(r.addr < base + g.footprint());
-            prop_assert_eq!(r.addr % 64, 0);
+            assert!(r.addr >= base, "case {case} ({}): below window", spec.name);
+            assert!(
+                r.addr < base + g.footprint(),
+                "case {case} ({}): past window",
+                spec.name
+            );
+            assert_eq!(r.addr % 64, 0, "case {case}: unaligned");
         }
-    }
+    });
+}
 
-    /// Seeded RNG streams with equal labels agree; zipf stays in range.
-    #[test]
-    fn rng_stream_properties(seed in 0u64..10_000, n in 1u64..10_000) {
+/// Seeded RNG streams with equal labels agree; zipf/below stay in range.
+#[test]
+fn rng_stream_properties() {
+    cases("prop.rng", |case, rng| {
+        let seed = rng.below(10_000);
+        let n = 1 + rng.below(10_000);
         let mut a = SeededRng::derive(seed, "x");
         let mut b = SeededRng::derive(seed, "x");
-        prop_assert_eq!(a.next_u64(), b.next_u64());
-        prop_assert!(a.zipf(n, 0.9) < n);
-        prop_assert!(a.below(n) < n);
-    }
+        assert_eq!(a.next_u64(), b.next_u64(), "case {case}: streams diverge");
+        assert!(a.zipf(n, 0.9) < n, "case {case}: zipf out of range");
+        assert!(a.below(n) < n, "case {case}: below out of range");
+    });
+}
+
+/// For arbitrary schedule/pop interleavings, both event-queue engines emit
+/// the same `(time, seq, payload)` stream, time never runs backwards, and
+/// same-time events pop in schedule (FIFO) order.
+#[test]
+fn event_queue_interleavings_agree() {
+    cases("prop.queue", |case, rng| {
+        let mut cal = EventQueue::with_engine(EngineKind::Calendar);
+        let mut heap = EventQueue::with_engine(EngineKind::Heap);
+        let mut payload = 0u64;
+        let mut last: Option<(u64, u64)> = None;
+        let steps = 50 + rng.below(400);
+        for _ in 0..steps {
+            if rng.chance(0.6) {
+                // Schedule: mostly near-horizon, sometimes far (overflow),
+                // sometimes an exact tie with `now`.
+                let now = cal.now();
+                let delta = match rng.below(10) {
+                    0 => 0,
+                    1..=2 => rng.below(1 << 20), // far: overflow path
+                    _ => rng.below(5000),        // near: wheel path
+                };
+                cal.schedule_at(now + delta, payload);
+                heap.schedule_at(now + delta, payload);
+                payload += 1;
+            } else {
+                let a = cal.pop();
+                let b = heap.pop();
+                match (a, b) {
+                    (None, None) => {}
+                    (Some(x), Some(y)) => {
+                        assert_eq!(
+                            (x.time, x.seq, x.payload),
+                            (y.time, y.seq, y.payload),
+                            "case {case}: engines diverge"
+                        );
+                        if let Some((t, s)) = last {
+                            assert!(x.time >= t, "case {case}: time ran backwards");
+                            if x.time == t {
+                                assert!(x.seq > s, "case {case}: FIFO tie order broken");
+                            }
+                        }
+                        last = Some((x.time, x.seq));
+                    }
+                    _ => panic!("case {case}: one engine empty, the other not"),
+                }
+            }
+        }
+        // Drain what's left; the streams must stay identical to the end.
+        loop {
+            match (cal.pop(), heap.pop()) {
+                (None, None) => break,
+                (Some(x), Some(y)) => {
+                    assert_eq!(
+                        (x.time, x.seq, x.payload),
+                        (y.time, y.seq, y.payload),
+                        "case {case}: engines diverge in drain"
+                    );
+                }
+                _ => panic!("case {case}: drain length mismatch"),
+            }
+        }
+    });
 }
