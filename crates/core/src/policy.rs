@@ -220,6 +220,11 @@ impl HydrogenPolicy {
     fn dedicated_ways(&self) -> usize {
         self.bw * self.group
     }
+
+    /// The global token bucket (conservation checks).
+    pub fn tokens(&self) -> &TokenBucket {
+        &self.tokens
+    }
 }
 
 impl PartitionPolicy for HydrogenPolicy {
@@ -376,6 +381,26 @@ impl PartitionPolicy for HydrogenPolicy {
 
     fn ideal_reconfig(&self) -> bool {
         self.cfg.ideal_reconfig
+    }
+
+    fn collect_metrics(&self, m: &mut h2_sim_core::ScopedMetrics<'_>) {
+        m.inc("reconfigs", self.reconfigs);
+        m.inc("epochs", self.epoch_count);
+        let mut t = m.scoped("tokens");
+        t.inc("granted", self.tokens.granted_total());
+        t.inc("spent", self.tokens.spent_total());
+        t.inc("discarded", self.tokens.discarded_total());
+        t.inc("denied", self.tokens.denied_total());
+        t.set_gauge("available", self.tokens.available() as f64);
+        t.set_gauge("level", self.tokens.level() as f64);
+        if let Some(per) = &self.channel_tokens {
+            for (i, b) in per.iter().enumerate() {
+                let mut c = t.scoped(&format!("ch{i}"));
+                c.inc("granted", b.granted_total());
+                c.inc("spent", b.spent_total());
+                c.inc("denied", b.denied_total());
+            }
+        }
     }
 }
 

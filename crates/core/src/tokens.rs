@@ -33,6 +33,12 @@ pub struct TokenBucket {
     attempts: u64,
     /// Attempts observed in the previous period.
     last_attempts: u64,
+    // Lifetime conservation counters:
+    // `granted == spent + discarded + available()` at every instant.
+    total_granted: u64,
+    total_spent: u64,
+    total_discarded: u64,
+    total_denied: u64,
 }
 
 impl TokenBucket {
@@ -46,6 +52,10 @@ impl TokenBucket {
             budget_per_period: budget_per_period.max(1),
             attempts: 0,
             last_attempts: 0,
+            total_granted: 0,
+            total_spent: 0,
+            total_discarded: 0,
+            total_denied: 0,
         };
         // Seed the first grant as if a full-bandwidth period preceded us.
         b.attempts = b.budget_per_period;
@@ -82,7 +92,10 @@ impl TokenBucket {
         self.last_attempts = self.attempts.max(1);
         self.attempts = 0;
         let g = self.grant();
-        self.counter = (self.counter + g).min(2 * g);
+        let uncapped = self.counter + g;
+        self.counter = uncapped.min(2 * g);
+        self.total_granted += g;
+        self.total_discarded += uncapped - self.counter;
     }
 
     /// Try to spend `cost` tokens; returns whether the migration may go
@@ -92,10 +105,39 @@ impl TokenBucket {
         let cost = cost as u64;
         if self.counter >= cost {
             self.counter -= cost;
+            self.total_spent += cost;
             true
         } else {
+            self.total_denied += 1;
             false
         }
+    }
+
+    /// Tokens ever granted by refills.
+    pub fn granted_total(&self) -> u64 {
+        self.total_granted
+    }
+
+    /// Tokens ever spent by successful migrations.
+    pub fn spent_total(&self) -> u64 {
+        self.total_spent
+    }
+
+    /// Tokens dropped by the two-period banking cap.
+    pub fn discarded_total(&self) -> u64 {
+        self.total_discarded
+    }
+
+    /// Spend attempts refused for lack of tokens.
+    pub fn denied_total(&self) -> u64 {
+        self.total_denied
+    }
+
+    /// Token conservation: every granted token is spent, discarded by the
+    /// banking cap, or still available. (The counter being unsigned already
+    /// rules out a negative balance; this ties the flows together.)
+    pub fn check_conservation(&self) -> bool {
+        self.total_granted == self.total_spent + self.total_discarded + self.counter
     }
 }
 
@@ -178,5 +220,29 @@ mod tests {
     fn grant_never_zero() {
         let b = TokenBucket::new(1, 0);
         assert!(b.grant() >= 1);
+    }
+
+    #[test]
+    fn conservation_holds_under_mixed_traffic() {
+        let mut b = TokenBucket::new(100, 3);
+        assert!(b.check_conservation());
+        for round in 0..50u32 {
+            for i in 0..(round % 40) {
+                let _ = b.try_spend(1 + (i % 2));
+            }
+            if round % 3 == 0 {
+                b.refill();
+            }
+            assert!(
+                b.check_conservation(),
+                "round {round}: granted {} != spent {} + discarded {} + avail {}",
+                b.granted_total(),
+                b.spent_total(),
+                b.discarded_total(),
+                b.available()
+            );
+        }
+        assert!(b.denied_total() > 0, "some spends should have been refused");
+        assert!(b.discarded_total() > 0, "idle refills should hit the cap");
     }
 }

@@ -1,22 +1,38 @@
 //! `h2` — the experiment CLI.
 //!
 //! ```text
-//! h2 list                 # show available experiments
-//! h2 run fig5 [fig6 ...]  # run selected experiments
-//! h2 all                  # run everything (Tables I-II, Figs 2, 5-11)
+//! h2 list                           # show available experiments
+//! h2 run fig5 [fig6 ...]            # run selected experiments
+//! h2 run --telemetry <dir> fig9     # also dump per-run telemetry JSON
+//! h2 all                            # run everything (Tables I-II, Figs 2, 5-11)
 //! ```
 //!
 //! Scale with `H2_PROFILE=quick|default|full`; `H2_VERBOSE=1` for progress.
 //! CSVs are written to `results/`. Completed simulations persist in
 //! `results/.runcache/` and are replayed on re-runs; set `H2_RUNCACHE=off`
 //! to disable, or point it at an alternate directory.
+//!
+//! `--telemetry <dir>` writes one machine-readable epoch-resolved timeline
+//! per simulation run (`<mix>_<policy>_<key>.json`, schema documented in
+//! `h2_system::telemetry`) — including runs replayed from the cache.
 
 use h2_harness::{run_experiment, Profile, RunCache, ALL_EXPERIMENTS};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     let profile = Profile::from_env();
+
+    // Extract `--telemetry <dir>` wherever it appears.
+    let mut telemetry_dir: Option<PathBuf> = None;
+    if let Some(i) = args.iter().position(|a| a == "--telemetry") {
+        if i + 1 >= args.len() {
+            eprintln!("--telemetry needs a directory argument");
+            std::process::exit(2);
+        }
+        telemetry_dir = Some(PathBuf::from(args.remove(i + 1)));
+        args.remove(i);
+    }
 
     match args.first().map(|s| s.as_str()) {
         Some("list") => {
@@ -24,22 +40,28 @@ fn main() {
             println!("profile: {profile:?} (H2_PROFILE=quick|default|full)");
         }
         Some("all") => {
-            run_ids(&ALL_EXPERIMENTS.to_vec(), &profile);
+            run_ids(&ALL_EXPERIMENTS.to_vec(), &profile, telemetry_dir.as_deref());
         }
         Some("run") if args.len() > 1 => {
             let ids: Vec<&str> = args[1..].iter().map(|s| s.as_str()).collect();
-            run_ids(&ids, &profile);
+            run_ids(&ids, &profile, telemetry_dir.as_deref());
         }
         _ => {
-            eprintln!("usage: h2 list | h2 run <experiment>.. | h2 all");
+            eprintln!("usage: h2 list | h2 [--telemetry <dir>] run <experiment>.. | h2 all");
             eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
             std::process::exit(2);
         }
     }
 }
 
-fn run_ids(ids: &[&str], profile: &Profile) {
+fn run_ids(ids: &[&str], profile: &Profile, telemetry_dir: Option<&Path>) {
     let mut cache = RunCache::persistent();
+    if let Some(dir) = telemetry_dir {
+        if let Err(e) = cache.set_telemetry_dir(dir) {
+            eprintln!("cannot create telemetry dir {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    }
     let t0 = std::time::Instant::now();
     let results_dir = Path::new("results");
     for id in ids {

@@ -18,7 +18,9 @@ use crate::persist::DiskTier;
 use h2_system::{run_sim_parts, Participants, PolicyKind, RunReport, SystemConfig};
 use h2_trace::Mix;
 use std::collections::{HashMap, HashSet};
-use std::path::Path;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -90,6 +92,9 @@ pub struct RunCache {
     pub sim_wall_s: f64,
     /// Print progress lines to stderr.
     pub verbose: bool,
+    /// When set, every run entering the cache dumps its telemetry timeline
+    /// as `<mix>_<policy>_<key>.json` into this directory.
+    telemetry_dir: Option<PathBuf>,
 }
 
 impl RunCache {
@@ -131,6 +136,37 @@ impl RunCache {
         self.disk.is_some()
     }
 
+    /// Dump every run's telemetry timeline into `dir` (created if needed)
+    /// as it enters the cache — including runs replayed from disk.
+    pub fn set_telemetry_dir(&mut self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        self.telemetry_dir = Some(dir.to_path_buf());
+        Ok(())
+    }
+
+    /// Write one run's telemetry JSON (no-op when no dir is set or the run
+    /// was executed with telemetry off).
+    fn dump_telemetry(&self, key: u128, report: &RunReport) {
+        let (Some(dir), Some(json)) = (&self.telemetry_dir, report.telemetry_json_string())
+        else {
+            return;
+        };
+        let slug = |s: &str| -> String {
+            s.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+                .collect()
+        };
+        let path = dir.join(format!(
+            "{}_{}_{:032x}.json",
+            slug(&report.mix),
+            slug(&report.policy),
+            key
+        ));
+        if let Err(e) = fs::write(&path, json) {
+            eprintln!("[h2] telemetry write failed ({}): {e}", path.display());
+        }
+    }
+
     /// Look a key up in both tiers, promoting disk hits into memory.
     fn fetch(&mut self, key: u128) -> Option<RunReport> {
         if let Some(r) = self.map.get(&key) {
@@ -140,6 +176,7 @@ impl RunCache {
         if let Some(disk) = &self.disk {
             if let Some(r) = disk.load(key) {
                 self.disk_hits += 1;
+                self.dump_telemetry(key, &r);
                 self.map.insert(key, r.clone());
                 return Some(r);
             }
@@ -157,6 +194,7 @@ impl RunCache {
                 eprintln!("[h2] run cache write failed: {e}");
             }
         }
+        self.dump_telemetry(key, report);
         self.map.insert(key, report.clone());
     }
 
@@ -201,6 +239,7 @@ impl RunCache {
             }
             if let Some(r) = self.disk.as_ref().and_then(|d| d.load(key)) {
                 self.disk_hits += 1;
+                self.dump_telemetry(key, &r);
                 self.map.insert(key, r);
                 continue;
             }

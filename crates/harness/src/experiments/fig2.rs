@@ -119,6 +119,35 @@ pub fn run(profile: &Profile, cache: &mut RunCache) -> Vec<Table> {
     td.note("paper: both sides slow notably; GPU slightly more sensitive");
     out.push(td);
 
+    // (e) demand-latency distributions under contention, from the telemetry
+    // histograms (log2 buckets; quantiles are bucket lower bounds).
+    let mut te = Table::new(
+        "fig2e_latency",
+        "Fig 2(e): demand latency distribution per mix (baseline, co-run)",
+        &[
+            "mix", "CPU mean", "CPU p50", "CPU p99", "GPU mean", "GPU p50", "GPU p99",
+        ],
+    );
+    for mix in profile.headline_mixes() {
+        let r = cache.run(&Job::new(&cfg, &mix, PolicyKind::NoPart));
+        let Some(t) = &r.telemetry else { continue };
+        let (Some(hc), Some(hg)) = (t.totals.hist("lat.cpu_read"), t.totals.hist("lat.gpu_demand"))
+        else {
+            continue;
+        };
+        te.row(vec![
+            mix.name.to_string(),
+            f2(hc.mean()),
+            hc.quantile(0.5).to_string(),
+            hc.quantile(0.99).to_string(),
+            f2(hg.mean()),
+            hg.quantile(0.5).to_string(),
+            hg.quantile(0.99).to_string(),
+        ]);
+    }
+    te.note("cycles from LLC miss to data; tails show queueing under contention");
+    out.push(te);
+
     out
 }
 

@@ -91,6 +91,7 @@ mod tests {
             avg_gpu_read_latency: 0.0,
             fast_channel_bytes: vec![],
             slow_channel_bytes: vec![],
+            telemetry: None,
         };
         let slow = mk(100);
         let fast = mk(200);

@@ -62,5 +62,52 @@ pub fn run(profile: &Profile, cache: &mut RunCache) -> Vec<Table> {
         tb.row(vec![ep.to_string(), f3(s)]);
     }
     tb.note("paper: too-short epochs pay reconfiguration overheads, too-long epochs adapt slowly");
-    vec![ta, tb]
+
+    // (c) the hill climber's search path, from the telemetry timeline: how
+    // often it actually moved the configuration and what the token faucet
+    // did while it searched.
+    let mut tc = Table::new(
+        "fig9c_search",
+        "Fig 9(c): adaptation search path per mix (Hydrogen full, default epochs)",
+        &[
+            "mix",
+            "epochs",
+            "reconfigs",
+            "tok spent",
+            "tok denied",
+            "final (bw,cap,tok)",
+        ],
+    );
+    for m in &mixes {
+        let r = cache.run(&Job::new(&base_cfg, m, PolicyKind::HydrogenFull));
+        let Some(t) = &r.telemetry else { continue };
+        let reconfigs = t
+            .epochs
+            .iter()
+            .filter(|f| f.record.reconfigured)
+            .count();
+        // Sum the global faucet and any per-channel buckets.
+        let tok_sum = |which: &str| -> u64 {
+            t.totals
+                .counters()
+                .filter(|(n, _)| {
+                    n.starts_with("hmc.policy.tokens") && n.ends_with(which)
+                })
+                .map(|(_, v)| v)
+                .sum()
+        };
+        tc.row(vec![
+            m.name.to_string(),
+            t.epochs.len().to_string(),
+            reconfigs.to_string(),
+            tok_sum("spent").to_string(),
+            tok_sum("denied").to_string(),
+            format!(
+                "({},{},{})",
+                r.final_params.bw, r.final_params.cap, r.final_params.tok
+            ),
+        ]);
+    }
+    tc.note("epoch-resolved telemetry: reconfig cadence and token-faucet pressure during search");
+    vec![ta, tb, tc]
 }

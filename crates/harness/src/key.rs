@@ -8,9 +8,11 @@
 //! giving a fixed-width `u128` key that is cheap to compare, to use as a
 //! `HashMap` key, and to name on-disk cache entries with.
 //!
-//! The one deliberate omission is [`SystemConfig::engine`]: the two event
+//! Two deliberate omissions: [`SystemConfig::engine`] (the two event
 //! engines are proved bit-identical by the differential tests, so flipping
-//! the engine must *hit* the cache, not re-simulate.
+//! the engine must *hit* the cache, not re-simulate) and
+//! [`SystemConfig::telemetry`] (collection is a pure observation that never
+//! perturbs timing — runs differing only in it are the same run).
 
 use h2_system::{Participants, PolicyKind, SystemConfig};
 use h2_trace::Mix;
@@ -136,7 +138,7 @@ fn encode_config(e: &mut KeyEncoder, c: &SystemConfig) {
     e.u64(c.warmup_cycles);
     e.u64(c.measure_cycles);
     e.u64(c.seed);
-    // `c.engine` intentionally excluded — see module docs.
+    // `c.engine` and `c.telemetry` intentionally excluded — see module docs.
 }
 
 /// The canonical key of one (config, mix, policy, participants) job.
@@ -200,6 +202,15 @@ mod tests {
         let mut c = SystemConfig::tiny();
         let k0 = job_key(&c, &mix, PolicyKind::NoPart, Participants::Both);
         c.engine = h2_sim_core::EngineKind::Heap;
+        assert_eq!(job_key(&c, &mix, PolicyKind::NoPart, Participants::Both), k0);
+    }
+
+    #[test]
+    fn telemetry_flag_does_not_change_the_key() {
+        let mix = Mix::by_name("C1").unwrap();
+        let mut c = SystemConfig::tiny();
+        let k0 = job_key(&c, &mix, PolicyKind::NoPart, Participants::Both);
+        c.telemetry = !c.telemetry;
         assert_eq!(job_key(&c, &mix, PolicyKind::NoPart, Participants::Both), k0);
     }
 

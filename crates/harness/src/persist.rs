@@ -12,7 +12,8 @@
 //! wholesale and the cache restarts cold. Bump [`SCHEMA_VERSION`] whenever
 //! simulator behaviour or this encoding changes.
 
-use h2_system::report::{EpochRecord, RunReport};
+use h2_sim_core::{LogHistogram, MetricsRegistry};
+use h2_system::report::{EpochFrame, EpochRecord, RunReport, RunTelemetry};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -21,7 +22,8 @@ use std::path::{Path, PathBuf};
 const MAGIC: [u8; 4] = *b"H2RC";
 
 /// Bump on any change to simulator results or to the encoding below.
-pub const SCHEMA_VERSION: u32 = 1;
+/// v2: MemStats row conflicts + the optional telemetry section.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// The full cache tag: schema + code revision (crate version).
 pub fn cache_tag() -> String {
@@ -116,6 +118,96 @@ impl<'a> Dec<'a> {
     }
 }
 
+fn encode_epoch_record(e: &mut Enc, ep: &EpochRecord) {
+    e.u64(ep.epoch);
+    e.f64(ep.weighted_ipc);
+    e.u64(ep.bw as u64);
+    e.u64(ep.cap as u64);
+    e.u64(ep.tok as u64);
+    e.u8(ep.reconfigured as u8);
+}
+
+fn decode_epoch_record(d: &mut Dec) -> Option<EpochRecord> {
+    Some(EpochRecord {
+        epoch: d.u64()?,
+        weighted_ipc: d.f64()?,
+        bw: d.u64()? as usize,
+        cap: d.u64()? as usize,
+        tok: d.u64()? as usize,
+        reconfigured: d.u8()? != 0,
+    })
+}
+
+fn encode_registry(e: &mut Enc, reg: &MetricsRegistry) {
+    let counters: Vec<_> = reg.counters().collect();
+    e.u64(counters.len() as u64);
+    for (n, v) in counters {
+        e.str(n);
+        e.u64(v);
+    }
+    let gauges: Vec<_> = reg.gauges().collect();
+    e.u64(gauges.len() as u64);
+    for (n, v) in gauges {
+        e.str(n);
+        e.f64(v);
+    }
+    let hists: Vec<_> = reg.hists().collect();
+    e.u64(hists.len() as u64);
+    for (n, h) in hists {
+        e.str(n);
+        e.u64(h.count());
+        e.u64(h.sum());
+        let nz: Vec<_> = h.nonzero_buckets().collect();
+        e.u64(nz.len() as u64);
+        for (b, c) in nz {
+            e.u8(b as u8);
+            e.u64(c);
+        }
+    }
+}
+
+fn decode_registry(d: &mut Dec, limit: usize) -> Option<MetricsRegistry> {
+    let mut reg = MetricsRegistry::new(true);
+    let nc = d.u64()? as usize;
+    if nc > limit {
+        return None;
+    }
+    for _ in 0..nc {
+        let n = d.str()?;
+        let v = d.u64()?;
+        reg.inc(&n, v);
+    }
+    let ng = d.u64()? as usize;
+    if ng > limit {
+        return None;
+    }
+    for _ in 0..ng {
+        let n = d.str()?;
+        let v = d.f64()?;
+        reg.set_gauge(&n, v);
+    }
+    let nh = d.u64()? as usize;
+    if nh > limit {
+        return None;
+    }
+    for _ in 0..nh {
+        let n = d.str()?;
+        let count = d.u64()?;
+        let sum = d.u64()?;
+        let nb = d.u64()? as usize;
+        if nb > h2_sim_core::metrics::HIST_BUCKETS {
+            return None;
+        }
+        let mut buckets = Vec::with_capacity(nb);
+        for _ in 0..nb {
+            let b = d.u8()? as usize;
+            buckets.push((b, d.u64()?));
+        }
+        reg.merge_hist(&n, &LogHistogram::from_parts(count, sum, &buckets));
+    }
+    Some(reg)
+}
+
 fn encode_report(r: &RunReport, tag: &str) -> Vec<u8> {
     let mut e = Enc::default();
     e.buf.extend_from_slice(&MAGIC);
@@ -150,6 +242,7 @@ fn encode_report(r: &RunReport, tag: &str) -> Vec<u8> {
         e.u64(m.bytes);
         e.u64(m.activations);
         e.u64(m.row_hits);
+        e.u64(m.row_conflicts);
         e.u64(m.busy_cycles);
         e.u64(m.enqueued);
         e.u64(m.max_queue);
@@ -167,12 +260,7 @@ fn encode_report(r: &RunReport, tag: &str) -> Vec<u8> {
 
     e.u64(r.epoch_trace.len() as u64);
     for ep in &r.epoch_trace {
-        e.u64(ep.epoch);
-        e.f64(ep.weighted_ipc);
-        e.u64(ep.bw as u64);
-        e.u64(ep.cap as u64);
-        e.u64(ep.tok as u64);
-        e.u8(ep.reconfigured as u8);
+        encode_epoch_record(&mut e, ep);
     }
 
     e.u64(r.events_processed);
@@ -183,6 +271,19 @@ fn encode_report(r: &RunReport, tag: &str) -> Vec<u8> {
     e.f64(r.avg_gpu_read_latency);
     e.vec_u64(&r.fast_channel_bytes);
     e.vec_u64(&r.slow_channel_bytes);
+
+    match &r.telemetry {
+        None => e.u8(0),
+        Some(t) => {
+            e.u8(1);
+            encode_registry(&mut e, &t.totals);
+            e.u64(t.epochs.len() as u64);
+            for f in &t.epochs {
+                encode_epoch_record(&mut e, &f.record);
+                encode_registry(&mut e, &f.metrics);
+            }
+        }
+    }
     e.buf
 }
 
@@ -222,6 +323,7 @@ fn decode_report(bytes: &[u8], tag: &str) -> Option<RunReport> {
             bytes: d.u64()?,
             activations: d.u64()?,
             row_hits: d.u64()?,
+            row_conflicts: d.u64()?,
             busy_cycles: d.u64()?,
             enqueued: d.u64()?,
             max_queue: d.u64()?,
@@ -255,14 +357,7 @@ fn decode_report(bytes: &[u8], tag: &str) -> Option<RunReport> {
     }
     let mut epoch_trace = Vec::with_capacity(n_epochs);
     for _ in 0..n_epochs {
-        epoch_trace.push(EpochRecord {
-            epoch: d.u64()?,
-            weighted_ipc: d.f64()?,
-            bw: d.u64()? as usize,
-            cap: d.u64()? as usize,
-            tok: d.u64()? as usize,
-            reconfigured: d.u8()? != 0,
-        });
+        epoch_trace.push(decode_epoch_record(&mut d)?);
     }
 
     let events_processed = d.u64()?;
@@ -273,6 +368,27 @@ fn decode_report(bytes: &[u8], tag: &str) -> Option<RunReport> {
     let avg_gpu_read_latency = d.f64()?;
     let fast_channel_bytes = d.vec_u64()?;
     let slow_channel_bytes = d.vec_u64()?;
+
+    let telemetry = match d.u8()? {
+        0 => None,
+        1 => {
+            // Sanity bound against corrupt length prefixes.
+            let limit = bytes.len();
+            let totals = decode_registry(&mut d, limit)?;
+            let n = d.u64()? as usize;
+            if n > limit {
+                return None;
+            }
+            let mut epochs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let record = decode_epoch_record(&mut d)?;
+                let metrics = decode_registry(&mut d, limit)?;
+                epochs.push(EpochFrame { record, metrics });
+            }
+            Some(RunTelemetry { totals, epochs })
+        }
+        _ => return None,
+    };
     if !d.done() {
         return None;
     }
@@ -300,6 +416,7 @@ fn decode_report(bytes: &[u8], tag: &str) -> Option<RunReport> {
         avg_gpu_read_latency,
         fast_channel_bytes,
         slow_channel_bytes,
+        telemetry,
     })
 }
 
@@ -411,6 +528,9 @@ mod tests {
         assert_eq!(a.clamped_events, b.clamped_events);
         assert_eq!(a.fast_channel_bytes, b.fast_channel_bytes);
         assert_eq!(a.slow_channel_bytes, b.slow_channel_bytes);
+        // Telemetry roundtrips byte-exactly (canonical JSON as the witness).
+        assert_eq!(a.telemetry.is_some(), b.telemetry.is_some());
+        assert_eq!(a.telemetry_json_string(), b.telemetry_json_string());
     }
 
     #[test]

@@ -158,6 +158,10 @@ pub struct Hmc {
     bg_txns: usize,
     stats: HmcStats,
     epoch_base: HmcStats,
+    /// Transactions ever begun / fully drained (conservation telemetry:
+    /// `txns_started == txns_retired + inflight()` at every instant).
+    txns_started: u64,
+    txns_retired: u64,
 }
 
 impl Hmc {
@@ -176,6 +180,8 @@ impl Hmc {
             bg_txns: 0,
             stats: HmcStats::default(),
             epoch_base: HmcStats::default(),
+            txns_started: 0,
+            txns_retired: 0,
         }
     }
 
@@ -194,6 +200,21 @@ impl Hmc {
         self.policy.as_ref()
     }
 
+    /// Mutable access to the active policy (tests, forced reconfiguration).
+    pub fn policy_mut(&mut self) -> &mut dyn PartitionPolicy {
+        self.policy.as_mut()
+    }
+
+    /// Transactions ever begun (`started == retired + inflight`).
+    pub fn txns_started(&self) -> u64 {
+        self.txns_started
+    }
+
+    /// Transactions fully drained.
+    pub fn txns_retired(&self) -> u64 {
+        self.txns_retired
+    }
+
     /// Remap-cache `(hits, misses, writebacks)`.
     pub fn remap_cache_counts(&self) -> (u64, u64, u64) {
         self.rcache.counts()
@@ -210,6 +231,7 @@ impl Hmc {
     }
 
     fn alloc_txn(&mut self, txn: Txn) -> u32 {
+        self.txns_started += 1;
         if let Some(i) = self.free.pop() {
             self.txns[i as usize] = Some(txn);
             i
@@ -661,6 +683,7 @@ impl Hmc {
             self.bg_txns -= 1;
         }
         self.free.push(idx);
+        self.txns_retired += 1;
         out.push(HmcOutput::Retired { req_id: t.req_id });
     }
 
@@ -728,6 +751,52 @@ impl Hmc {
     /// Direct read-only access to the remap table (tests, invariants).
     pub fn table(&self) -> &RemapTable {
         &self.table
+    }
+
+    /// Emit controller telemetry into `m` (names relative; callers scope
+    /// under `hmc`): per-class access/hit/migration counters, transaction
+    /// conservation counters, remap-cache behaviour, way occupancy, and the
+    /// active policy's own metrics under `policy.`.
+    pub fn collect_metrics(&self, m: &mut h2_sim_core::ScopedMetrics<'_>) {
+        let s = &self.stats;
+        for (i, cls) in ["cpu", "gpu"].iter().enumerate() {
+            let mut c = m.scoped(cls);
+            c.inc("accesses", s.accesses[i]);
+            c.inc("fast_hits", s.fast_hits[i]);
+            c.inc("fast_misses", s.fast_misses[i]);
+            c.inc("migrations", s.migrations[i]);
+            c.inc("bypasses", s.bypasses[i]);
+            c.inc("migrations_denied", s.migrations_denied[i]);
+            c.inc("buffer_denied", s.buffer_denied[i]);
+        }
+        m.inc("victim_writebacks", s.victim_writebacks);
+        m.inc("swaps", s.swaps);
+        m.inc("lazy_fixups", s.lazy_fixups);
+        m.inc("txns_started", self.txns_started);
+        m.inc("txns_retired", self.txns_retired);
+        m.set_gauge("inflight", self.inflight() as f64);
+        m.set_gauge("bg_txns", self.bg_txns as f64);
+
+        let (rh, rm, rw) = self.rcache.counts();
+        let mut rc = m.scoped("remap_cache");
+        rc.inc("hits", rh);
+        rc.inc("misses", rm);
+        rc.inc("writebacks", rw);
+        m.inc("meta_reads", s.meta_reads);
+        m.inc("meta_writebacks", s.meta_writebacks);
+
+        let (occ_cpu, occ_gpu) = self.table.occupancy_by_class();
+        m.set_gauge("occ_ways.cpu", occ_cpu as f64);
+        m.set_gauge("occ_ways.gpu", occ_gpu as f64);
+
+        let p = self.policy.params();
+        let mut pol = m.scoped("policy");
+        pol.set_gauge("bw", p.bw as f64);
+        pol.set_gauge("cap", p.cap as f64);
+        // `tok == usize::MAX` means "unthrottled"; emit -1 instead of a
+        // 20-digit float.
+        pol.set_gauge("tok", if p.tok == usize::MAX { -1.0 } else { p.tok as f64 });
+        self.policy.collect_metrics(&mut pol);
     }
 }
 
@@ -948,6 +1017,27 @@ mod tests {
         // Still a miss next time: nothing was filled.
         drive(&mut h, 2, ReqClass::Gpu, 128, false);
         assert_eq!(h.stats().fast_misses[1], 2);
+    }
+
+    #[test]
+    fn txn_conservation_and_metrics() {
+        let mut h = hmc(small_cfg());
+        for i in 0..20u64 {
+            drive(&mut h, i, ReqClass::Cpu, i * 8192, i % 3 == 0);
+        }
+        assert_eq!(h.txns_started(), 20);
+        assert_eq!(h.txns_retired(), 20);
+        assert_eq!(h.txns_started(), h.txns_retired() + h.inflight() as u64);
+        let mut reg = h2_sim_core::MetricsRegistry::new(true);
+        h.collect_metrics(&mut reg.scoped("hmc"));
+        assert_eq!(reg.counter("hmc.cpu.accesses"), 20);
+        assert_eq!(reg.counter("hmc.txns_started"), 20);
+        assert_eq!(
+            reg.counter("hmc.cpu.fast_hits") + reg.counter("hmc.cpu.fast_misses"),
+            reg.counter("hmc.cpu.accesses")
+        );
+        assert_eq!(reg.gauge("hmc.inflight"), Some(0.0));
+        assert_eq!(reg.gauge("hmc.policy.tok"), Some(-1.0), "shared = unthrottled");
     }
 
     #[test]

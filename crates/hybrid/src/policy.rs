@@ -126,6 +126,13 @@ pub trait PartitionPolicy {
         let _ = class;
         block % num_sets
     }
+
+    /// Emit policy-internal telemetry (token accounting, search state,
+    /// reconfiguration counts) into the scoped registry. Policies without
+    /// internal state emit nothing.
+    fn collect_metrics(&self, m: &mut h2_sim_core::ScopedMetrics<'_>) {
+        let _ = m;
+    }
 }
 
 /// The trivial fully-shared policy: every way open to every class, every

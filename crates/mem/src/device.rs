@@ -59,6 +59,9 @@ pub struct StartedCmd {
 struct Bank {
     open_row: Option<u64>,
     ready_at: Cycles,
+    // Per-bank locality stats (telemetry).
+    row_hits: u64,
+    row_conflicts: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -80,9 +83,12 @@ struct Channel {
     bytes: u64,
     activations: u64,
     row_hits: u64,
+    row_conflicts: u64,
     busy_cycles: Cycles,
     queued_total: u64,
     max_queue: u64,
+    /// Sum of queue depths sampled at each enqueue (for average depth).
+    depth_sum: u64,
 }
 
 impl Channel {
@@ -91,7 +97,9 @@ impl Channel {
             banks: vec![
                 Bank {
                     open_row: None,
-                    ready_at: 0
+                    ready_at: 0,
+                    row_hits: 0,
+                    row_conflicts: 0,
                 };
                 banks
             ],
@@ -103,9 +111,11 @@ impl Channel {
             bytes: 0,
             activations: 0,
             row_hits: 0,
+            row_conflicts: 0,
             busy_cycles: 0,
             queued_total: 0,
             max_queue: 0,
+            depth_sum: 0,
         }
     }
 }
@@ -123,6 +133,8 @@ pub struct MemStats {
     pub activations: u64,
     /// Accesses that hit an open row.
     pub row_hits: u64,
+    /// Accesses that found a different row open (precharge + activate).
+    pub row_conflicts: u64,
     /// Cycles any bus spent transferring data (sum over channels).
     pub busy_cycles: Cycles,
     /// Commands ever enqueued.
@@ -187,6 +199,7 @@ impl MemDevice {
             arrival_time: now,
         });
         c.max_queue = c.max_queue.max(c.queue.len() as u64);
+        c.depth_sum += c.queue.len() as u64;
         self.seq += 1;
     }
 
@@ -263,10 +276,10 @@ impl MemDevice {
         // column command; CAS is pure latency so row hits pipeline at burst
         // (tCCD) granularity and a streaming bank saturates the bus.
         let t0 = now.max(bank.ready_at);
-        let (prep, activated, row_hit) = match bank.open_row {
-            Some(r) if r == row => (0, false, true),
-            Some(_) => (self.timing.t_rp + self.timing.t_rcd, true, false),
-            None => (self.timing.t_rcd, true, false),
+        let (prep, activated, row_hit, conflict) = match bank.open_row {
+            Some(r) if r == row => (0, false, true, false),
+            Some(_) => (self.timing.t_rp + self.timing.t_rcd, true, false, true),
+            None => (self.timing.t_rcd, true, false, false),
         };
         let col_time = t0 + prep;
         let data_start = (col_time + self.timing.t_cas).max(c.bus_free_at);
@@ -287,6 +300,11 @@ impl MemDevice {
         }
         if row_hit {
             c.row_hits += 1;
+            c.banks[bank_idx].row_hits += 1;
+        }
+        if conflict {
+            c.row_conflicts += 1;
+            c.banks[bank_idx].row_conflicts += 1;
         }
         c.busy_cycles += burst;
 
@@ -302,11 +320,49 @@ impl MemDevice {
             s.bytes += c.bytes;
             s.activations += c.activations;
             s.row_hits += c.row_hits;
+            s.row_conflicts += c.row_conflicts;
             s.busy_cycles += c.busy_cycles;
             s.enqueued += c.queued_total;
             s.max_queue = s.max_queue.max(c.max_queue);
         }
         s
+    }
+
+    /// Emit per-channel (and optionally per-bank) telemetry into `m`.
+    ///
+    /// Counter names are relative (`ch0.reads`, `ch0.bank3.row_hits`);
+    /// callers choose the absolute scope (`mem.fast`, `mem.slow`). Queue
+    /// depth gauges report the arrival-averaged and peak pending-queue
+    /// lengths per channel. `per_bank` adds one hit/conflict counter pair
+    /// per bank — useful in end-of-run totals, too wide for epoch frames.
+    pub fn collect_metrics(&self, m: &mut h2_sim_core::ScopedMetrics<'_>, per_bank: bool) {
+        for (i, c) in self.channels.iter().enumerate() {
+            let mut ch = m.scoped(&format!("ch{i}"));
+            ch.inc("reads", c.reads);
+            ch.inc("writes", c.writes);
+            ch.inc("bytes", c.bytes);
+            ch.inc("activations", c.activations);
+            ch.inc("row_hits", c.row_hits);
+            ch.inc("row_conflicts", c.row_conflicts);
+            ch.inc("busy_cycles", c.busy_cycles);
+            ch.inc("enqueued", c.queued_total);
+            ch.set_gauge("queue_peak", c.max_queue as f64);
+            ch.set_gauge(
+                "queue_avg",
+                if c.queued_total > 0 {
+                    c.depth_sum as f64 / c.queued_total as f64
+                } else {
+                    0.0
+                },
+            );
+            if per_bank {
+                for (b, bank) in c.banks.iter().enumerate() {
+                    let mut bk = ch.scoped(&format!("bank{b}"));
+                    bk.inc("row_hits", bank.row_hits);
+                    bk.inc("row_conflicts", bank.row_conflicts);
+                }
+            }
+        }
     }
 
     /// Per-channel bytes transferred (for partitioning/balance checks).
@@ -532,6 +588,26 @@ mod tests {
         let mut d = dev(TimingPreset::Hbm2eSuper, 1);
         let done = run_one(&mut d, 0, 12345, rd(0, 64));
         assert!(done > 12345);
+    }
+
+    #[test]
+    fn telemetry_counts_hits_and_conflicts_per_bank() {
+        let t = TimingPreset::Ddr4.timing();
+        let mut d = dev(TimingPreset::Ddr4, 1);
+        let first = run_one(&mut d, 0, 0, rd(0, 64));
+        let hit = run_one(&mut d, 0, first, rd(64, 64)); // same row: hit
+        let conflict_addr = t.row_bytes * t.banks_per_channel as u64; // same bank, next row
+        run_one(&mut d, 0, hit, rd(conflict_addr, 64));
+        let s = d.stats();
+        assert_eq!(s.row_hits, 1);
+        assert_eq!(s.row_conflicts, 1);
+        let mut reg = h2_sim_core::MetricsRegistry::new(true);
+        d.collect_metrics(&mut reg.scoped("mem"), true);
+        assert_eq!(reg.counter("mem.ch0.reads"), 3);
+        assert_eq!(reg.counter("mem.ch0.row_hits"), 1);
+        assert_eq!(reg.counter("mem.ch0.bank0.row_hits"), 1);
+        assert_eq!(reg.counter("mem.ch0.bank0.row_conflicts"), 1);
+        assert!(reg.gauge("mem.ch0.queue_avg").is_some());
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Minimal JSON value + writer, kept in-repo to honour the workspace's
+//! zero-external-dependency rule.
+//!
+//! Output is *canonical*: object fields serialise in the order they were
+//! inserted, floats use Rust's shortest-roundtrip `Display` form (with a
+//! forced `.0` for integral values so a float field never changes JSON type
+//! between runs), and non-finite floats become `null`. Two semantically
+//! equal documents built by the same code path therefore serialise
+//! byte-identically — the property the golden-snapshot suite relies on.
+
+use std::fmt::Write as _;
+
+/// A JSON value with insertion-ordered objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Unsigned integers serialise without a decimal point.
+    U64(u64),
+    I64(i64),
+    /// Floats always carry a decimal point or exponent.
+    F64(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Empty array.
+    pub fn arr() -> Json {
+        Json::Arr(Vec::new())
+    }
+
+    /// Append a field to an object (panics on non-objects). Returns `self`
+    /// for chaining.
+    pub fn field(mut self, name: &str, v: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((name.to_string(), v.into())),
+            _ => panic!("Json::field on non-object"),
+        }
+        self
+    }
+
+    /// Append an element to an array (panics on non-arrays).
+    pub fn push(&mut self, v: impl Into<Json>) {
+        match self {
+            Json::Arr(xs) => xs.push(v.into()),
+            _ => panic!("Json::push on non-array"),
+        }
+    }
+
+    /// Look up a field of an object.
+    pub fn get(&self, name: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(n, _)| n == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Serialise compactly (no whitespace).
+    pub fn to_string_compact(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, None, 0);
+        s
+    }
+
+    /// Serialise with 2-space indentation and a trailing newline — the
+    /// format used for telemetry dumps and golden files.
+    pub fn to_string_pretty(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, Some(2), 0);
+        s.push('\n');
+        s
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => write_f64(out, *v),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(xs) => write_seq(out, indent, depth, '[', ']', xs.len(), |out, i| {
+                xs[i].write(out, indent, depth + 1);
+            }),
+            Json::Obj(fields) => {
+                write_seq(out, indent, depth, '{', '}', fields.len(), |out, i| {
+                    let (n, v) = &fields[i];
+                    write_str(out, n);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                })
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            for _ in 0..w * (depth + 1) {
+                out.push(' ');
+            }
+        }
+        item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+/// Canonical float form: shortest-roundtrip `Display`, with `.0` appended
+/// to integral values so the token is unambiguously a float; non-finite
+/// values become `null` (JSON has no NaN/Inf).
+fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // Normalise -0.0 to 0.0 so sign-of-zero noise cannot leak into goldens.
+    let v = if v == 0.0 { 0.0 } else { v };
+    let start = out.len();
+    let _ = write!(out, "{v}");
+    if !out[start..].contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::U64(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::U64(v as u64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::U64(v as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::I64(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::F64(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_field_order() {
+        let j = Json::obj()
+            .field("b", 1u64)
+            .field("a", Json::Arr(vec![Json::U64(1), Json::Null]))
+            .field("s", "x\"y");
+        assert_eq!(j.to_string_compact(), r#"{"b":1,"a":[1,null],"s":"x\"y"}"#);
+    }
+
+    #[test]
+    fn canonical_floats() {
+        let mut s = String::new();
+        write_f64(&mut s, 1.0);
+        assert_eq!(s, "1.0");
+        s.clear();
+        write_f64(&mut s, 0.1);
+        assert_eq!(s, "0.1");
+        s.clear();
+        write_f64(&mut s, -0.0);
+        assert_eq!(s, "0.0");
+        s.clear();
+        write_f64(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+        s.clear();
+        write_f64(&mut s, 1234.0);
+        assert_eq!(s, "1234.0");
+        // Roundtrip: the shortest-display form parses back exactly.
+        s.clear();
+        write_f64(&mut s, 0.30000000000000004);
+        assert_eq!(s.parse::<f64>().unwrap(), 0.30000000000000004);
+    }
+
+    #[test]
+    fn pretty_is_stable() {
+        let j = Json::obj().field("x", 1u64).field("y", Json::arr());
+        assert_eq!(j.to_string_pretty(), "{\n  \"x\": 1,\n  \"y\": []\n}\n");
+    }
+
+    #[test]
+    fn string_escapes() {
+        let j = Json::Str("a\n\t\u{1}".into());
+        assert_eq!(j.to_string_compact(), "\"a\\n\\t\\u0001\"");
+    }
+}

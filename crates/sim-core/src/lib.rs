@@ -6,10 +6,14 @@
 //! the substrate the simulator is built on.
 
 pub mod event;
+pub mod json;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
 pub mod units;
 
 pub use event::{EngineKind, EventQueue, Scheduled};
+pub use json::Json;
+pub use metrics::{LogHistogram, MetricsRegistry, ScopedMetrics};
 pub use rng::SeededRng;
 pub use units::{Cycles, KIB, MIB};

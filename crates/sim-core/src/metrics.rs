@@ -1,0 +1,455 @@
+//! Hierarchical metrics registry: named counters, gauges, and log₂-bucketed
+//! histograms with stable insertion order.
+//!
+//! Components expose a `collect_metrics(&self, m: &mut ScopedMetrics)` hook
+//! and the runner snapshots them into a [`MetricsRegistry`] at epoch
+//! boundaries, so hot simulation paths never touch string keys — they bump
+//! plain integer fields and the registry is populated from those at
+//! collection points. The registry itself is also cheap to bypass: when
+//! constructed disabled, every mutation short-circuits on a single branch
+//! and allocates nothing.
+//!
+//! Determinism: iteration order is insertion order, which is fixed by the
+//! (deterministic) collection code path, so serialising a registry yields
+//! byte-identical output across runs and event-queue engines.
+
+use std::collections::HashMap;
+
+/// Number of log₂ buckets in a [`LogHistogram`]. Bucket 0 holds values in
+/// `[0, 2)`; bucket `b >= 1` holds `[2^b, 2^(b+1))`. Covers the full `u64`
+/// range.
+pub const HIST_BUCKETS: usize = 64;
+
+/// A log₂-bucketed histogram of `u64` samples (latencies, queue depths).
+///
+/// Stores only `count`, `sum`, and the bucket array, so two snapshots can be
+/// subtracted bucket-wise to produce an exact per-window histogram. Quantile
+/// queries return the *lower bound* of the bucket containing the requested
+/// rank — coarse, but deterministic and monotone.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    count: u64,
+    sum: u64,
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self { count: 0, sum: 0, buckets: [0; HIST_BUCKETS] }
+    }
+}
+
+impl LogHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a sample.
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        if v < 2 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive lower bound of bucket `b`.
+    pub fn bucket_lo(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else {
+            1u64 << b
+        }
+    }
+
+    /// Reconstruct a histogram from serialised parts (persistence codecs).
+    /// Out-of-range bucket indices are ignored.
+    pub fn from_parts(count: u64, sum: u64, buckets: &[(usize, u64)]) -> Self {
+        let mut h = Self { count, sum, ..Self::default() };
+        for &(b, n) in buckets {
+            if b < HIST_BUCKETS {
+                h.buckets[b] = n;
+            }
+        }
+        h
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Lower bound of the bucket containing the `q`-quantile sample
+    /// (`q` in `[0, 1]`), or 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_lo(b);
+            }
+        }
+        Self::bucket_lo(HIST_BUCKETS - 1)
+    }
+
+    /// Non-empty `(bucket_index, count)` pairs in ascending bucket order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(b, &n)| (b, n))
+    }
+
+    /// Accumulate another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Bucket-wise difference `self - prev`, for per-window views of a
+    /// monotonically growing histogram. Saturates at zero per field.
+    pub fn delta_from(&self, prev: &LogHistogram) -> LogHistogram {
+        let mut out = LogHistogram::new();
+        out.count = self.count.saturating_sub(prev.count);
+        out.sum = self.sum.saturating_sub(prev.sum);
+        for (i, o) in out.buckets.iter_mut().enumerate() {
+            *o = self.buckets[i].saturating_sub(prev.buckets[i]);
+        }
+        out
+    }
+}
+
+/// Hierarchical registry of named counters (`u64`), gauges (`f64`), and
+/// [`LogHistogram`]s. Names are dot-separated paths (`mem.fast.ch0.reads`);
+/// the [`scoped`](MetricsRegistry::scoped) helper prepends a prefix so
+/// components stay ignorant of where they sit in the hierarchy.
+///
+/// Iteration order is insertion order (backed by an index map), so a
+/// registry built by a deterministic collection pass serialises identically
+/// every run.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    counters: Vec<(String, u64)>,
+    counter_idx: HashMap<String, usize>,
+    gauges: Vec<(String, f64)>,
+    gauge_idx: HashMap<String, usize>,
+    hists: Vec<(String, LogHistogram)>,
+    hist_idx: HashMap<String, usize>,
+}
+
+impl MetricsRegistry {
+    /// New registry; when `enabled` is false every mutation is a no-op that
+    /// allocates nothing.
+    pub fn new(enabled: bool) -> Self {
+        Self { enabled, ..Self::default() }
+    }
+
+    /// Whether mutations are recorded.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Add `v` to counter `name`, creating it at the current tail position
+    /// on first use.
+    pub fn inc(&mut self, name: &str, v: u64) {
+        if !self.enabled {
+            return;
+        }
+        match self.counter_idx.get(name) {
+            Some(&i) => self.counters[i].1 += v,
+            None => {
+                self.counter_idx.insert(name.to_string(), self.counters.len());
+                self.counters.push((name.to_string(), v));
+            }
+        }
+    }
+
+    /// Set gauge `name` to `v` (last write wins).
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        if !self.enabled {
+            return;
+        }
+        match self.gauge_idx.get(name) {
+            Some(&i) => self.gauges[i].1 = v,
+            None => {
+                self.gauge_idx.insert(name.to_string(), self.gauges.len());
+                self.gauges.push((name.to_string(), v));
+            }
+        }
+    }
+
+    /// Record one sample into histogram `name`.
+    pub fn observe(&mut self, name: &str, v: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.hist_mut(name).record(v);
+    }
+
+    /// Merge a whole pre-built histogram into histogram `name`.
+    pub fn merge_hist(&mut self, name: &str, h: &LogHistogram) {
+        if !self.enabled {
+            return;
+        }
+        self.hist_mut(name).merge(h);
+    }
+
+    fn hist_mut(&mut self, name: &str) -> &mut LogHistogram {
+        let i = match self.hist_idx.get(name) {
+            Some(&i) => i,
+            None => {
+                let i = self.hists.len();
+                self.hist_idx.insert(name.to_string(), i);
+                self.hists.push((name.to_string(), LogHistogram::new()));
+                i
+            }
+        };
+        &mut self.hists[i].1
+    }
+
+    /// Read a counter (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counter_idx.get(name).map(|&i| self.counters[i].1).unwrap_or(0)
+    }
+
+    /// Read a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauge_idx.get(name).map(|&i| self.gauges[i].1)
+    }
+
+    /// Read a histogram, if present.
+    pub fn hist(&self, name: &str) -> Option<&LogHistogram> {
+        self.hist_idx.get(name).map(|&i| &self.hists[i].1)
+    }
+
+    /// Counters in insertion order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Gauges in insertion order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Histograms in insertion order.
+    pub fn hists(&self) -> impl Iterator<Item = (&str, &LogHistogram)> {
+        self.hists.iter().map(|(n, h)| (n.as_str(), h))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Borrow the registry with every name prefixed by `prefix` + `.`.
+    pub fn scoped<'a>(&'a mut self, prefix: &str) -> ScopedMetrics<'a> {
+        ScopedMetrics { reg: self, prefix: prefix.to_string() }
+    }
+
+    /// Per-window view: counters and histograms become `self - prev`
+    /// (saturating); gauges keep their current (instantaneous) value.
+    /// Names absent from `prev` are treated as zero there. The result keeps
+    /// `self`'s insertion order.
+    pub fn delta_from(&self, prev: &MetricsRegistry) -> MetricsRegistry {
+        let mut out = MetricsRegistry::new(true);
+        for (n, v) in self.counters() {
+            out.inc(n, v.saturating_sub(prev.counter(n)));
+        }
+        for (n, v) in self.gauges() {
+            out.set_gauge(n, v);
+        }
+        for (n, h) in self.hists() {
+            let d = match prev.hist(n) {
+                Some(p) => h.delta_from(p),
+                None => h.clone(),
+            };
+            out.merge_hist(n, &d);
+        }
+        out
+    }
+}
+
+/// A mutable view of a [`MetricsRegistry`] that prepends `prefix.` to every
+/// name, so components can emit relative paths.
+pub struct ScopedMetrics<'a> {
+    reg: &'a mut MetricsRegistry,
+    prefix: String,
+}
+
+impl ScopedMetrics<'_> {
+    fn full(&self, name: &str) -> String {
+        if self.prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}.{}", self.prefix, name)
+        }
+    }
+
+    /// Add `v` to counter `prefix.name`.
+    pub fn inc(&mut self, name: &str, v: u64) {
+        if !self.reg.enabled {
+            return;
+        }
+        let full = self.full(name);
+        self.reg.inc(&full, v);
+    }
+
+    /// Set gauge `prefix.name`.
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        if !self.reg.enabled {
+            return;
+        }
+        let full = self.full(name);
+        self.reg.set_gauge(&full, v);
+    }
+
+    /// Record a sample into histogram `prefix.name`.
+    pub fn observe(&mut self, name: &str, v: u64) {
+        if !self.reg.enabled {
+            return;
+        }
+        let full = self.full(name);
+        self.reg.observe(&full, v);
+    }
+
+    /// Merge a pre-built histogram into `prefix.name`.
+    pub fn merge_hist(&mut self, name: &str, h: &LogHistogram) {
+        if !self.reg.enabled {
+            return;
+        }
+        let full = self.full(name);
+        self.reg.merge_hist(&full, h);
+    }
+
+    /// Narrow the scope another level.
+    pub fn scoped(&mut self, sub: &str) -> ScopedMetrics<'_> {
+        let prefix = self.full(sub);
+        ScopedMetrics { reg: self.reg, prefix }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 0);
+        assert_eq!(LogHistogram::bucket_of(2), 1);
+        assert_eq!(LogHistogram::bucket_of(3), 1);
+        assert_eq!(LogHistogram::bucket_of(4), 2);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), 63);
+        let mut h = LogHistogram::new();
+        for v in [1u64, 2, 4, 8, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 115);
+        assert_eq!(h.quantile(0.0), 0); // first sample's bucket lo
+        assert_eq!(h.quantile(1.0), 64); // 100 lives in [64, 128)
+        assert!((h.mean() - 23.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_delta_is_exact() {
+        let mut a = LogHistogram::new();
+        a.record(5);
+        let snap = a.clone();
+        a.record(9);
+        a.record(1000);
+        let d = a.delta_from(&snap);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.sum(), 1009);
+        let bs: Vec<_> = d.nonzero_buckets().collect();
+        assert_eq!(bs, vec![(3, 1), (9, 1)]);
+    }
+
+    #[test]
+    fn registry_insertion_order_and_scoping() {
+        let mut m = MetricsRegistry::new(true);
+        {
+            let mut s = m.scoped("mem.fast");
+            s.inc("reads", 3);
+            let mut b = s.scoped("ch0");
+            b.inc("row_hits", 7);
+        }
+        m.inc("mem.fast.reads", 1);
+        m.set_gauge("occ", 0.5);
+        m.observe("lat", 12);
+        assert_eq!(m.counter("mem.fast.reads"), 4);
+        assert_eq!(m.counter("mem.fast.ch0.row_hits"), 7);
+        assert_eq!(m.gauge("occ"), Some(0.5));
+        assert_eq!(m.hist("lat").unwrap().count(), 1);
+        let names: Vec<_> = m.counters().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(names, vec!["mem.fast.reads", "mem.fast.ch0.row_hits"]);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let mut m = MetricsRegistry::new(false);
+        m.inc("a", 1);
+        m.set_gauge("b", 2.0);
+        m.observe("c", 3);
+        m.scoped("x").inc("y", 4);
+        assert!(m.is_empty());
+        assert_eq!(m.counter("a"), 0);
+    }
+
+    #[test]
+    fn registry_delta_subtracts_counters_keeps_gauges() {
+        let mut prev = MetricsRegistry::new(true);
+        prev.inc("n", 10);
+        prev.set_gauge("g", 1.0);
+        prev.observe("h", 4);
+        let mut cur = prev.clone();
+        cur.inc("n", 5);
+        cur.inc("fresh", 2);
+        cur.set_gauge("g", 9.0);
+        cur.observe("h", 4);
+        let d = cur.delta_from(&prev);
+        assert_eq!(d.counter("n"), 5);
+        assert_eq!(d.counter("fresh"), 2);
+        assert_eq!(d.gauge("g"), Some(9.0));
+        assert_eq!(d.hist("h").unwrap().count(), 1);
+    }
+}

@@ -59,9 +59,13 @@ impl Ewma {
 
 /// A labelled table of u64 counters with stable insertion order, used by
 /// components to expose their statistics uniformly.
+///
+/// Backed by a name → slot index map so `add`/`get` are O(1) expected even
+/// for wide tables, while iteration stays in first-insertion order.
 #[derive(Debug, Default, Clone)]
 pub struct CounterTable {
     entries: Vec<(String, u64)>,
+    index: std::collections::HashMap<String, usize>,
 }
 
 impl CounterTable {
@@ -72,20 +76,18 @@ impl CounterTable {
 
     /// Add (or accumulate into) a named counter.
     pub fn add(&mut self, name: &str, value: u64) {
-        if let Some(e) = self.entries.iter_mut().find(|(n, _)| n == name) {
-            e.1 += value;
-        } else {
-            self.entries.push((name.to_string(), value));
+        match self.index.get(name) {
+            Some(&i) => self.entries[i].1 += value,
+            None => {
+                self.index.insert(name.to_string(), self.entries.len());
+                self.entries.push((name.to_string(), value));
+            }
         }
     }
 
     /// Read a counter (0 if absent).
     pub fn get(&self, name: &str) -> u64 {
-        self.entries
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| *v)
-            .unwrap_or(0)
+        self.index.get(name).map(|&i| self.entries[i].1).unwrap_or(0)
     }
 
     /// Iterate `(name, value)` in insertion order.
@@ -155,5 +157,31 @@ mod tests {
         assert_eq!(t.len(), 2);
         let names: Vec<_> = t.iter().map(|(n, _)| n.to_string()).collect();
         assert_eq!(names, vec!["reads", "writes"]);
+    }
+
+    /// Re-adding existing counters in arbitrary interleavings must never
+    /// disturb first-insertion iteration order, even for wide tables.
+    #[test]
+    fn counter_table_ordering_stable_under_wide_interleaving() {
+        let mut t = CounterTable::new();
+        let names: Vec<String> = (0..200).map(|i| format!("ctr{i:03}")).collect();
+        for n in &names {
+            t.add(n, 1);
+        }
+        // Accumulate back-to-front, then a scattered pattern.
+        for n in names.iter().rev() {
+            t.add(n, 2);
+        }
+        for (i, n) in names.iter().enumerate() {
+            if i % 3 == 0 {
+                t.add(n, i as u64);
+            }
+        }
+        let order: Vec<_> = t.iter().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(order, names, "iteration order must match first insertion");
+        assert_eq!(t.get("ctr000"), 3);
+        assert_eq!(t.get("ctr199"), 3);
+        assert_eq!(t.get("ctr003"), 6);
+        assert_eq!(t.len(), 200);
     }
 }

@@ -79,6 +79,11 @@ pub struct SystemConfig {
     /// differential tests), so this is not part of the run-cache key; the
     /// `Heap` oracle exists for differential testing and benchmarking.
     pub engine: EngineKind,
+    /// Collect epoch-resolved telemetry (metrics registry snapshots and
+    /// per-class latency histograms) into [`crate::report::RunTelemetry`].
+    /// Telemetry is an *observation* of the simulation — it never perturbs
+    /// timing — so, like `engine`, it is not part of the run-cache key.
+    pub telemetry: bool,
 }
 
 impl Default for SystemConfig {
@@ -115,6 +120,7 @@ impl SystemConfig {
             measure_cycles: 500_000_000,
             seed: 42,
             engine: EngineKind::default(),
+            telemetry: true,
         }
     }
 

@@ -14,8 +14,9 @@ pub mod frontend;
 pub mod policies;
 pub mod report;
 pub mod runner;
+pub mod telemetry;
 
 pub use config::{Participants, SystemConfig};
 pub use policies::PolicyKind;
-pub use report::RunReport;
+pub use report::{RunReport, RunTelemetry};
 pub use runner::{run_sim, run_sim_parts, run_workloads};

@@ -4,6 +4,7 @@ use h2_hybrid::policy::PolicyParams;
 use h2_hybrid::HmcStats;
 use h2_mem::device::MemStats;
 use h2_mem::EnergyBreakdown;
+use h2_sim_core::MetricsRegistry;
 
 /// One epoch's record in the adaptation trace (Hydrogen's search path).
 #[derive(Debug, Clone, PartialEq)]
@@ -20,6 +21,28 @@ pub struct EpochRecord {
     pub tok: usize,
     /// Whether this epoch triggered a remapping reconfiguration.
     pub reconfigured: bool,
+}
+
+/// One epoch of the telemetry timeline: the adaptation record plus a
+/// registry of per-epoch metric *deltas* (counters, histograms) and
+/// instantaneous gauges — the epoch-resolved extension of [`EpochRecord`].
+#[derive(Debug, Clone)]
+pub struct EpochFrame {
+    /// The adaptation-trace record for this epoch.
+    pub record: EpochRecord,
+    /// Counter/histogram deltas over the epoch; gauges sampled at its end.
+    pub metrics: MetricsRegistry,
+}
+
+/// Epoch-resolved observability data for one run. Only populated when
+/// [`crate::SystemConfig::telemetry`] is on; fully deterministic (identical
+/// across event-queue engines), so it can be snapshot-tested byte-for-byte.
+#[derive(Debug, Clone, Default)]
+pub struct RunTelemetry {
+    /// Measured-window totals, with per-bank device detail.
+    pub totals: MetricsRegistry,
+    /// Per-epoch frames over the measured window.
+    pub epochs: Vec<EpochFrame>,
 }
 
 /// The result of one simulation run (measured window only).
@@ -73,6 +96,8 @@ pub struct RunReport {
     pub fast_channel_bytes: Vec<u64>,
     /// Per-channel bytes moved on the slow tier (whole run).
     pub slow_channel_bytes: Vec<u64>,
+    /// Epoch-resolved telemetry (None when collection is disabled).
+    pub telemetry: Option<RunTelemetry>,
 }
 
 impl RunReport {
@@ -160,6 +185,7 @@ mod tests {
             avg_gpu_read_latency: 0.0,
             fast_channel_bytes: vec![],
             slow_channel_bytes: vec![],
+            telemetry: None,
         }
     }
 

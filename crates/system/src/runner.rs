@@ -9,7 +9,7 @@
 use crate::config::{Participants, SystemConfig};
 use crate::frontend::{CoreBlock, CpuCore, GpuCtx};
 use crate::policies::PolicyKind;
-use crate::report::{EpochRecord, RunReport};
+use crate::report::{EpochFrame, EpochRecord, RunReport, RunTelemetry};
 use h2_cache::sram::{AccessOutcome, SetAssocCache};
 use h2_hybrid::hmc::{Hmc, HmcEvent, HmcOutput};
 use h2_hybrid::types::{HybridConfig, ReqClass, Tier};
@@ -17,7 +17,7 @@ use h2_hybrid::HmcStats;
 use h2_mem::device::{MemStats, StartedCmd};
 use h2_mem::{EnergyBreakdown, MemDevice, TimingPreset};
 use h2_sim_core::units::{Cycles, MIB};
-use h2_sim_core::EventQueue;
+use h2_sim_core::{EventQueue, LogHistogram, MetricsRegistry};
 use h2_trace::{Mix, WorkloadSpec};
 
 /// Local batching horizon: a front-end processes private-cache hits for at
@@ -93,6 +93,17 @@ struct Sim {
     cpu_issue_times: Vec<std::collections::VecDeque<Cycles>>,
     cpu_lat_sum: u64,
     cpu_lat_cnt: u64,
+    // Telemetry (config.telemetry): per-class demand-latency histograms and
+    // epoch-resolved registry snapshots. Pure observation — never perturbs
+    // event timing, so runs are bit-identical with it on or off.
+    telemetry: bool,
+    cpu_lat_hist: LogHistogram,
+    gpu_lat_hist: LogHistogram,
+    frames: Vec<EpochFrame>,
+    /// Registry snapshot at the previous epoch boundary (epoch deltas).
+    prev_reg: MetricsRegistry,
+    /// Registry snapshot at WarmupEnd (measured-window totals).
+    warm_reg: MetricsRegistry,
 }
 
 impl Sim {
@@ -102,6 +113,36 @@ impl Sim {
 
     fn gpu_instr_total(&self) -> u64 {
         self.ctxs.iter().map(|c| c.retired).sum()
+    }
+
+    /// Snapshot every component's cumulative metrics into one registry.
+    ///
+    /// The collection order is fixed (system, latency, caches, devices,
+    /// controller), which fixes the registry's insertion order and therefore
+    /// the serialised field order — the golden files depend on it.
+    /// `per_bank` adds per-bank device rows (totals only; too wide for
+    /// per-epoch frames).
+    fn collect_registry(&self, per_bank: bool) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new(self.telemetry);
+        if !self.telemetry {
+            return reg;
+        }
+        reg.inc("sys.cpu_instr", self.cpu_instr_total());
+        reg.inc("sys.gpu_instr", self.gpu_instr_total());
+        reg.merge_hist("lat.cpu_read", &self.cpu_lat_hist);
+        reg.merge_hist("lat.gpu_demand", &self.gpu_lat_hist);
+        {
+            let mut cache = reg.scoped("cache");
+            collect_cache_level(&mut cache, "cpu_l1", &self.l1s);
+            collect_cache_level(&mut cache, "cpu_l2", &self.l2s);
+            collect_cache_level(&mut cache, "gpu_l1", &self.gpu_l1s);
+            collect_cache_level(&mut cache, "llc", std::slice::from_ref(&self.llc));
+            cache.set_gauge("llc.occupancy", self.llc.occupancy() as f64);
+        }
+        self.fast.collect_metrics(&mut reg.scoped("mem.fast"), per_bank);
+        self.slow.collect_metrics(&mut reg.scoped("mem.slow"), per_bank);
+        self.hmc.collect_metrics(&mut reg.scoped("hmc"));
+        reg
     }
 
     fn dev(&mut self, tier: Tier) -> &mut MemDevice {
@@ -150,8 +191,12 @@ impl Sim {
         match kind {
             KIND_CPU_READ => {
                 if let Some(t0) = self.cpu_issue_times[unit].pop_front() {
-                    self.cpu_lat_sum += now.saturating_sub(t0);
+                    let lat = now.saturating_sub(t0);
+                    self.cpu_lat_sum += lat;
                     self.cpu_lat_cnt += 1;
+                    if self.telemetry {
+                        self.cpu_lat_hist.record(lat);
+                    }
                 }
                 let c = &mut self.cores[unit];
                 c.reads_outstanding = c.reads_outstanding.saturating_sub(1);
@@ -175,8 +220,12 @@ impl Sim {
             }
             KIND_GPU => {
                 if let Some(t0) = self.gpu_issue_times[unit].pop_front() {
-                    self.gpu_lat_sum += now.saturating_sub(t0);
+                    let lat = now.saturating_sub(t0);
+                    self.gpu_lat_sum += lat;
                     self.gpu_lat_cnt += 1;
+                    if self.telemetry {
+                        self.gpu_lat_hist.record(lat);
+                    }
                 }
                 let c = &mut self.ctxs[unit];
                 c.inflight = c.inflight.saturating_sub(1);
@@ -432,14 +481,29 @@ impl Sim {
 
         if self.in_measurement {
             let p = self.hmc.policy().params();
-            self.epoch_trace.push(EpochRecord {
+            let record = EpochRecord {
                 epoch: self.epoch_idx,
                 weighted_ipc,
                 bw: p.bw,
                 cap: p.cap,
                 tok: p.tok,
                 reconfigured,
-            });
+            };
+            if self.telemetry {
+                // Per-epoch frame: counter/histogram deltas since the last
+                // boundary, gauges as sampled now (after adaptation).
+                let cur = self.collect_registry(false);
+                self.frames.push(EpochFrame {
+                    record: record.clone(),
+                    metrics: cur.delta_from(&self.prev_reg),
+                });
+                self.prev_reg = cur;
+            }
+            self.epoch_trace.push(record);
+        } else if self.telemetry {
+            // Keep the boundary snapshot fresh during warm-up so the first
+            // measured frame covers exactly one epoch.
+            self.prev_reg = self.collect_registry(false);
         }
     }
 
@@ -449,6 +513,10 @@ impl Sim {
         self.warm_hmc = self.hmc.stats();
         self.warm_fast = self.fast.stats();
         self.warm_slow = self.slow.stats();
+        if self.telemetry {
+            self.warm_reg = self.collect_registry(true);
+            self.prev_reg = self.collect_registry(false);
+        }
         self.in_measurement = true;
     }
 
@@ -523,6 +591,25 @@ impl Sim {
     }
 }
 
+/// Sum one cache level's hit/miss/writeback counters into `cache.<name>.*`.
+fn collect_cache_level(
+    m: &mut h2_sim_core::ScopedMetrics<'_>,
+    name: &str,
+    caches: &[SetAssocCache],
+) {
+    let mut s = m.scoped(name);
+    let (mut hits, mut misses, mut wbs) = (0u64, 0u64, 0u64);
+    for c in caches {
+        let st = c.stats();
+        hits += st.hits;
+        misses += st.misses;
+        wbs += st.writebacks;
+    }
+    s.inc("hits", hits);
+    s.inc("misses", misses);
+    s.inc("writebacks", wbs);
+}
+
 fn sub_stats(a: MemStats, b: MemStats) -> MemStats {
     MemStats {
         reads: a.reads - b.reads,
@@ -530,6 +617,7 @@ fn sub_stats(a: MemStats, b: MemStats) -> MemStats {
         bytes: a.bytes - b.bytes,
         activations: a.activations - b.activations,
         row_hits: a.row_hits - b.row_hits,
+        row_conflicts: a.row_conflicts - b.row_conflicts,
         busy_cycles: a.busy_cycles - b.busy_cycles,
         enqueued: a.enqueued - b.enqueued,
         max_queue: a.max_queue,
@@ -652,6 +740,12 @@ pub fn run_workloads(
         cpu_issue_times: (0..n_core).map(|_| Default::default()).collect(),
         cpu_lat_sum: 0,
         cpu_lat_cnt: 0,
+        telemetry: cfg.telemetry,
+        cpu_lat_hist: LogHistogram::new(),
+        gpu_lat_hist: LogHistogram::new(),
+        frames: Vec::new(),
+        prev_reg: MetricsRegistry::new(cfg.telemetry),
+        warm_reg: MetricsRegistry::new(cfg.telemetry),
     };
 
     // Stagger initial wake-ups so front-ends do not move in lockstep.
@@ -667,6 +761,15 @@ pub fn run_workloads(
 
     sim.run();
     let wall_s = t_start.elapsed().as_secs_f64();
+
+    let telemetry = if sim.telemetry {
+        Some(RunTelemetry {
+            totals: sim.collect_registry(true).delta_from(&sim.warm_reg),
+            epochs: std::mem::take(&mut sim.frames),
+        })
+    } else {
+        None
+    };
 
     let (rc_hits, rc_misses, _) = sim.hmc.remap_cache_counts();
     let rc_total = rc_hits + rc_misses;
@@ -714,6 +817,7 @@ pub fn run_workloads(
         avg_gpu_read_latency: sim.gpu_lat_sum as f64 / sim.gpu_lat_cnt.max(1) as f64,
         fast_channel_bytes: sim.fast.channel_bytes(),
         slow_channel_bytes: sim.slow.channel_bytes(),
+        telemetry,
     }
 }
 
@@ -882,6 +986,72 @@ mod tests {
         let mix = Mix::by_name("C1").unwrap();
         let r = run_sim(&cfg, &mix, PolicyKind::HashCache);
         assert!(r.cpu_instr > 0);
+    }
+
+    #[test]
+    fn telemetry_frames_cover_measured_epochs() {
+        let cfg = tiny();
+        let mix = Mix::by_name("C1").unwrap();
+        let r = run_sim(&cfg, &mix, PolicyKind::HydrogenFull);
+        let t = r.telemetry.as_ref().expect("telemetry on by default");
+        assert_eq!(t.epochs.len(), r.epoch_trace.len());
+        for (f, rec) in t.epochs.iter().zip(r.epoch_trace.iter()) {
+            assert_eq!(&f.record, rec);
+        }
+        // Frame counter deltas sum to the measured-window totals (the
+        // totals registry covers WarmupEnd..end; frames tile the same
+        // window except the post-final-epoch tail).
+        let summed: u64 = t
+            .epochs
+            .iter()
+            .map(|f| f.metrics.counter("sys.cpu_instr"))
+            .sum();
+        assert!(summed > 0);
+        assert!(summed <= t.totals.counter("sys.cpu_instr"));
+        // Latency histograms match the scalar diagnostics.
+        let h = t.totals.hist("lat.cpu_read").expect("cpu latency hist");
+        assert!(h.count() > 0);
+        assert!((h.mean() - r.avg_cpu_read_latency).abs() / r.avg_cpu_read_latency < 0.5);
+        // Per-bank rows only in totals, not in per-epoch frames.
+        assert!(t.totals.counter("mem.fast.ch0.bank0.row_hits") > 0);
+        assert_eq!(
+            t.epochs[0].metrics.counter("mem.fast.ch0.bank0.row_hits"),
+            0
+        );
+    }
+
+    #[test]
+    fn telemetry_off_is_bit_identical_and_absent() {
+        let mut cfg = tiny();
+        let mix = Mix::by_name("C2").unwrap();
+        cfg.telemetry = false;
+        let off = run_sim(&cfg, &mix, PolicyKind::HydrogenFull);
+        assert!(off.telemetry.is_none());
+        cfg.telemetry = true;
+        let on = run_sim(&cfg, &mix, PolicyKind::HydrogenFull);
+        assert!(on.telemetry.is_some());
+        // Observation must not perturb the simulation.
+        assert_eq!(on.cpu_instr, off.cpu_instr);
+        assert_eq!(on.gpu_instr, off.gpu_instr);
+        assert_eq!(on.hmc, off.hmc);
+        assert_eq!(on.fast, off.fast);
+        assert_eq!(on.slow, off.slow);
+        assert_eq!(on.events_processed, off.events_processed);
+        assert_eq!(on.epoch_trace, off.epoch_trace);
+    }
+
+    #[test]
+    fn telemetry_json_identical_across_engines() {
+        let mut cfg = tiny();
+        let mix = Mix::by_name("C1").unwrap();
+        cfg.engine = h2_sim_core::EngineKind::Calendar;
+        let a = run_sim(&cfg, &mix, PolicyKind::HydrogenFull);
+        cfg.engine = h2_sim_core::EngineKind::Heap;
+        let b = run_sim(&cfg, &mix, PolicyKind::HydrogenFull);
+        let ja = a.telemetry_json_string().unwrap();
+        let jb = b.telemetry_json_string().unwrap();
+        assert!(!ja.is_empty());
+        assert_eq!(ja, jb, "telemetry must be engine-independent");
     }
 
     #[test]

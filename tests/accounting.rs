@@ -121,3 +121,146 @@ fn remap_cache_hit_rate_is_sane() {
     assert!(r.remap_hit_rate >= 0.0 && r.remap_hit_rate <= 1.0);
     assert!(r.hmc.meta_reads > 0, "tiny remap cache must miss sometimes");
 }
+
+/// Transaction conservation, asserted from the metrics registry: at every
+/// observation point `txns_started == txns_retired + inflight`, and a
+/// synchronously drained controller ends with nothing in flight.
+#[test]
+fn transactions_conserve_through_registry() {
+    use hydrogen_repro::hybrid::types::HybridConfig;
+    use hydrogen_repro::hybrid::{Hmc, HmcEvent, HmcOutput};
+    use hydrogen_repro::hydrogen::{HydrogenConfig, HydrogenPolicy};
+    use hydrogen_repro::sim::{MetricsRegistry, SeededRng};
+
+    let cfg = HybridConfig {
+        fast_capacity: 64 * 1024, // 64 sets x 4 ways x 256 B
+        ..HybridConfig::default()
+    };
+    let policy = HydrogenPolicy::new(HydrogenConfig::full(4, 4, 25));
+    let mut hmc = Hmc::new(cfg, Box::new(policy), 7);
+    let mut rng = SeededRng::derive(11, "acct.txns");
+
+    let snapshot = |hmc: &Hmc| -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new(true);
+        let mut s = reg.scoped("hmc");
+        hmc.collect_metrics(&mut s);
+        reg
+    };
+
+    for i in 0..400u64 {
+        let class = if rng.chance(0.5) { ReqClass::Cpu } else { ReqClass::Gpu };
+        let addr = rng.below(4096) * 256;
+        let is_write = rng.chance(0.3);
+        let mut queue = Vec::new();
+        hmc.access(i, class, addr, is_write, true, &mut queue);
+        // Synchronous pump: complete every command immediately.
+        while let Some(o) = queue.pop() {
+            match o {
+                HmcOutput::Mem { cmd, .. } => {
+                    let mut nxt = Vec::new();
+                    hmc.handle(HmcEvent::MemDone(cmd.token), &mut nxt);
+                    queue.extend(nxt);
+                }
+                HmcOutput::After { token, .. } => {
+                    let mut nxt = Vec::new();
+                    hmc.handle(HmcEvent::SramDone(token), &mut nxt);
+                    queue.extend(nxt);
+                }
+                HmcOutput::DemandReady { .. } | HmcOutput::Retired { .. } => {}
+            }
+        }
+        if i % 7 == 0 {
+            hmc.policy_mut().on_faucet();
+        }
+        let reg = snapshot(&hmc);
+        let started = reg.counter("hmc.txns_started");
+        let retired = reg.counter("hmc.txns_retired");
+        let inflight = reg.gauge("hmc.inflight").unwrap() as u64;
+        assert_eq!(started, retired + inflight, "conservation broke at access {i}");
+        assert_eq!(inflight, 0, "synchronous drive must drain access {i}");
+    }
+    let reg = snapshot(&hmc);
+    assert!(reg.counter("hmc.txns_started") >= 400);
+    assert_eq!(reg.counter("hmc.cpu.accesses") + reg.counter("hmc.gpu.accesses"), 400);
+}
+
+/// Token-faucet conservation from a full run's telemetry: every granted
+/// token is spent, discarded by the banking cap, or still banked — and the
+/// bank itself is bounded by two periods' grant, so the lifetime flows can
+/// never drift apart by more than that.
+#[test]
+fn token_flows_conserve_in_telemetry_totals() {
+    let cfg = tiny();
+    let mix = Mix::by_name("C5").unwrap();
+    let r = run_sim(&cfg, &mix, PolicyKind::HydrogenFull);
+    let t = r.telemetry.as_ref().expect("telemetry on by default");
+
+    let granted = t.totals.counter("hmc.policy.tokens.granted");
+    let spent = t.totals.counter("hmc.policy.tokens.spent");
+    let discarded = t.totals.counter("hmc.policy.tokens.discarded");
+    assert!(granted > 0, "the faucet must have run");
+
+    // granted - spent - discarded == available(end) - available(warm-up),
+    // and the bank never holds more than 2 x grant <= 2 x budget tokens.
+    let bound = 2 * cfg.token_budget_per_period();
+    assert!(
+        spent + discarded <= granted + bound,
+        "token flows out of balance: {spent} + {discarded} vs {granted} (+{bound})"
+    );
+    assert!(
+        granted <= spent + discarded + bound,
+        "granted tokens vanished: {granted} vs {spent} + {discarded} (+{bound})"
+    );
+    let avail = t.totals.gauge("hmc.policy.tokens.available").unwrap();
+    assert!(avail >= 0.0 && avail <= bound as f64, "bank out of range: {avail}");
+
+    // Epoch frames are deltas over sub-windows of the measured window, so
+    // their sums can never exceed the window totals, for any counter.
+    for name in ["hmc.policy.tokens.granted", "hmc.cpu.accesses", "sys.cpu_instr"] {
+        let summed: u64 = t.epochs.iter().map(|f| f.metrics.counter(name)).sum();
+        assert!(
+            summed <= t.totals.counter(name),
+            "{name}: epoch sum {summed} exceeds total {}",
+            t.totals.counter(name)
+        );
+    }
+}
+
+/// Per-epoch way-allocation sanity from the telemetry timeline: the
+/// `(bw, cap)` in force after each epoch respects `bw <= cap <= assoc`,
+/// the frame gauges agree with the adaptation record exactly, and the two
+/// classes' fast-way occupancies never exceed the fast tier's way count.
+#[test]
+fn epoch_way_allocations_stay_within_fast_ways() {
+    let cfg = tiny();
+    let mix = Mix::by_name("C1").unwrap();
+    let r = run_sim(&cfg, &mix, PolicyKind::HydrogenFull);
+    let t = r.telemetry.as_ref().expect("telemetry on by default");
+    assert!(!t.epochs.is_empty());
+
+    let total_ways = (cfg.fast_capacity_for(&mix) / cfg.block_bytes) as f64;
+    for f in &t.epochs {
+        assert!(
+            f.record.bw <= f.record.cap && f.record.cap <= cfg.assoc,
+            "epoch {}: illegal allocation ({}, {})",
+            f.record.epoch,
+            f.record.bw,
+            f.record.cap
+        );
+        // Gauges are sampled at the same post-adaptation point the record is
+        // built, so they must agree exactly.
+        assert_eq!(f.metrics.gauge("hmc.policy.bw"), Some(f.record.bw as f64));
+        assert_eq!(f.metrics.gauge("hmc.policy.cap"), Some(f.record.cap as f64));
+        let occ_cpu = f.metrics.gauge("hmc.occ_ways.cpu").unwrap();
+        let occ_gpu = f.metrics.gauge("hmc.occ_ways.gpu").unwrap();
+        assert!(occ_cpu >= 0.0 && occ_gpu >= 0.0);
+        assert!(
+            occ_cpu + occ_gpu <= total_ways,
+            "epoch {}: occupancy {} + {} exceeds {} ways",
+            f.record.epoch,
+            occ_cpu,
+            occ_gpu,
+            total_ways
+        );
+    }
+}

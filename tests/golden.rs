@@ -1,0 +1,98 @@
+//! Golden-snapshot regression tests over the telemetry JSON.
+//!
+//! Each case runs a small end-to-end simulation under *both* event-queue
+//! engines, asserts their telemetry timelines are byte-identical, and then
+//! compares the JSON against a checked-in snapshot in `tests/golden/`. The
+//! snapshots pin the simulator's observable behaviour — instruction counts,
+//! hit rates, queue depths, latency histograms, the hill climber's search
+//! path — so any unintended behavioural change shows up as a diff.
+//!
+//! When a change is *intended*, regenerate the snapshots:
+//!
+//! ```text
+//! H2_BLESS=1 cargo test --test golden
+//! ```
+//!
+//! and commit the updated files alongside the change that caused them.
+
+use hydrogen_repro::prelude::*;
+use hydrogen_repro::sim::EngineKind;
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+/// Run `kind` on `mix` under both engines; check the timeline snapshot.
+fn check(name: &str, cfg: &SystemConfig, mix_name: &str, kind: PolicyKind) {
+    let mix = Mix::by_name(mix_name).unwrap();
+
+    let mut cal = cfg.clone();
+    cal.engine = EngineKind::Calendar;
+    let mut heap = cfg.clone();
+    heap.engine = EngineKind::Heap;
+    let got = run_sim(&cal, &mix, kind)
+        .telemetry_json_string()
+        .expect("telemetry must be enabled for golden runs");
+    let via_heap = run_sim(&heap, &mix, kind)
+        .telemetry_json_string()
+        .expect("telemetry must be enabled for golden runs");
+    assert_eq!(got, via_heap, "{name}: engines must produce identical telemetry");
+
+    let path = golden_path(name);
+    if std::env::var_os("H2_BLESS").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate it with \
+             `H2_BLESS=1 cargo test --test golden` and commit the file",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "{name}: telemetry diverged from {}; if the change is intended, \
+         regenerate with `H2_BLESS=1 cargo test --test golden`",
+        path.display()
+    );
+}
+
+/// The Fig 2 motivation setting: the non-partitioned baseline under
+/// CPU-GPU contention.
+#[test]
+fn golden_fig2_baseline_c1() {
+    check("fig2_nopart_c1", &SystemConfig::tiny(), "C1", PolicyKind::NoPart);
+}
+
+/// The Fig 9 adaptation setting: full Hydrogen (tokens + hill climbing),
+/// exercising the epoch-resolved policy telemetry.
+#[test]
+fn golden_fig9_hydrogen_c5() {
+    check(
+        "fig9_hydrogen_c5",
+        &SystemConfig::tiny(),
+        "C5",
+        PolicyKind::HydrogenFull,
+    );
+}
+
+/// Blessing must be able to round-trip: the written snapshot re-reads as
+/// exactly what the comparison path would produce (guards against e.g. a
+/// missing trailing newline in the writer).
+#[test]
+fn golden_format_round_trips() {
+    let mix = Mix::by_name("C1").unwrap();
+    let r = run_sim(&SystemConfig::tiny(), &mix, PolicyKind::NoPart);
+    let s = r.telemetry_json_string().unwrap();
+    assert!(s.ends_with('\n'), "pretty JSON must end with a newline");
+    assert!(s.starts_with('{'), "timeline must be a JSON object");
+    // Host-dependent fields must never leak into the snapshot.
+    assert!(!s.contains("wall_s"));
+    assert!(!s.contains("events_per_sec"));
+}

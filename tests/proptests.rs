@@ -139,6 +139,49 @@ fn remap_table_invariants() {
     });
 }
 
+/// Random way-allocation transitions move only the ways `changed_ways`
+/// reports: the mask is *sound* (every flagged way really changed channel
+/// or class) and *complete* (every unflagged way kept both). This is the
+/// consistent-hashing contract lazy reconfiguration relies on — blocks
+/// outside the mask never need relocating.
+#[test]
+fn partition_transitions_move_only_changed_ways() {
+    cases("prop.transitions", |case, rng| {
+        let n = 1 + rng.below(16) as usize;
+        let pick = |rng: &mut SeededRng| {
+            let bw = rng.below(n as u64 + 1) as usize;
+            let cap = bw + rng.below((n - bw) as u64 + 1) as usize;
+            PartitionMap::new(n, bw, cap)
+        };
+        let a = pick(rng);
+        let b = pick(rng);
+        for _ in 0..8 {
+            let set = rng.below(100_000);
+            let changed = a.changed_ways(&b, set);
+            let (a_cpu, b_cpu) = (a.cpu_mask(set), b.cpu_mask(set));
+            for w in 0..n {
+                let class_same = (a_cpu ^ b_cpu) & (1 << w) == 0;
+                let chan_same = a.way_channel(set, w) == b.way_channel(set, w);
+                if changed & (1 << w) != 0 {
+                    assert!(
+                        !(class_same && chan_same),
+                        "case {case}: way {w} flagged but unchanged"
+                    );
+                } else {
+                    assert!(class_same && chan_same, "case {case}: way {w} moved silently");
+                }
+            }
+            // Symmetry: the relocation work is the same in both directions.
+            assert_eq!(changed, b.changed_ways(&a, set), "case {case}: asymmetric");
+            // Same bandwidth split => channels never move, so the mask is
+            // exactly the capacity flips.
+            if a.bw() == b.bw() {
+                assert_eq!(changed, a_cpu ^ b_cpu, "case {case}: phantom channel change");
+            }
+        }
+    });
+}
+
 /// Trace generators stay inside their window for every preset.
 #[test]
 fn traces_stay_in_window() {
@@ -160,6 +203,115 @@ fn traces_stay_in_window() {
                 spec.name
             );
             assert_eq!(r.addr % 64, 0, "case {case}: unaligned");
+        }
+    });
+}
+
+/// After arbitrary `(bw, cap, tok)` reconfigurations, the controller never
+/// leaves a just-accessed block resident in a way the current allocation
+/// forbids: a hit on a misplaced block must lazily fix it up (relocate or
+/// evict), so remap lookups never serve a stale tier assignment. The remap
+/// table also never accumulates duplicate tags across reconfigurations.
+#[test]
+fn remap_never_serves_stale_ways_after_reconfig() {
+    use hydrogen_repro::hybrid::hmc::{HmcEvent, HmcOutput};
+    use hydrogen_repro::hybrid::{Hmc, PartitionPolicy, PolicyParams, WayMeta};
+    use hydrogen_repro::hydrogen::{HydrogenConfig, HydrogenPolicy};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Adapter that lets the test hold a handle to the policy the HMC owns,
+    /// so it can force reconfigurations mid-stream through the public API.
+    struct SharedHydrogen(Rc<RefCell<HydrogenPolicy>>);
+    impl PartitionPolicy for SharedHydrogen {
+        fn name(&self) -> &str {
+            "Hydrogen(shared)"
+        }
+        fn alloc_mask(&self, set: u64, class: ReqClass) -> u16 {
+            self.0.borrow().alloc_mask(set, class)
+        }
+        fn way_channel(&self, set: u64, way: usize) -> usize {
+            self.0.borrow().way_channel(set, way)
+        }
+        fn migration_allowed(
+            &mut self,
+            class: ReqClass,
+            cost: u32,
+            is_write: bool,
+            slow_channel: usize,
+            rng: &mut SeededRng,
+        ) -> bool {
+            self.0
+                .borrow_mut()
+                .migration_allowed(class, cost, is_write, slow_channel, rng)
+        }
+        fn swap_target(
+            &self,
+            set: u64,
+            way: usize,
+            class: ReqClass,
+            ways: &[WayMeta],
+            rng: &mut SeededRng,
+        ) -> Option<usize> {
+            self.0.borrow().swap_target(set, way, class, ways, rng)
+        }
+        fn on_faucet(&mut self) {
+            self.0.borrow_mut().on_faucet()
+        }
+        fn params(&self) -> PolicyParams {
+            self.0.borrow().params()
+        }
+    }
+
+    cases("prop.stale", |case, rng| {
+        let cfg = HybridConfig {
+            fast_capacity: 64 * 1024, // 64 sets x 4 ways x 256 B
+            ..HybridConfig::default()
+        };
+        let handle = Rc::new(RefCell::new(HydrogenPolicy::new(HydrogenConfig::dp_only(
+            4, 4,
+        ))));
+        let block_bytes = cfg.block_bytes;
+        let mut hmc = Hmc::new(cfg, Box::new(SharedHydrogen(handle.clone())), case);
+
+        let ops = 100 + rng.below(200);
+        for i in 0..ops {
+            if rng.chance(0.15) {
+                // Random legal (bw, cap, tok) — exactly what the hill
+                // climber's `apply` would do, at adversarial cadence.
+                let bw = rng.below(5) as usize;
+                let cap = bw + rng.below((4 - bw) as u64 + 1) as usize;
+                handle.borrow_mut().force_config(bw, cap, rng.below(8) as usize);
+            }
+            let class = if rng.chance(0.5) { ReqClass::Cpu } else { ReqClass::Gpu };
+            let block = rng.below(512);
+            let mut queue = Vec::new();
+            hmc.access(i, class, block * block_bytes, rng.chance(0.3), true, &mut queue);
+            while let Some(o) = queue.pop() {
+                let mut nxt = Vec::new();
+                match o {
+                    HmcOutput::Mem { cmd, .. } => hmc.handle(HmcEvent::MemDone(cmd.token), &mut nxt),
+                    HmcOutput::After { token, .. } => {
+                        hmc.handle(HmcEvent::SramDone(token), &mut nxt)
+                    }
+                    HmcOutput::DemandReady { .. } | HmcOutput::Retired { .. } => {}
+                }
+                queue.extend(nxt);
+            }
+
+            // The block we just touched must now sit in an allowed way (or
+            // have been evicted by the lazy fixup) — never a stale one.
+            let set = block % hmc.config().num_sets();
+            if let Some(way) = hmc.table().lookup(set, block) {
+                let owner = hmc.table().set_view(set)[way].owner;
+                let mask = hmc.policy().alloc_mask(set, owner);
+                assert!(
+                    mask & (1 << way) != 0,
+                    "case {case} op {i}: block {block} ({owner:?}) left in \
+                     forbidden way {way} of set {set} (mask {mask:#06b})"
+                );
+            }
+            assert!(hmc.table().check_no_duplicate_tags(), "case {case} op {i}");
         }
     });
 }
