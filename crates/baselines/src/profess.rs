@@ -146,8 +146,8 @@ mod tests {
             });
         }
         let (c, g) = p.probabilities();
-        assert!(c <= P_MAX && c >= P_MIN);
-        assert!(g <= P_MAX && g >= P_MIN);
+        assert!((P_MIN..=P_MAX).contains(&c));
+        assert!((P_MIN..=P_MAX).contains(&g));
         assert!((g - P_MIN).abs() < 1e-9, "gpu should bottom out");
     }
 

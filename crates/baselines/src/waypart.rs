@@ -19,7 +19,7 @@ impl WayPartPolicy {
     /// `cpu_fraction` of the ways (rounded, at least 1, at most `assoc-1`
     /// when possible) go to the CPU. The paper uses 0.75.
     pub fn new(assoc: usize, channels: usize, cpu_fraction: f64) -> Self {
-        assert!(assoc >= 1 && assoc <= 16);
+        assert!((1..=16).contains(&assoc));
         let mut cpu_ways = ((assoc as f64 * cpu_fraction).round() as usize).clamp(1, assoc);
         if assoc > 1 && cpu_ways == assoc {
             cpu_ways = assoc - 1; // leave the GPU at least one way if we can

@@ -139,6 +139,44 @@ fn bench_trace_gen(b: &mut Bench) {
     b.bench("trace_gen_mcf_ref", || black_box(g.next_ref()));
 }
 
+fn bench_span_collector(b: &mut Bench) {
+    use h2_sim_core::trace_span::{BlameCause, SpanCollector};
+    // One sampled request's full lifecycle: sample, open, meta + device
+    // intervals, close (sort, coalesce, tiling check, blame fold).
+    let mut c = SpanCollector::new(Some(1));
+    let mut t = 0u64;
+    b.bench("trace_span_lifecycle", || {
+        let id = c.try_sample().expect("rate 1 samples everything");
+        c.open(id, (t % 2) as u8, t);
+        c.record(id, BlameCause::RemapMiss, t, t + 8);
+        c.record(id, BlameCause::QueueBehindGpu, t + 8, t + 40);
+        c.record(id, BlameCause::RowConflict, t + 40, t + 55);
+        c.record(id, BlameCause::Service, t + 55, t + 80);
+        c.close(id, t + 80);
+        t += 80;
+        // Keep the collector from accumulating unbounded state.
+        if c.spans_closed() >= 4096 {
+            black_box(c.take_spans());
+        }
+        black_box(t)
+    });
+
+    // The disabled path: what every untraced request pays (must be ~free).
+    let mut off = SpanCollector::new(None);
+    b.bench("trace_span_disabled_probe", || black_box(off.try_sample()));
+}
+
+fn bench_traced_full_system(b: &mut Bench) {
+    let mut cfg = SystemConfig::tiny();
+    cfg.warmup_cycles = 50_000;
+    cfg.measure_cycles = 100_000;
+    cfg.trace_sample = Some(64);
+    let mix = Mix::by_name("C1").unwrap();
+    b.bench("full_system_tiny_c1_150k_traced", move || {
+        black_box(run_sim(&cfg, &mix, PolicyKind::HydrogenFull).events_processed)
+    });
+}
+
 fn bench_full_system(b: &mut Bench) {
     let mut cfg = SystemConfig::tiny();
     cfg.warmup_cycles = 50_000;
@@ -162,6 +200,8 @@ fn main() {
     bench_remap_table(&mut b);
     bench_partition_map(&mut b);
     bench_trace_gen(&mut b);
+    bench_span_collector(&mut b);
     bench_full_system(&mut b);
+    bench_traced_full_system(&mut b);
     b.finish();
 }

@@ -8,8 +8,14 @@
 //! `cargo bench --bench micro -- --test` runs every benchmark once as a
 //! smoke test; a trailing plain argument filters benchmarks by substring.
 
+use h2_sim_core::Json;
 use std::hint::black_box;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+/// Machine-readable results file written by [`Bench::finish`] at the repo
+/// root (next to `.git`), consumed by CI as a perf-tracking artifact.
+pub const RESULTS_FILE: &str = "BENCH_tracing.json";
 
 /// Parsed bench CLI: `[filter] [--test]` (cargo's own flags are ignored).
 pub struct BenchArgs {
@@ -39,12 +45,13 @@ impl BenchArgs {
 pub struct Bench {
     args: BenchArgs,
     ran: usize,
+    results: Vec<(String, u64)>,
 }
 
 impl Bench {
     /// New runner from the process args.
     pub fn new() -> Self {
-        Self { args: BenchArgs::from_env(), ran: 0 }
+        Self { args: BenchArgs::from_env(), ran: 0, results: Vec::new() }
     }
 
     /// Whether `name` passes the CLI filter.
@@ -90,10 +97,28 @@ impl Bench {
             best = best.min(ns);
         }
         println!("{name:<44} {best:>12} ns/iter");
+        self.results.push((name.to_string(), best));
         best
     }
 
-    /// Final line; exits non-zero if a filter matched nothing.
+    /// The measured results as a machine-readable JSON document:
+    /// `{"schema": 1, "benches": [{name, ns_per_iter, events_per_sec}]}`.
+    fn results_json(&self) -> Json {
+        let mut benches = Json::arr();
+        for (name, ns) in &self.results {
+            benches.push(
+                Json::obj()
+                    .field("name", name.as_str())
+                    .field("ns_per_iter", *ns)
+                    .field("events_per_sec", 1e9 / (*ns).max(1) as f64),
+            );
+        }
+        Json::obj().field("schema", 1u64).field("benches", benches)
+    }
+
+    /// Final line; exits non-zero if a filter matched nothing. Measured
+    /// (non `--test`) runs also append their results to the repo-root
+    /// [`RESULTS_FILE`] so CI can upload one perf artifact per bench run.
     pub fn finish(self) {
         if self.ran == 0 {
             eprintln!("no benchmarks matched the filter");
@@ -101,6 +126,35 @@ impl Bench {
         }
         if self.args.test {
             println!("\n{} benchmarks ran in --test mode", self.ran);
+            return;
+        }
+        if self.results.is_empty() {
+            return;
+        }
+        let path = repo_root().join(RESULTS_FILE);
+        let mut doc = self.results_json().to_string_pretty();
+        if !doc.ends_with('\n') {
+            doc.push('\n');
+        }
+        match std::fs::write(&path, doc) {
+            Ok(()) => println!("results: {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// The nearest ancestor directory holding `.git` (the repo root); falls
+/// back to the CWD so bench runs outside a checkout still land somewhere.
+fn repo_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut at = cwd.as_path();
+    loop {
+        if at.join(".git").is_dir() {
+            return at.to_path_buf();
+        }
+        match at.parent() {
+            Some(p) => at = p,
+            None => return cwd,
         }
     }
 }
@@ -115,21 +169,42 @@ impl Default for Bench {
 mod tests {
     use super::*;
 
+    fn test_bench(filter: Option<&str>) -> Bench {
+        Bench {
+            args: BenchArgs { filter: filter.map(str::to_string), test: true },
+            ran: 0,
+            results: Vec::new(),
+        }
+    }
+
     #[test]
     fn filter_matching() {
-        let b = Bench { args: BenchArgs { filter: Some("queue".into()), test: true }, ran: 0 };
+        let b = test_bench(Some("queue"));
         assert!(b.selected("event_queue_4k"));
         assert!(!b.selected("dram_channel"));
-        let b = Bench { args: BenchArgs { filter: None, test: true }, ran: 0 };
+        let b = test_bench(None);
         assert!(b.selected("anything"));
     }
 
     #[test]
     fn test_mode_runs_once() {
-        let mut b = Bench { args: BenchArgs { filter: None, test: true }, ran: 0 };
+        let mut b = test_bench(None);
         let mut count = 0;
         b.bench("x", || count += 1);
         assert_eq!(count, 1);
         assert_eq!(b.ran, 1);
+        assert!(b.results.is_empty(), "--test mode records no timings");
+    }
+
+    #[test]
+    fn results_json_shape() {
+        let mut b = test_bench(None);
+        b.results.push(("span_collector".into(), 250));
+        b.results.push(("chrome_export".into(), 4));
+        let s = b.results_json().to_string_compact();
+        assert!(s.contains(r#""schema":1"#));
+        assert!(s.contains(r#""name":"span_collector""#));
+        assert!(s.contains(r#""ns_per_iter":250"#));
+        assert!(s.contains(r#""events_per_sec":4000000.0"#), "{s}");
     }
 }

@@ -11,6 +11,9 @@
 //! The climber is generic over the space: dimension sizes plus a validity
 //! predicate (Hydrogen uses it to enforce `cap ≥ bw`).
 
+/// Validity predicate over full configurations.
+pub type ValidityFn = Box<dyn Fn(&[usize]) -> bool + Send>;
+
 /// Static configuration of the search.
 pub struct ClimbConfig {
     /// Number of discrete values in each dimension.
@@ -18,7 +21,7 @@ pub struct ClimbConfig {
     /// Relative improvement needed to accept a step (noise guard).
     pub eps: f64,
     /// Validity predicate over full configurations.
-    pub valid: Box<dyn Fn(&[usize]) -> bool + Send>,
+    pub valid: ValidityFn,
 }
 
 impl std::fmt::Debug for ClimbConfig {
@@ -98,7 +101,7 @@ impl HillClimber {
 
     fn candidate_for(&self, pair: usize) -> Option<Vec<usize>> {
         let dim = pair / 2;
-        let up = pair % 2 == 0;
+        let up = pair.is_multiple_of(2);
         let mut cand = self.current.clone();
         if up {
             if cand[dim] + 1 >= self.cfg.dims[dim] {

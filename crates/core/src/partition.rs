@@ -29,7 +29,7 @@ impl PartitionMap {
     /// Build a map over `n` ways/channels with `bw = B` dedicated CPU
     /// channels and `cap = C` CPU ways per set. Requires `B ≤ C ≤ N`.
     pub fn new(n: usize, bw: usize, cap: usize) -> Self {
-        assert!(n >= 1 && n <= 16, "1..=16 ways supported");
+        assert!((1..=16).contains(&n), "1..=16 ways supported");
         assert!(bw <= cap && cap <= n, "need B <= C <= N (B={bw}, C={cap}, N={n})");
         Self { n, bw, cap }
     }

@@ -113,7 +113,7 @@ impl HydrogenConfig {
 
 /// Whether the decoupled way→channel scheme applies to this geometry.
 fn grouped(assoc: usize, channels: usize) -> bool {
-    assoc >= channels && assoc % channels == 0
+    assoc >= channels && assoc.is_multiple_of(channels)
 }
 
 /// The Hydrogen policy.
@@ -328,7 +328,7 @@ impl PartitionPolicy for HydrogenPolicy {
         if self.climber.is_none() {
             return false;
         }
-        if self.cfg.epochs_per_phase > 0 && self.epoch_count % self.cfg.epochs_per_phase == 0 {
+        if self.cfg.epochs_per_phase > 0 && self.epoch_count.is_multiple_of(self.cfg.epochs_per_phase) {
             self.climber.as_mut().unwrap().reset();
             self.settling = false;
         }

@@ -146,6 +146,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // pins the literal table values
     fn levels_are_sorted_fractions() {
         for w in TOKEN_LEVELS.windows(2) {
             assert!(w[0] < w[1]);

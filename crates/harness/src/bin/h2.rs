@@ -4,6 +4,7 @@
 //! h2 list                           # show available experiments
 //! h2 run fig5 [fig6 ...]            # run selected experiments
 //! h2 run --telemetry <dir> fig9     # also dump per-run telemetry JSON
+//! h2 run --trace <dir> fig9         # also dump Perfetto request traces
 //! h2 all                            # run everything (Tables I-II, Figs 2, 5-11)
 //! ```
 //!
@@ -15,24 +16,52 @@
 //! `--telemetry <dir>` writes one machine-readable epoch-resolved timeline
 //! per simulation run (`<mix>_<policy>_<key>.json`, schema documented in
 //! `h2_system::telemetry`) — including runs replayed from the cache.
+//!
+//! `--trace <dir>` enables request-level causal tracing and writes one
+//! Chrome Trace Event file per run (`<mix>_<policy>_<key>.trace.json`),
+//! loadable at <https://ui.perfetto.dev>. `--trace-sample N` sets the
+//! sampling rate (every `N`-th demand read; default 64). Cached runs that
+//! were executed without tracing are transparently re-executed with it.
 
 use h2_harness::{run_experiment, Profile, RunCache, ALL_EXPERIMENTS};
 use std::path::{Path, PathBuf};
+
+/// Default request-trace sampling rate: every 64th demand read.
+const DEFAULT_TRACE_SAMPLE: u64 = 64;
+
+/// Extract `--flag <value>` from anywhere in `args`, removing both tokens.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} needs an argument");
+        std::process::exit(2);
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let profile = Profile::from_env();
 
-    // Extract `--telemetry <dir>` wherever it appears.
-    let mut telemetry_dir: Option<PathBuf> = None;
-    if let Some(i) = args.iter().position(|a| a == "--telemetry") {
-        if i + 1 >= args.len() {
-            eprintln!("--telemetry needs a directory argument");
-            std::process::exit(2);
-        }
-        telemetry_dir = Some(PathBuf::from(args.remove(i + 1)));
-        args.remove(i);
+    let telemetry_dir = take_flag(&mut args, "--telemetry").map(PathBuf::from);
+    let trace_dir = take_flag(&mut args, "--trace").map(PathBuf::from);
+    let trace_sample = match take_flag(&mut args, "--trace-sample") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("--trace-sample needs an unsigned integer, got '{v}'");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    if trace_sample.is_some() && trace_dir.is_none() {
+        eprintln!("--trace-sample requires --trace <dir>");
+        std::process::exit(2);
     }
+    let trace = trace_dir.map(|d| (d, trace_sample.unwrap_or(DEFAULT_TRACE_SAMPLE)));
 
     match args.first().map(|s| s.as_str()) {
         Some("list") => {
@@ -40,25 +69,38 @@ fn main() {
             println!("profile: {profile:?} (H2_PROFILE=quick|default|full)");
         }
         Some("all") => {
-            run_ids(&ALL_EXPERIMENTS.to_vec(), &profile, telemetry_dir.as_deref());
+            run_ids(&ALL_EXPERIMENTS, &profile, telemetry_dir.as_deref(), trace.as_ref());
         }
         Some("run") if args.len() > 1 => {
             let ids: Vec<&str> = args[1..].iter().map(|s| s.as_str()).collect();
-            run_ids(&ids, &profile, telemetry_dir.as_deref());
+            run_ids(&ids, &profile, telemetry_dir.as_deref(), trace.as_ref());
         }
         _ => {
-            eprintln!("usage: h2 list | h2 [--telemetry <dir>] run <experiment>.. | h2 all");
+            eprintln!(
+                "usage: h2 list | h2 [--telemetry <dir>] [--trace <dir> [--trace-sample N]] run <experiment>.. | h2 all"
+            );
             eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
             std::process::exit(2);
         }
     }
 }
 
-fn run_ids(ids: &[&str], profile: &Profile, telemetry_dir: Option<&Path>) {
+fn run_ids(
+    ids: &[&str],
+    profile: &Profile,
+    telemetry_dir: Option<&Path>,
+    trace: Option<&(PathBuf, u64)>,
+) {
     let mut cache = RunCache::persistent();
     if let Some(dir) = telemetry_dir {
         if let Err(e) = cache.set_telemetry_dir(dir) {
             eprintln!("cannot create telemetry dir {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    }
+    if let Some((dir, sample)) = trace {
+        if let Err(e) = cache.set_trace_dir(dir, *sample) {
+            eprintln!("cannot create trace dir {}: {e}", dir.display());
             std::process::exit(2);
         }
     }

@@ -72,6 +72,16 @@ fn default_cache_dir() -> std::path::PathBuf {
     }
 }
 
+/// Filesystem-safe dump name for a run: `<mix>_<policy>_<key>.<ext>`.
+fn dump_name(report: &RunReport, key: u128, ext: &str) -> String {
+    let slug = |s: &str| -> String {
+        s.chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect()
+    };
+    format!("{}_{}_{:032x}.{ext}", slug(&report.mix), slug(&report.policy), key)
+}
+
 /// Memoising simulation runner with an optional persistent tier.
 #[derive(Default)]
 pub struct RunCache {
@@ -95,6 +105,15 @@ pub struct RunCache {
     /// When set, every run entering the cache dumps its telemetry timeline
     /// as `<mix>_<policy>_<key>.json` into this directory.
     telemetry_dir: Option<PathBuf>,
+    /// When set, every traced run entering the cache dumps its sampled
+    /// spans as `<mix>_<policy>_<key>.trace.json` (Chrome Trace Event
+    /// format) into this directory.
+    trace_dir: Option<PathBuf>,
+    /// When set, jobs execute with request tracing at this sample rate,
+    /// and cached entries *without* spans count as misses (upgrade-on-miss:
+    /// the run is re-executed traced and overwrites the untraced entry).
+    /// Tracing never changes job keys — see `crate::key`.
+    trace_sample: Option<u64>,
 }
 
 impl RunCache {
@@ -144,6 +163,16 @@ impl RunCache {
         Ok(())
     }
 
+    /// Dump every traced run's spans into `dir` (created if needed) as
+    /// Chrome Trace Event JSON — including runs replayed from disk.
+    /// `sample` is the rate applied to runs that miss the cache.
+    pub fn set_trace_dir(&mut self, dir: &Path, sample: u64) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        self.trace_dir = Some(dir.to_path_buf());
+        self.trace_sample = Some(sample);
+        Ok(())
+    }
+
     /// Write one run's telemetry JSON (no-op when no dir is set or the run
     /// was executed with telemetry off).
     fn dump_telemetry(&self, key: u128, report: &RunReport) {
@@ -151,34 +180,62 @@ impl RunCache {
         else {
             return;
         };
-        let slug = |s: &str| -> String {
-            s.chars()
-                .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
-                .collect()
-        };
-        let path = dir.join(format!(
-            "{}_{}_{:032x}.json",
-            slug(&report.mix),
-            slug(&report.policy),
-            key
-        ));
+        let path = dir.join(dump_name(report, key, "json"));
         if let Err(e) = fs::write(&path, json) {
             eprintln!("[h2] telemetry write failed ({}): {e}", path.display());
         }
     }
 
+    /// Write one run's Perfetto trace (no-op when no dir is set or the run
+    /// carries no spans).
+    fn dump_trace(&self, key: u128, report: &RunReport) {
+        let (Some(dir), Some(json)) = (&self.trace_dir, report.chrome_trace_json_string())
+        else {
+            return;
+        };
+        let path = dir.join(dump_name(report, key, "trace.json"));
+        if let Err(e) = fs::write(&path, json) {
+            eprintln!("[h2] trace write failed ({}): {e}", path.display());
+        }
+    }
+
+    fn dump_all(&self, key: u128, report: &RunReport) {
+        self.dump_telemetry(key, report);
+        self.dump_trace(key, report);
+    }
+
+    /// Upgrade-on-miss rule: a cached report satisfies the request unless
+    /// tracing is wanted and the entry was executed without it.
+    fn satisfies_trace(&self, r: &RunReport) -> bool {
+        self.trace_sample.is_none() || r.trace.is_some()
+    }
+
+    /// A job's effective config: the requested one, plus the cache-level
+    /// trace-sample override (which never changes the key).
+    fn effective_cfg(&self, job: &Job) -> SystemConfig {
+        let mut cfg = job.cfg.clone();
+        if self.trace_sample.is_some() {
+            cfg.trace_sample = self.trace_sample;
+        }
+        cfg
+    }
+
     /// Look a key up in both tiers, promoting disk hits into memory.
     fn fetch(&mut self, key: u128) -> Option<RunReport> {
         if let Some(r) = self.map.get(&key) {
-            self.hits += 1;
-            return Some(r.clone());
+            if self.satisfies_trace(r) {
+                self.hits += 1;
+                return Some(r.clone());
+            }
         }
         if let Some(disk) = &self.disk {
             if let Some(r) = disk.load(key) {
-                self.disk_hits += 1;
-                self.dump_telemetry(key, &r);
-                self.map.insert(key, r.clone());
-                return Some(r);
+                if self.satisfies_trace(&r) {
+                    self.disk_hits += 1;
+                    self.dump_all(key, &r);
+                    self.map.insert(key, r.clone());
+                    return Some(r);
+                }
             }
         }
         None
@@ -194,7 +251,7 @@ impl RunCache {
                 eprintln!("[h2] run cache write failed: {e}");
             }
         }
-        self.dump_telemetry(key, report);
+        self.dump_all(key, report);
         self.map.insert(key, report.clone());
     }
 
@@ -207,7 +264,8 @@ impl RunCache {
         if self.verbose {
             eprintln!("[h2] running {} / {:?} / {:?}", job.mix.name, job.kind, job.parts);
         }
-        let report = run_sim_parts(&job.cfg, &job.mix, job.kind, job.parts);
+        let cfg = self.effective_cfg(job);
+        let report = run_sim_parts(&cfg, &job.mix, job.kind, job.parts);
         if self.verbose {
             eprintln!(
                 "[h2]   done in {:.1}s ({} events, {:.2} Mev/s)",
@@ -229,7 +287,7 @@ impl RunCache {
         let mut misses: Vec<(u128, Job)> = Vec::new();
         for job in jobs {
             let key = job.key();
-            if self.map.contains_key(&key) {
+            if self.map.get(&key).is_some_and(|r| self.satisfies_trace(r)) {
                 self.hits += 1;
                 continue;
             }
@@ -237,9 +295,14 @@ impl RunCache {
                 self.deduped += 1;
                 continue;
             }
-            if let Some(r) = self.disk.as_ref().and_then(|d| d.load(key)) {
+            if let Some(r) = self
+                .disk
+                .as_ref()
+                .and_then(|d| d.load(key))
+                .filter(|r| self.satisfies_trace(r))
+            {
                 self.disk_hits += 1;
-                self.dump_telemetry(key, &r);
+                self.dump_all(key, &r);
                 self.map.insert(key, r);
                 continue;
             }
@@ -256,13 +319,15 @@ impl RunCache {
                 if self.verbose {
                     eprintln!("[h2] running {} / {:?} / {:?}", job.mix.name, job.kind, job.parts);
                 }
-                let r = run_sim_parts(&job.cfg, &job.mix, job.kind, job.parts);
+                let cfg = self.effective_cfg(job);
+                let r = run_sim_parts(&cfg, &job.mix, job.kind, job.parts);
                 self.admit(*key, &r);
             }
         } else {
             let next = AtomicUsize::new(0);
             let (tx, rx) = mpsc::channel::<(usize, RunReport)>();
             let misses_ref = &misses;
+            let trace_sample = self.trace_sample;
             std::thread::scope(|s| {
                 for _ in 0..workers {
                     let tx = tx.clone();
@@ -270,7 +335,11 @@ impl RunCache {
                     s.spawn(move || loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some((_, job)) = misses_ref.get(i) else { break };
-                        let r = run_sim_parts(&job.cfg, &job.mix, job.kind, job.parts);
+                        let mut cfg = job.cfg.clone();
+                        if trace_sample.is_some() {
+                            cfg.trace_sample = trace_sample;
+                        }
+                        let r = run_sim_parts(&cfg, &job.mix, job.kind, job.parts);
                         if tx.send((i, r)).is_err() {
                             break;
                         }
@@ -404,6 +473,63 @@ mod tests {
         assert_eq!(c3.hits, 1);
         assert_eq!(rs[0].cpu_instr, first.cpu_instr);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn traced_replay_upgrades_untraced_entries() {
+        let dir = tmp_dir("trace-upgrade");
+        let trace_dir = tmp_dir("trace-out");
+        let j = tiny_job(PolicyKind::NoPart);
+        {
+            let mut c = RunCache::with_disk_dir(&dir).unwrap();
+            let r = c.run(&j);
+            assert_eq!(c.executed, 1);
+            assert!(r.trace.is_none());
+        }
+        // Traced replay: the untraced disk entry is a miss, so the run is
+        // re-executed with spans and dumped as a Perfetto trace.
+        let mut c2 = RunCache::with_disk_dir(&dir).unwrap();
+        c2.set_trace_dir(&trace_dir, 4).unwrap();
+        let r = c2.run(&j);
+        assert_eq!(c2.executed, 1, "untraced entry upgraded");
+        assert!(r.trace.as_ref().is_some_and(|t| !t.spans.is_empty()));
+        assert_eq!(std::fs::read_dir(&trace_dir).unwrap().count(), 1);
+        // The traced entry now serves both traced requests (replaying the
+        // trace dump from disk)...
+        let _ = std::fs::remove_dir_all(&trace_dir);
+        let mut c3 = RunCache::with_disk_dir(&dir).unwrap();
+        c3.set_trace_dir(&trace_dir, 4).unwrap();
+        c3.run(&j);
+        assert_eq!(c3.executed, 0);
+        assert_eq!(c3.disk_hits, 1);
+        assert_eq!(std::fs::read_dir(&trace_dir).unwrap().count(), 1);
+        // ...and plain untraced requests.
+        let mut c4 = RunCache::with_disk_dir(&dir).unwrap();
+        let r = c4.run(&j);
+        assert_eq!(c4.executed, 0);
+        assert_eq!(c4.disk_hits, 1);
+        assert!(r.trace.is_some(), "cached spans ride along harmlessly");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&trace_dir);
+    }
+
+    #[test]
+    fn batch_upgrades_untraced_entries_too() {
+        let dir = tmp_dir("trace-batch");
+        let j = tiny_job(PolicyKind::NoPart);
+        {
+            let mut c = RunCache::with_disk_dir(&dir).unwrap();
+            c.run_batch(std::slice::from_ref(&j));
+            assert_eq!(c.executed, 1);
+        }
+        let trace_dir = tmp_dir("trace-batch-out");
+        let mut c2 = RunCache::with_disk_dir(&dir).unwrap();
+        c2.set_trace_dir(&trace_dir, 4).unwrap();
+        let rs = c2.run_batch(&[j.clone(), j.clone()]);
+        assert_eq!(c2.executed, 1, "batch re-executes the untraced entry");
+        assert!(rs.iter().all(|r| r.trace.is_some()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&trace_dir);
     }
 
     #[test]

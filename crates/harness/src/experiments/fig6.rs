@@ -92,6 +92,7 @@ mod tests {
             fast_channel_bytes: vec![],
             slow_channel_bytes: vec![],
             telemetry: None,
+            trace: None,
         };
         let slow = mk(100);
         let fast = mk(200);

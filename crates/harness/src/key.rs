@@ -8,11 +8,13 @@
 //! giving a fixed-width `u128` key that is cheap to compare, to use as a
 //! `HashMap` key, and to name on-disk cache entries with.
 //!
-//! Two deliberate omissions: [`SystemConfig::engine`] (the two event
+//! Three deliberate omissions: [`SystemConfig::engine`] (the two event
 //! engines are proved bit-identical by the differential tests, so flipping
-//! the engine must *hit* the cache, not re-simulate) and
-//! [`SystemConfig::telemetry`] (collection is a pure observation that never
-//! perturbs timing — runs differing only in it are the same run).
+//! the engine must *hit* the cache, not re-simulate),
+//! [`SystemConfig::telemetry`], and [`SystemConfig::trace_sample`] (both
+//! are pure observations that never perturb timing — runs differing only
+//! in them are the same run; a traced replay of an untraced cache entry is
+//! handled by the cache's upgrade-on-miss rule, not by the key).
 
 use h2_system::{Participants, PolicyKind, SystemConfig};
 use h2_trace::Mix;
@@ -138,7 +140,8 @@ fn encode_config(e: &mut KeyEncoder, c: &SystemConfig) {
     e.u64(c.warmup_cycles);
     e.u64(c.measure_cycles);
     e.u64(c.seed);
-    // `c.engine` and `c.telemetry` intentionally excluded — see module docs.
+    // `c.engine`, `c.telemetry` and `c.trace_sample` intentionally
+    // excluded — see module docs.
 }
 
 /// The canonical key of one (config, mix, policy, participants) job.
@@ -211,6 +214,15 @@ mod tests {
         let mut c = SystemConfig::tiny();
         let k0 = job_key(&c, &mix, PolicyKind::NoPart, Participants::Both);
         c.telemetry = !c.telemetry;
+        assert_eq!(job_key(&c, &mix, PolicyKind::NoPart, Participants::Both), k0);
+    }
+
+    #[test]
+    fn trace_sample_does_not_change_the_key() {
+        let mix = Mix::by_name("C1").unwrap();
+        let mut c = SystemConfig::tiny();
+        let k0 = job_key(&c, &mix, PolicyKind::NoPart, Participants::Both);
+        c.trace_sample = Some(64);
         assert_eq!(job_key(&c, &mix, PolicyKind::NoPart, Participants::Both), k0);
     }
 

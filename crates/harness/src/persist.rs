@@ -12,8 +12,9 @@
 //! wholesale and the cache restarts cold. Bump [`SCHEMA_VERSION`] whenever
 //! simulator behaviour or this encoding changes.
 
+use h2_sim_core::trace_span::{BlameCause, Span, SpanInterval, MAX_SPANS};
 use h2_sim_core::{LogHistogram, MetricsRegistry};
-use h2_system::report::{EpochFrame, EpochRecord, RunReport, RunTelemetry};
+use h2_system::report::{EpochFrame, EpochRecord, RunReport, RunTelemetry, RunTrace};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -22,8 +23,8 @@ use std::path::{Path, PathBuf};
 const MAGIC: [u8; 4] = *b"H2RC";
 
 /// Bump on any change to simulator results or to the encoding below.
-/// v2: MemStats row conflicts + the optional telemetry section.
-pub const SCHEMA_VERSION: u32 = 2;
+/// v3: the optional request-span trace section (`RunTrace`).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// The full cache tag: schema + code revision (crate version).
 pub fn cache_tag() -> String {
@@ -284,7 +285,57 @@ fn encode_report(r: &RunReport, tag: &str) -> Vec<u8> {
             }
         }
     }
+
+    match &r.trace {
+        None => e.u8(0),
+        Some(t) => {
+            e.u8(1);
+            e.u64(t.sample);
+            e.u64(t.dropped);
+            e.u64(t.spans.len() as u64);
+            for s in &t.spans {
+                e.u64(s.id);
+                e.u8(s.class);
+                e.u64(s.start);
+                e.u64(s.end);
+                e.u64(s.intervals.len() as u64);
+                for iv in &s.intervals {
+                    e.u8(iv.cause.as_u8());
+                    e.u64(iv.start);
+                    e.u64(iv.end);
+                }
+            }
+        }
+    }
     e.buf
+}
+
+fn decode_trace(d: &mut Dec) -> Option<RunTrace> {
+    let sample = d.u64()?;
+    let dropped = d.u64()?;
+    let n = d.u64()? as usize;
+    if n > MAX_SPANS {
+        return None;
+    }
+    let mut spans = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = d.u64()?;
+        let class = d.u8()?;
+        let start = d.u64()?;
+        let end = d.u64()?;
+        let ni = d.u64()? as usize;
+        // Each encoded interval is 17 bytes; bound against corruption.
+        if ni > d.b.len() {
+            return None;
+        }
+        let mut intervals = Vec::with_capacity(ni);
+        for _ in 0..ni {
+            let cause = BlameCause::from_u8(d.u8()?)?;
+            intervals.push(SpanInterval { cause, start: d.u64()?, end: d.u64()? });
+        }
+        spans.push(Span { id, class, start, end, intervals });
+    }
+    Some(RunTrace { sample, dropped, spans })
 }
 
 fn decode_report(bytes: &[u8], tag: &str) -> Option<RunReport> {
@@ -389,6 +440,12 @@ fn decode_report(bytes: &[u8], tag: &str) -> Option<RunReport> {
         }
         _ => return None,
     };
+
+    let trace = match d.u8()? {
+        0 => None,
+        1 => Some(decode_trace(&mut d)?),
+        _ => return None,
+    };
     if !d.done() {
         return None;
     }
@@ -417,6 +474,7 @@ fn decode_report(bytes: &[u8], tag: &str) -> Option<RunReport> {
         fast_channel_bytes,
         slow_channel_bytes,
         telemetry,
+        trace,
     })
 }
 
@@ -531,11 +589,28 @@ mod tests {
         // Telemetry roundtrips byte-exactly (canonical JSON as the witness).
         assert_eq!(a.telemetry.is_some(), b.telemetry.is_some());
         assert_eq!(a.telemetry_json_string(), b.telemetry_json_string());
+        assert_eq!(a.trace, b.trace);
     }
 
     #[test]
     fn roundtrip_is_lossless() {
         let r = sample_report();
+        let bytes = encode_report(&r, "tagX");
+        let back = decode_report(&bytes, "tagX").expect("decodes");
+        assert_reports_equal(&r, &back);
+    }
+
+    #[test]
+    fn traced_roundtrip_is_lossless() {
+        let mut cfg = SystemConfig::tiny();
+        cfg.warmup_cycles = 50_000;
+        cfg.measure_cycles = 100_000;
+        cfg.trace_sample = Some(8);
+        let r = run_sim(&cfg, &Mix::by_name("C1").unwrap(), PolicyKind::HydrogenFull);
+        assert!(
+            r.trace.as_ref().is_some_and(|t| !t.spans.is_empty()),
+            "tracing at rate 8 should sample spans"
+        );
         let bytes = encode_report(&r, "tagX");
         let back = decode_report(&bytes, "tagX").expect("decodes");
         assert_reports_equal(&r, &back);

@@ -21,12 +21,25 @@ pub enum Profile {
 }
 
 impl Profile {
-    /// Read from `H2_PROFILE` (default `Default`).
+    /// Read from `H2_PROFILE` (default `Default`). Unrecognised non-empty
+    /// values warn to stderr instead of silently running at default scale
+    /// (`H2_PROFILE=fulll` would otherwise burn an hour at the wrong size).
     pub fn from_env() -> Self {
-        match std::env::var("H2_PROFILE").unwrap_or_default().as_str() {
+        Self::from_value(&std::env::var("H2_PROFILE").unwrap_or_default())
+    }
+
+    fn from_value(v: &str) -> Self {
+        match v {
             "quick" => Profile::Quick,
             "full" => Profile::Full,
-            _ => Profile::Default,
+            "" | "default" => Profile::Default,
+            other => {
+                eprintln!(
+                    "[h2] warning: unrecognised H2_PROFILE '{other}' \
+                     (expected quick|default|full); using default"
+                );
+                Profile::Default
+            }
         }
     }
 
@@ -84,6 +97,16 @@ mod tests {
         let q = Profile::Quick.config();
         let d = Profile::Default.config();
         assert!(q.measure_cycles < d.measure_cycles);
+    }
+
+    #[test]
+    fn profile_values_parse() {
+        assert_eq!(Profile::from_value("quick"), Profile::Quick);
+        assert_eq!(Profile::from_value("full"), Profile::Full);
+        assert_eq!(Profile::from_value(""), Profile::Default);
+        assert_eq!(Profile::from_value("default"), Profile::Default);
+        // Typos fall back to Default (with a stderr warning).
+        assert_eq!(Profile::from_value("fulll"), Profile::Default);
     }
 
     #[test]

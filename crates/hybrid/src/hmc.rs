@@ -18,6 +18,7 @@ use crate::remap::RemapTable;
 use crate::types::{HybridConfig, Mode, ReqClass, Tier};
 use h2_cache::remap::{RemapCache, RemapLookup};
 use h2_mem::MemCmd;
+use h2_sim_core::trace_span::{BlameClass, SpanId, TraceTag};
 use h2_sim_core::units::Cycles;
 use h2_sim_core::SeededRng;
 
@@ -100,6 +101,13 @@ struct Txn {
     pending_bg: u32,
     demand_done: bool,
     holds_buffer: bool,
+    /// Tracing span carried by this transaction (sampled requests only).
+    span: Option<SpanId>,
+    /// The metadata probe missed the on-chip remap cache.
+    meta_missed: bool,
+    /// The policy (token faucet / bypass decision) denied this miss's
+    /// migration, leaving its demand on the slow tier.
+    token_denied: bool,
 }
 
 /// Per-class and aggregate HMC statistics.
@@ -271,6 +279,23 @@ impl Hmc {
         needs_response: bool,
         out: &mut Vec<HmcOutput>,
     ) {
+        self.access_traced(req_id, class, addr, is_write, needs_response, None, out);
+    }
+
+    /// [`Self::access`] with an optional tracing span that the transaction
+    /// carries through its lifetime (see `h2_sim_core::trace_span`). The
+    /// span is observational only: it never changes what the HMC does.
+    #[allow(clippy::too_many_arguments)]
+    pub fn access_traced(
+        &mut self,
+        req_id: u64,
+        class: ReqClass,
+        addr: u64,
+        is_write: bool,
+        needs_response: bool,
+        span: Option<SpanId>,
+        out: &mut Vec<HmcOutput>,
+    ) {
         let block = self.cfg.block_of(addr);
         let set = self.policy.home_set(block, class, self.cfg.num_sets());
 
@@ -284,6 +309,9 @@ impl Hmc {
             pending_bg: 0,
             demand_done: false,
             holds_buffer: false,
+            span,
+            meta_missed: false,
+            token_denied: false,
         };
         let idx = self.alloc_txn(txn);
 
@@ -338,10 +366,61 @@ impl Hmc {
             });
         }
         let spec_penalty = if worst_miss { META_SPEC_PENALTY } else { 0 };
+        if worst_miss {
+            if let Some(t) = self.txns[idx as usize].as_mut() {
+                t.meta_missed = true;
+            }
+        }
         out.push(HmcOutput::After {
             delay: self.rcache.latency() + self.cfg.extra_tag_latency + spec_penalty,
             token: Self::token(idx, STEP_META),
         });
+    }
+
+    /// Decompose a command token: the owning transaction (if any) and its
+    /// step, for the tracing queries below.
+    fn token_txn(&self, token: u64) -> Option<(&Txn, u64)> {
+        if token == ORPHAN_TOKEN {
+            return None;
+        }
+        let idx = (token >> 2) as usize;
+        let step = token & 3;
+        self.txns.get(idx)?.as_ref().map(|t| (t, step))
+    }
+
+    /// Requester class of the DRAM command carrying `token`, for tracing
+    /// queue-composition accounting: demand-path commands (metadata probe,
+    /// demand access) take their transaction's class; background migration
+    /// traffic and orphan metadata write-backs are [`BlameClass::Background`].
+    pub fn cmd_blame_class(&self, token: u64) -> BlameClass {
+        match self.token_txn(token) {
+            Some((t, step)) if step != STEP_BG => match t.class {
+                ReqClass::Cpu => BlameClass::CpuDemand,
+                ReqClass::Gpu => BlameClass::GpuDemand,
+            },
+            _ => BlameClass::Background,
+        }
+    }
+
+    /// If `token` is the *demand* command of a traced transaction, its
+    /// span tag. Must be queried before the completion is fed to
+    /// [`Self::handle`] (which may retire the transaction).
+    pub fn demand_trace(&self, token: u64) -> Option<TraceTag> {
+        let (t, step) = self.token_txn(token)?;
+        if step != STEP_DEMAND {
+            return None;
+        }
+        t.span.map(|span| TraceTag { span, token_stalled: t.token_denied })
+    }
+
+    /// If `token` is the *metadata* step of a traced transaction, its span
+    /// and whether the probe missed the remap cache.
+    pub fn meta_span(&self, token: u64) -> Option<(SpanId, bool)> {
+        let (t, step) = self.token_txn(token)?;
+        if step != STEP_META {
+            return None;
+        }
+        t.span.map(|span| (span, t.meta_missed))
     }
 
     /// Feed a completion event back into the controller.
@@ -540,6 +619,11 @@ impl Hmc {
             );
         if place.is_some() && buffer_ok && !migrate {
             self.stats.migrations_denied[txn.class.idx()] += 1;
+            // Tracing: the slow-queue wait of this demand is charged to the
+            // policy/token decision that kept the block out of fast memory.
+            if let Some(t) = self.txns[idx as usize].as_mut() {
+                t.token_denied = true;
+            }
         }
 
         // Demand 64 B from the slow tier (critical path) in all cases.
@@ -619,6 +703,7 @@ impl Hmc {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn push_bg(
         &mut self,
         idx: u32,

@@ -147,7 +147,7 @@ pub struct SharedPolicy {
 impl SharedPolicy {
     /// Build for a geometry of `assoc` ways and `channels` fast channels.
     pub fn new(assoc: usize, channels: usize) -> Self {
-        assert!(assoc >= 1 && assoc <= 16);
+        assert!((1..=16).contains(&assoc));
         assert!(channels >= 1);
         Self { assoc, channels }
     }

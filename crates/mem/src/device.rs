@@ -17,6 +17,9 @@
 
 use crate::energy::EnergyBreakdown;
 use crate::timing::DramTiming;
+use h2_sim_core::trace_span::{
+    coalesce, split_queue_wait, BlameCause, BlameClass, CmdTrace, SpanInterval, TraceTag,
+};
 use h2_sim_core::units::Cycles;
 
 /// Waiting time after which a queued command is escalated past all
@@ -62,6 +65,18 @@ struct Bank {
     // Per-bank locality stats (telemetry).
     row_hits: u64,
     row_conflicts: u64,
+    /// Class of the last command started on this bank (tracing only):
+    /// blames bank-busy waits on whoever occupied the bank.
+    last_class: BlameClass,
+}
+
+/// Tracing context attached to the demand command of a sampled
+/// transaction: its span tag plus the channel's queue composition (by
+/// [`BlameClass`]) snapshotted at enqueue.
+#[derive(Debug, Clone, Copy)]
+struct TracedInfo {
+    tag: TraceTag,
+    ahead: [u64; 3],
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -69,6 +84,9 @@ struct Pending {
     cmd: MemCmd,
     arrival_seq: u64,
     arrival_time: Cycles,
+    /// Requester class; only meaningful when tracing is enabled.
+    class: BlameClass,
+    trace: Option<TracedInfo>,
 }
 
 #[derive(Debug)]
@@ -89,6 +107,13 @@ struct Channel {
     max_queue: u64,
     /// Sum of queue depths sampled at each enqueue (for average depth).
     depth_sum: u64,
+    // Tracing-only state (empty when tracing is off).
+    /// `(token, class)` of every in-flight command, for queue-composition
+    /// snapshots. Completions remove the first matching token.
+    live: Vec<(u64, BlameClass)>,
+    /// Blame decompositions of traced commands started since the last
+    /// [`MemDevice::take_cmd_traces`] drain.
+    records: Vec<CmdTrace>,
 }
 
 impl Channel {
@@ -100,6 +125,7 @@ impl Channel {
                     ready_at: 0,
                     row_hits: 0,
                     row_conflicts: 0,
+                    last_class: BlameClass::Background,
                 };
                 banks
             ],
@@ -116,6 +142,8 @@ impl Channel {
             queued_total: 0,
             max_queue: 0,
             depth_sum: 0,
+            live: Vec::new(),
+            records: Vec::new(),
         }
     }
 }
@@ -153,6 +181,10 @@ pub struct MemDevice {
     /// first). Bandwidth-optimised devices (the slow tier behind the cache)
     /// ignore priorities and run FR-FCFS.
     demand_first: bool,
+    /// Request-span tracing (see `h2_sim_core::trace_span`). Off by
+    /// default; when off, no tracing state is touched and timing is
+    /// byte-identical to a device that never heard of tracing.
+    tracing: bool,
 }
 
 impl MemDevice {
@@ -170,7 +202,14 @@ impl MemDevice {
             channels: (0..channels).map(|_| Channel::new(banks)).collect(),
             seq: 0,
             demand_first,
+            tracing: false,
         }
+    }
+
+    /// Enable or disable span tracing. Tracing never alters command
+    /// timing — it only records a blame decomposition for traced commands.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
     }
 
     /// Number of channels.
@@ -191,12 +230,42 @@ impl MemDevice {
     /// Enqueue a command on channel `ch` at time `now`. Call [`Self::pump`]
     /// afterwards to start whatever the scheduler allows.
     pub fn enqueue(&mut self, ch: usize, cmd: MemCmd, now: Cycles) {
+        self.enqueue_traced(ch, cmd, now, BlameClass::Background, None);
+    }
+
+    /// [`Self::enqueue`] with tracing context: the requester `class` (used
+    /// for queue-composition snapshots and bank blame when tracing is on)
+    /// and, for the demand command of a sampled transaction, its span tag.
+    pub fn enqueue_traced(
+        &mut self,
+        ch: usize,
+        cmd: MemCmd,
+        now: Cycles,
+        class: BlameClass,
+        tag: Option<TraceTag>,
+    ) {
         let c = &mut self.channels[ch];
+        let trace = if self.tracing {
+            tag.map(|tag| {
+                let mut ahead = [0u64; 3];
+                for p in &c.queue {
+                    ahead[p.class.idx()] += 1;
+                }
+                for &(_, cl) in &c.live {
+                    ahead[cl.idx()] += 1;
+                }
+                TracedInfo { tag, ahead }
+            })
+        } else {
+            None
+        };
         c.queued_total += 1;
         c.queue.push(Pending {
             cmd,
             arrival_seq: self.seq,
             arrival_time: now,
+            class,
+            trace,
         });
         c.max_queue = c.max_queue.max(c.queue.len() as u64);
         c.depth_sum += c.queue.len() as u64;
@@ -209,7 +278,7 @@ impl MemDevice {
         while self.channels[ch].in_flight < PIPELINE_DEPTH {
             let Some(idx) = self.pick(ch, now) else { break };
             let pending = self.channels[ch].queue.swap_remove(idx);
-            let done_at = self.start(ch, now, pending.cmd);
+            let done_at = self.start(ch, now, pending);
             self.channels[ch].in_flight += 1;
             out.push(StartedCmd {
                 done_at,
@@ -225,6 +294,24 @@ impl MemDevice {
         let c = &mut self.channels[ch];
         debug_assert!(c.in_flight > 0, "completion without in-flight command");
         c.in_flight -= 1;
+    }
+
+    /// [`Self::on_complete`] with the finished command's token, so the
+    /// tracing queue-composition bookkeeping can retire it.
+    pub fn on_complete_traced(&mut self, ch: usize, token: u64) {
+        self.on_complete(ch);
+        if self.tracing {
+            let c = &mut self.channels[ch];
+            if let Some(i) = c.live.iter().position(|&(t, _)| t == token) {
+                c.live.swap_remove(i);
+            }
+        }
+    }
+
+    /// Drain the blame decompositions of traced commands started on `ch`
+    /// since the last drain.
+    pub fn take_cmd_traces(&mut self, ch: usize) -> Vec<CmdTrace> {
+        std::mem::take(&mut self.channels[ch].records)
     }
 
     /// FR-FCFS-lite: pick the queued command with the highest priority,
@@ -265,12 +352,18 @@ impl MemDevice {
         (bank, row)
     }
 
-    /// Compute timing for `cmd`, mutate bank/bus state, return completion.
-    fn start(&mut self, ch: usize, now: Cycles, cmd: MemCmd) -> Cycles {
+    /// Compute timing for a picked command, mutate bank/bus state, return
+    /// completion. When tracing, also records the command's blame
+    /// decomposition: queue wait split across the classes ahead of it,
+    /// bank-busy wait charged to the bank's previous occupant, row-conflict
+    /// penalty, bus wait, and intrinsic service time — tiling
+    /// `[arrival, data_end)` exactly.
+    fn start(&mut self, ch: usize, now: Cycles, p: Pending) -> Cycles {
+        let cmd = p.cmd;
         let (bank_idx, row) = self.map(cmd.addr);
         let burst = self.timing.burst_cycles(cmd.bytes);
         let c = &mut self.channels[ch];
-        let bank = &mut c.banks[bank_idx];
+        let bank = c.banks[bank_idx];
 
         // `bank.ready_at` is the earliest cycle the bank accepts its next
         // column command; CAS is pure latency so row hits pipeline at burst
@@ -285,8 +378,60 @@ impl MemDevice {
         let data_start = (col_time + self.timing.t_cas).max(c.bus_free_at);
         let data_end = data_start + burst;
 
-        bank.open_row = Some(row);
-        bank.ready_at = col_time + burst;
+        if self.tracing {
+            if let Some(info) = p.trace {
+                let mut iv: Vec<SpanInterval> = Vec::with_capacity(6);
+                if now > p.arrival_time {
+                    if info.tag.token_stalled {
+                        iv.push(SpanInterval {
+                            cause: BlameCause::TokenStall,
+                            start: p.arrival_time,
+                            end: now,
+                        });
+                    } else {
+                        iv.extend(split_queue_wait(p.arrival_time, now, info.ahead));
+                    }
+                }
+                if t0 > now {
+                    iv.push(SpanInterval {
+                        cause: bank.last_class.queue_cause(),
+                        start: now,
+                        end: t0,
+                    });
+                }
+                if prep > 0 {
+                    iv.push(SpanInterval {
+                        cause: if conflict { BlameCause::RowConflict } else { BlameCause::Service },
+                        start: t0,
+                        end: col_time,
+                    });
+                }
+                iv.push(SpanInterval {
+                    cause: BlameCause::Service,
+                    start: col_time,
+                    end: col_time + self.timing.t_cas,
+                });
+                if data_start > col_time + self.timing.t_cas {
+                    iv.push(SpanInterval {
+                        cause: BlameCause::BusBusy,
+                        start: col_time + self.timing.t_cas,
+                        end: data_start,
+                    });
+                }
+                iv.push(SpanInterval {
+                    cause: BlameCause::Service,
+                    start: data_start,
+                    end: data_end,
+                });
+                coalesce(&mut iv);
+                c.records.push(CmdTrace { span: info.tag.span, intervals: iv });
+            }
+            c.banks[bank_idx].last_class = p.class;
+            c.live.push((cmd.token, p.class));
+        }
+
+        c.banks[bank_idx].open_row = Some(row);
+        c.banks[bank_idx].ready_at = col_time + burst;
         c.bus_free_at = data_end;
 
         if cmd.is_write {
@@ -468,7 +613,7 @@ mod tests {
                 0,
                 MemCmd {
                     token: i,
-                    ..rd(i * 1 << 20, 64)
+                    ..rd(i << 20, 64)
                 },
                 0,
             );
@@ -608,6 +753,50 @@ mod tests {
         assert_eq!(reg.counter("mem.ch0.bank0.row_hits"), 1);
         assert_eq!(reg.counter("mem.ch0.bank0.row_conflicts"), 1);
         assert!(reg.gauge("mem.ch0.queue_avg").is_some());
+    }
+
+    #[test]
+    fn tracing_decomposition_tiles_lifetime() {
+        use h2_sim_core::trace_span::{tiles_exactly, SpanId, TraceTag};
+        let t = TimingPreset::Ddr4.timing();
+        let mut d = dev(TimingPreset::Ddr4, 1);
+        d.set_tracing(true);
+        // Occupy the bank+bus first so the traced command really waits.
+        let mut out = Vec::new();
+        d.enqueue_traced(0, rd(0, 256), 0, BlameClass::GpuDemand, None);
+        d.pump(0, 0, &mut out);
+        let tag = TraceTag { span: SpanId(7), token_stalled: false };
+        d.enqueue_traced(
+            0,
+            MemCmd { token: 9, ..rd(64, 64) },
+            5,
+            BlameClass::CpuDemand,
+            Some(tag),
+        );
+        d.pump(0, 5, &mut out);
+        assert_eq!(out.len(), 2);
+        let done = out[1].done_at;
+        let recs = d.take_cmd_traces(0);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].span, SpanId(7));
+        assert!(
+            tiles_exactly(&recs[0].intervals, 5, done),
+            "decomposition must tile [5, {done}): {:?}",
+            recs[0].intervals
+        );
+        // Second drain is empty; completions retire live entries.
+        assert!(d.take_cmd_traces(0).is_empty());
+        d.on_complete_traced(0, 0);
+        d.on_complete_traced(0, 9);
+        // Cycle-identical to the untraced path.
+        let mut plain = dev(TimingPreset::Ddr4, 1);
+        plain.enqueue(0, rd(0, 256), 0);
+        let mut pout = Vec::new();
+        plain.pump(0, 0, &mut pout);
+        plain.enqueue(0, MemCmd { token: 9, ..rd(64, 64) }, 5);
+        plain.pump(0, 5, &mut pout);
+        assert_eq!(pout[1].done_at, done);
+        let _ = t;
     }
 
     #[test]

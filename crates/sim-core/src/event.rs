@@ -679,7 +679,7 @@ mod tests {
             x ^= x << 17;
             step(&mut cal, x, i);
             step(&mut heap, x, i);
-            if x % 3 == 0 {
+            if x.is_multiple_of(3) {
                 let a = cal.pop().map(|e| (e.time, e.seq, e.payload));
                 let b = heap.pop().map(|e| (e.time, e.seq, e.payload));
                 assert_eq!(a, b);

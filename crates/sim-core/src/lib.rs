@@ -10,10 +10,12 @@ pub mod json;
 pub mod metrics;
 pub mod rng;
 pub mod stats;
+pub mod trace_span;
 pub mod units;
 
 pub use event::{EngineKind, EventQueue, Scheduled};
 pub use json::Json;
 pub use metrics::{LogHistogram, MetricsRegistry, ScopedMetrics};
+pub use trace_span::{BlameCause, BlameClass, Span, SpanCollector, SpanId, SpanInterval};
 pub use rng::SeededRng;
 pub use units::{Cycles, KIB, MIB};

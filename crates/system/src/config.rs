@@ -84,6 +84,14 @@ pub struct SystemConfig {
     /// Telemetry is an *observation* of the simulation — it never perturbs
     /// timing — so, like `engine`, it is not part of the run-cache key.
     pub telemetry: bool,
+    /// Request-span tracing with blame attribution
+    /// (`h2_sim_core::trace_span`). `None` disables tracing entirely (the
+    /// default); `Some(n)` traces every `n`-th demand read (`Some(0)`
+    /// enables the machinery but samples nothing — the zero-perturbation
+    /// guard). Like `telemetry`, tracing is pure observation and is not
+    /// part of the run-cache key; the cache re-executes an entry cached
+    /// without spans when a traced replay asks for them.
+    pub trace_sample: Option<u64>,
 }
 
 impl Default for SystemConfig {
@@ -121,6 +129,7 @@ impl SystemConfig {
             seed: 42,
             engine: EngineKind::default(),
             telemetry: true,
+            trace_sample: None,
         }
     }
 

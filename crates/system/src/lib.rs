@@ -15,8 +15,9 @@ pub mod policies;
 pub mod report;
 pub mod runner;
 pub mod telemetry;
+pub mod trace_export;
 
 pub use config::{Participants, SystemConfig};
 pub use policies::PolicyKind;
-pub use report::{RunReport, RunTelemetry};
+pub use report::{RunReport, RunTelemetry, RunTrace};
 pub use runner::{run_sim, run_sim_parts, run_workloads};

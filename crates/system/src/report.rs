@@ -4,6 +4,7 @@ use h2_hybrid::policy::PolicyParams;
 use h2_hybrid::HmcStats;
 use h2_mem::device::MemStats;
 use h2_mem::EnergyBreakdown;
+use h2_sim_core::trace_span::Span;
 use h2_sim_core::MetricsRegistry;
 
 /// One epoch's record in the adaptation trace (Hydrogen's search path).
@@ -43,6 +44,20 @@ pub struct RunTelemetry {
     pub totals: MetricsRegistry,
     /// Per-epoch frames over the measured window.
     pub epochs: Vec<EpochFrame>,
+}
+
+/// Sampled request spans from one run (see `h2_sim_core::trace_span`).
+/// Only populated when [`crate::SystemConfig::trace_sample`] is set;
+/// deterministic across event-queue engines for a given seed and rate.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunTrace {
+    /// Configured sample rate (every `sample`-th demand read; 0 = none).
+    pub sample: u64,
+    /// Candidates sampled but discarded because the span cap was reached.
+    pub dropped: u64,
+    /// Completed spans, sorted by id; each one's blamed intervals exactly
+    /// tile its `[start, end)` lifetime.
+    pub spans: Vec<Span>,
 }
 
 /// The result of one simulation run (measured window only).
@@ -98,6 +113,8 @@ pub struct RunReport {
     pub slow_channel_bytes: Vec<u64>,
     /// Epoch-resolved telemetry (None when collection is disabled).
     pub telemetry: Option<RunTelemetry>,
+    /// Sampled request spans (None when tracing is disabled).
+    pub trace: Option<RunTrace>,
 }
 
 impl RunReport {
@@ -186,6 +203,7 @@ mod tests {
             fast_channel_bytes: vec![],
             slow_channel_bytes: vec![],
             telemetry: None,
+            trace: None,
         }
     }
 

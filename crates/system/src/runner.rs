@@ -9,13 +9,14 @@
 use crate::config::{Participants, SystemConfig};
 use crate::frontend::{CoreBlock, CpuCore, GpuCtx};
 use crate::policies::PolicyKind;
-use crate::report::{EpochFrame, EpochRecord, RunReport, RunTelemetry};
+use crate::report::{EpochFrame, EpochRecord, RunReport, RunTelemetry, RunTrace};
 use h2_cache::sram::{AccessOutcome, SetAssocCache};
 use h2_hybrid::hmc::{Hmc, HmcEvent, HmcOutput};
 use h2_hybrid::types::{HybridConfig, ReqClass, Tier};
 use h2_hybrid::HmcStats;
 use h2_mem::device::{MemStats, StartedCmd};
 use h2_mem::{EnergyBreakdown, MemDevice, TimingPreset};
+use h2_sim_core::trace_span::{BlameCause, SpanCollector, SpanId};
 use h2_sim_core::units::{Cycles, MIB};
 use h2_sim_core::{EventQueue, LogHistogram, MetricsRegistry};
 use h2_trace::{Mix, WorkloadSpec};
@@ -46,6 +47,8 @@ enum Ev {
         addr: u64,
         is_write: bool,
         needs_response: bool,
+        /// Tracing span for sampled demand reads (never affects timing).
+        span: Option<SpanId>,
     },
     HmcSram(u64),
     MemDone {
@@ -104,6 +107,10 @@ struct Sim {
     prev_reg: MetricsRegistry,
     /// Registry snapshot at WarmupEnd (measured-window totals).
     warm_reg: MetricsRegistry,
+    /// Request-span tracer (config.trace_sample). Like telemetry, pure
+    /// observation: sampling decisions ride along with events but never
+    /// influence what is scheduled when.
+    tracer: SpanCollector,
 }
 
 impl Sim {
@@ -142,6 +149,22 @@ impl Sim {
         self.fast.collect_metrics(&mut reg.scoped("mem.fast"), per_bank);
         self.slow.collect_metrics(&mut reg.scoped("mem.slow"), per_bank);
         self.hmc.collect_metrics(&mut reg.scoped("hmc"));
+        // The per-epoch CPU↔GPU interference matrix: cumulative cycles each
+        // victim class spent blamed on each cause, over all closed spans.
+        // Emitted only once at least one span has closed so that runs with
+        // tracing off — or enabled at sample rate 0 — serialise
+        // byte-identically (the schema-v2 zero-perturbation guarantee).
+        if self.tracer.spans_closed() > 0 {
+            let mut tr = reg.scoped("trace");
+            tr.inc("spans", self.tracer.spans_closed());
+            tr.inc("dropped", self.tracer.dropped());
+            for (ci, cname) in ["cpu", "gpu"].iter().enumerate() {
+                let mut victim = tr.scoped(&format!("blame.{cname}"));
+                for cause in BlameCause::ALL {
+                    victim.inc(cause.name(), self.tracer.blame_cycles(ci as u8, cause));
+                }
+            }
+        }
         reg
     }
 
@@ -152,13 +175,28 @@ impl Sim {
         }
     }
 
-    /// Enqueue + pump a device channel, scheduling completions.
+    /// Enqueue + pump a device channel, scheduling completions. When
+    /// tracing, commands carry their requester class (queue-composition
+    /// snapshots) and traced demands their span tag; decomposition records
+    /// produced by started commands are drained into the tracer.
     fn issue_mem(&mut self, tier: Tier, channel: usize, cmd: h2_mem::MemCmd) {
         let now = self.q.now();
+        let traced = self.tracer.enabled();
         let mut started: Vec<StartedCmd> = Vec::new();
-        let d = self.dev(tier);
-        d.enqueue(channel, cmd, now);
-        d.pump(channel, now, &mut started);
+        if traced {
+            let class = self.hmc.cmd_blame_class(cmd.token);
+            let tag = self.hmc.demand_trace(cmd.token);
+            let d = self.dev(tier);
+            d.enqueue_traced(channel, cmd, now, class, tag);
+            d.pump(channel, now, &mut started);
+            for rec in self.dev(tier).take_cmd_traces(channel) {
+                self.tracer.absorb(rec);
+            }
+        } else {
+            let d = self.dev(tier);
+            d.enqueue(channel, cmd, now);
+            d.pump(channel, now, &mut started);
+        }
         for s in started {
             self.q.schedule_at(
                 s.done_at,
@@ -176,6 +214,20 @@ impl Sim {
             match o {
                 HmcOutput::Mem { tier, channel, cmd } => self.issue_mem(tier, channel, cmd),
                 HmcOutput::After { delay, token } => {
+                    // Blame the on-chip metadata step of traced
+                    // transactions: intrinsic service on a remap-cache hit,
+                    // RemapMiss when the probe had to speculate past a miss.
+                    if self.tracer.enabled() {
+                        if let Some((sid, missed)) = self.hmc.meta_span(token) {
+                            let now = self.q.now();
+                            let cause = if missed {
+                                BlameCause::RemapMiss
+                            } else {
+                                BlameCause::Service
+                            };
+                            self.tracer.record(sid, cause, now, now + delay);
+                        }
+                    }
                     self.q.schedule_in(delay, Ev::HmcSram(token));
                 }
                 HmcOutput::DemandReady { req_id } => self.route_response(req_id),
@@ -260,6 +312,7 @@ impl Sim {
                 addr,
                 is_write: true,
                 needs_response: false,
+                span: None,
             },
         );
     }
@@ -349,12 +402,14 @@ impl Sim {
                                                 addr: r.addr,
                                                 is_write: true,
                                                 needs_response: true,
+                                                span: None,
                                             },
                                         );
                                     } else {
                                         self.cores[i].reads_outstanding += 1;
                                         self.cpu_issue_times[i]
                                             .push_back(t.max(self.q.now()));
+                                        let span = self.tracer.try_sample();
                                         self.q.schedule_at(
                                             t.max(self.q.now()),
                                             Ev::HmcStart {
@@ -363,6 +418,7 @@ impl Sim {
                                                 addr: r.addr,
                                                 is_write: false,
                                                 needs_response: true,
+                                                span,
                                             },
                                         );
                                         // Dependent loads serialise; other
@@ -429,6 +485,7 @@ impl Sim {
                             }
                             self.ctxs[j].inflight += 1;
                             self.gpu_issue_times[j].push_back(t.max(self.q.now()));
+                            let span = self.tracer.try_sample();
                             self.q.schedule_at(
                                 t.max(self.q.now()),
                                 Ev::HmcStart {
@@ -437,6 +494,7 @@ impl Sim {
                                     addr: r.addr,
                                     is_write: r.write,
                                     needs_response: true,
+                                    span,
                                 },
                             );
                         }
@@ -542,10 +600,14 @@ impl Sim {
                     addr,
                     is_write,
                     needs_response,
+                    span,
                 } => {
+                    if let Some(sid) = span {
+                        self.tracer.open(sid, class.idx() as u8, ev.time);
+                    }
                     let mut out = Vec::new();
                     self.hmc
-                        .access(id, class, addr, is_write, needs_response, &mut out);
+                        .access_traced(id, class, addr, is_write, needs_response, span, &mut out);
                     self.process_outputs(out);
                 }
                 Ev::HmcSram(token) => {
@@ -558,7 +620,16 @@ impl Sim {
                     channel,
                     token,
                 } => {
-                    self.dev(tier).on_complete(channel);
+                    let traced = self.tracer.enabled();
+                    // The span (if any) owning this demand completion must
+                    // be read *before* `handle` retires the transaction.
+                    let done_span = if traced {
+                        self.dev(tier).on_complete_traced(channel, token);
+                        self.hmc.demand_trace(token).map(|t| t.span)
+                    } else {
+                        self.dev(tier).on_complete(channel);
+                        None
+                    };
                     let mut out = Vec::new();
                     self.hmc.handle(HmcEvent::MemDone(token), &mut out);
                     self.process_outputs(out);
@@ -566,6 +637,14 @@ impl Sim {
                     let now = self.q.now();
                     let mut started = Vec::new();
                     self.dev(tier).pump(channel, now, &mut started);
+                    if traced {
+                        for rec in self.dev(tier).take_cmd_traces(channel) {
+                            self.tracer.absorb(rec);
+                        }
+                    }
+                    if let Some(sid) = done_span {
+                        self.tracer.close(sid, now);
+                    }
                     for s in started {
                         self.q.schedule_at(
                             s.done_at,
@@ -710,6 +789,12 @@ pub fn run_workloads(
     let t_start = std::time::Instant::now();
     let n_ctx = ctxs.len();
     let n_core = cores.len();
+    let tracing = cfg.trace_sample.is_some();
+    let mut fast = MemDevice::new(cfg.fast_preset.timing(), cfg.fast_channels);
+    let mut slow =
+        MemDevice::with_scheduling(TimingPreset::Ddr4.timing(), cfg.slow_channels, false);
+    fast.set_tracing(tracing);
+    slow.set_tracing(tracing);
     let mut sim = Sim {
         cfg: cfg.clone(),
         q: EventQueue::with_engine(cfg.engine),
@@ -720,8 +805,8 @@ pub fn run_workloads(
         gpu_l1s,
         llc: SetAssocCache::new(cfg.hierarchy.llc.clone()),
         hmc,
-        fast: MemDevice::new(cfg.fast_preset.timing(), cfg.fast_channels),
-        slow: MemDevice::with_scheduling(TimingPreset::Ddr4.timing(), cfg.slow_channels, false),
+        fast,
+        slow,
         end: cfg.total_cycles(),
         gpu_base: gpu_window_base,
         warm_cpu_instr: 0,
@@ -746,6 +831,7 @@ pub fn run_workloads(
         frames: Vec::new(),
         prev_reg: MetricsRegistry::new(cfg.telemetry),
         warm_reg: MetricsRegistry::new(cfg.telemetry),
+        tracer: SpanCollector::new(cfg.trace_sample),
     };
 
     // Stagger initial wake-ups so front-ends do not move in lockstep.
@@ -766,6 +852,15 @@ pub fn run_workloads(
         Some(RunTelemetry {
             totals: sim.collect_registry(true).delta_from(&sim.warm_reg),
             epochs: std::mem::take(&mut sim.frames),
+        })
+    } else {
+        None
+    };
+    let trace = if sim.tracer.enabled() {
+        Some(RunTrace {
+            sample: sim.tracer.sample_rate(),
+            dropped: sim.tracer.dropped(),
+            spans: sim.tracer.take_spans(),
         })
     } else {
         None
@@ -818,6 +913,7 @@ pub fn run_workloads(
         fast_channel_bytes: sim.fast.channel_bytes(),
         slow_channel_bytes: sim.slow.channel_bytes(),
         telemetry,
+        trace,
     }
 }
 

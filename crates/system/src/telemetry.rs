@@ -1,10 +1,20 @@
 //! Telemetry serialisation: one machine-readable JSON timeline per run.
 //!
-//! # Schema (version 1)
+//! # Schema (version 2)
+//!
+//! Version 2 adds the request-span interference matrix: when tracing is on
+//! and at least one span has closed, the registries carry a `trace.*`
+//! scope — `trace.spans`, `trace.dropped`, and
+//! `trace.blame.{cpu,gpu}.<cause>` counters (cumulative blamed cycles per
+//! victim class; see `h2_sim_core::trace_span::BlameCause`). Per-epoch
+//! frames hold the *deltas* of those counters, i.e. the per-epoch CPU↔GPU
+//! interference matrix. With tracing off — or on at sample rate 0 — the
+//! scope is absent and the document is byte-identical to a schema-v2 run
+//! that never heard of tracing.
 //!
 //! ```text
 //! {
-//!   "schema": 1,
+//!   "schema": 2,
 //!   "policy": "...", "mix": "...",
 //!   "measured_cycles": N, "cpu_instr": N, "gpu_instr": N,
 //!   "weighted_ipc": F, "events_processed": N,
@@ -34,8 +44,9 @@ use crate::report::{RunReport, RunTelemetry};
 use h2_sim_core::{Json, MetricsRegistry};
 
 /// Telemetry JSON schema version; bump when field meanings change and
-/// regenerate the golden files (`H2_BLESS=1`).
-pub const TELEMETRY_SCHEMA: u64 = 1;
+/// regenerate the golden files (`H2_BLESS=1`). v2: request-span
+/// interference matrix (`trace.*` counters) when tracing is enabled.
+pub const TELEMETRY_SCHEMA: u64 = 2;
 
 /// Serialise one registry: counters, gauges, then histograms, each in
 /// insertion order. Histograms store only their non-empty log₂ buckets.

@@ -1,0 +1,140 @@
+//! Chrome Trace Event export of sampled request spans.
+//!
+//! Serialises a run's [`RunTrace`](crate::report::RunTrace) in the Chrome
+//! Trace Event JSON format (the `{"traceEvents": [...]}` flavour), which
+//! loads directly in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`.
+//!
+//! Layout: two "processes" — pid 1 = CPU demand, pid 2 = GPU demand — with
+//! one "thread" per span (tid = span id). Each span emits a parent `X`
+//! (complete) event named `request` covering its whole lifetime, plus one
+//! nested `X` event per blamed interval, named after its
+//! [`BlameCause`](h2_sim_core::trace_span::BlameCause). Timestamps are
+//! simulated cycles presented as microseconds (Perfetto's native unit), so
+//! a 300-cycle request renders as a 300 µs slice; only relative durations
+//! are meaningful.
+
+use crate::report::RunReport;
+use h2_sim_core::Json;
+
+/// Build the Chrome Trace Event document for a run. Returns `None` when
+/// the run was executed with tracing disabled.
+pub fn chrome_trace_json(report: &RunReport) -> Option<Json> {
+    let t = report.trace.as_ref()?;
+    let mut events = Json::arr();
+    for (pid, name) in [(1u64, "CPU demand"), (2u64, "GPU demand")] {
+        events.push(
+            Json::obj()
+                .field("ph", "M")
+                .field("pid", pid)
+                .field("name", "process_name")
+                .field("args", Json::obj().field("name", name)),
+        );
+    }
+    for s in &t.spans {
+        let pid = s.class.min(1) as u64 + 1;
+        events.push(
+            Json::obj()
+                .field("ph", "X")
+                .field("pid", pid)
+                .field("tid", s.id)
+                .field("ts", s.start)
+                .field("dur", s.end - s.start)
+                .field("cat", "request")
+                .field("name", "request")
+                .field("args", Json::obj().field("span", s.id).field("cycles", s.end - s.start)),
+        );
+        for iv in &s.intervals {
+            events.push(
+                Json::obj()
+                    .field("ph", "X")
+                    .field("pid", pid)
+                    .field("tid", s.id)
+                    .field("ts", iv.start)
+                    .field("dur", iv.end - iv.start)
+                    .field("cat", "blame")
+                    .field("name", iv.cause.name()),
+            );
+        }
+    }
+    Some(
+        Json::obj()
+            .field("traceEvents", events)
+            .field("displayTimeUnit", "ms")
+            .field(
+                "otherData",
+                Json::obj()
+                    .field("policy", report.policy.as_str())
+                    .field("mix", report.mix.as_str())
+                    .field("sample", t.sample)
+                    .field("spans", t.spans.len())
+                    .field("dropped", t.dropped),
+            ),
+    )
+}
+
+impl RunReport {
+    /// The run's sampled spans as a Perfetto-loadable Chrome Trace Event
+    /// JSON string (`None` when tracing was disabled). Compact — span
+    /// traces can be large.
+    pub fn chrome_trace_json_string(&self) -> Option<String> {
+        chrome_trace_json(self).map(|j| {
+            let mut s = j.to_string_compact();
+            s.push('\n');
+            s
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::RunTrace;
+    use h2_sim_core::trace_span::{BlameCause, Span, SpanInterval};
+
+    fn traced_report() -> RunReport {
+        let mut r = crate::runner::run_sim(
+            &crate::SystemConfig::tiny(),
+            &h2_trace::Mix::by_name("C1").unwrap(),
+            crate::PolicyKind::NoPart,
+        );
+        r.trace = Some(RunTrace {
+            sample: 4,
+            dropped: 0,
+            spans: vec![Span {
+                id: 0,
+                class: 1,
+                start: 100,
+                end: 160,
+                intervals: vec![
+                    SpanInterval { cause: BlameCause::QueueBehindCpu, start: 100, end: 130 },
+                    SpanInterval { cause: BlameCause::Service, start: 130, end: 160 },
+                ],
+            }],
+        });
+        r
+    }
+
+    #[test]
+    fn untraced_report_exports_nothing() {
+        let mut r = traced_report();
+        r.trace = None;
+        assert!(r.chrome_trace_json_string().is_none());
+    }
+
+    #[test]
+    fn export_has_trace_events_and_blame_slices() {
+        let r = traced_report();
+        let s = r.chrome_trace_json_string().unwrap();
+        assert!(s.starts_with('{') && s.ends_with('\n'));
+        assert!(s.contains(r#""traceEvents":["#));
+        // Process metadata for both classes.
+        assert!(s.contains(r#""name":"CPU demand""#));
+        assert!(s.contains(r#""name":"GPU demand""#));
+        // Parent span event + blame slices.
+        assert!(s.contains(r#""name":"request""#));
+        assert!(s.contains(r#""name":"queue_behind_cpu""#));
+        assert!(s.contains(r#""name":"service""#));
+        assert!(s.contains(r#""dur":30"#));
+    }
+}

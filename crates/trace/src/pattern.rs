@@ -134,7 +134,7 @@ impl PatternState {
                     _ => (at + row) % footprint,
                 };
                 self.phase += 1;
-                if self.phase % 3 == 0 {
+                if self.phase.is_multiple_of(3) {
                     self.cursors[0] = (at + 64) % footprint;
                 }
                 (offset % footprint, false)

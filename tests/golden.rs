@@ -82,6 +82,17 @@ fn golden_fig9_hydrogen_c5() {
     );
 }
 
+/// Zero-perturbation guard: enabling the tracing machinery at sample
+/// rate 0 (all hooks armed, nothing ever sampled) must leave the telemetry
+/// timeline byte-identical to the committed golden — i.e. tracing is pure
+/// observation and can never shift simulated time.
+#[test]
+fn golden_fig2_with_tracing_armed_is_byte_identical() {
+    let mut cfg = SystemConfig::tiny();
+    cfg.trace_sample = Some(0);
+    check("fig2_nopart_c1", &cfg, "C1", PolicyKind::NoPart);
+}
+
 /// Blessing must be able to round-trip: the written snapshot re-reads as
 /// exactly what the comparison path would produce (guards against e.g. a
 /// missing trailing newline in the writer).
