@@ -19,11 +19,13 @@
 
 pub mod hashcache;
 pub mod kim;
+pub mod nomigrate;
 pub mod profess;
 pub mod waypart;
 
 pub use h2_hybrid::policy::SharedPolicy as NoPartPolicy;
 pub use hashcache::HashCachePolicy;
 pub use kim::KimPolicy;
+pub use nomigrate::NoMigratePolicy;
 pub use profess::ProfessPolicy;
 pub use waypart::WayPartPolicy;

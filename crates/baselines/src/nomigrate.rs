@@ -1,0 +1,83 @@
+//! A shared (non-partitioned) policy that never admits migrations.
+//!
+//! Not a paper design: this exists for the checking layer (`h2-check`),
+//! where "zero admitted migrations ⇒ zero migration traffic" is a
+//! metamorphic relation on the controller — if the policy refuses every
+//! miss, the HMC must report no migrations, no swaps, and no victim
+//! write-backs regardless of workload or geometry.
+
+use h2_hybrid::policy::{PartitionPolicy, PolicyParams};
+use h2_hybrid::types::ReqClass;
+use h2_sim_core::SeededRng;
+
+/// Fully-shared placement, every migration denied.
+#[derive(Debug, Clone)]
+pub struct NoMigratePolicy {
+    assoc: usize,
+    channels: usize,
+}
+
+impl NoMigratePolicy {
+    /// Build for a geometry of `assoc` ways and `channels` fast channels.
+    pub fn new(assoc: usize, channels: usize) -> Self {
+        assert!((1..=16).contains(&assoc));
+        assert!(channels >= 1);
+        Self { assoc, channels }
+    }
+}
+
+impl PartitionPolicy for NoMigratePolicy {
+    fn name(&self) -> &str {
+        "NoMigrate"
+    }
+
+    fn alloc_mask(&self, _set: u64, _class: ReqClass) -> u16 {
+        ((1u32 << self.assoc) - 1) as u16
+    }
+
+    fn way_channel(&self, set: u64, way: usize) -> usize {
+        (way + set as usize) % self.channels
+    }
+
+    fn migration_allowed(
+        &mut self,
+        _class: ReqClass,
+        _cost: u32,
+        _is_write: bool,
+        _slow_channel: usize,
+        _rng: &mut SeededRng,
+    ) -> bool {
+        false
+    }
+
+    fn params(&self) -> PolicyParams {
+        PolicyParams {
+            bw: 0,
+            cap: self.assoc,
+            tok: 0,
+            label: "no-migrate".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn denies_every_migration() {
+        let mut p = NoMigratePolicy::new(4, 4);
+        let mut rng = SeededRng::derive(1, "t");
+        for i in 0..100u64 {
+            assert!(!p.migration_allowed(
+                if i % 2 == 0 { ReqClass::Cpu } else { ReqClass::Gpu },
+                1 + (i % 2) as u32,
+                i % 3 == 0,
+                i as usize,
+                &mut rng
+            ));
+        }
+        assert_eq!(p.alloc_mask(3, ReqClass::Gpu), 0b1111);
+        assert_eq!(p.name(), "NoMigrate");
+    }
+}

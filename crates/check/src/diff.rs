@@ -1,0 +1,135 @@
+//! Report differencing for the differential oracles.
+//!
+//! Two runs are "identical" when every *deterministic* field of their
+//! [`RunReport`]s matches. Host-side throughput diagnostics (`wall_s`,
+//! `events_per_sec`) are excluded by design: they measure the machine,
+//! not the simulation. Telemetry is compared through its canonical JSON
+//! serialisation (the same bytes the golden-snapshot suite pins).
+
+use h2_system::RunReport;
+
+/// First mismatching deterministic field between two reports, as
+/// `"field: a vs b"`, or `None` when they fully agree.
+pub fn diff_reports(a: &RunReport, b: &RunReport) -> Option<String> {
+    diff_reports_except(a, b, &[])
+}
+
+/// Like [`diff_reports`], but additionally ignoring the named fields —
+/// the metamorphic relations use this to compare runs that *should*
+/// differ only in observation-layer output (`"telemetry"`, `"trace"`) or
+/// in epoch-granular bookkeeping (`"epochs"`, which covers
+/// `epoch_trace` + `final_params` + `events_processed` + telemetry).
+pub fn diff_reports_except(a: &RunReport, b: &RunReport, skip: &[&str]) -> Option<String> {
+    macro_rules! cmp {
+        ($field:ident) => {
+            cmp!($field, stringify!($field))
+        };
+        ($field:ident, $skip_name:expr) => {
+            if !skip.contains(&$skip_name) && a.$field != b.$field {
+                return Some(format!(
+                    "{}: {:?} vs {:?}",
+                    stringify!($field),
+                    a.$field,
+                    b.$field
+                ));
+            }
+        };
+    }
+    cmp!(policy);
+    cmp!(mix);
+    cmp!(measured_cycles);
+    cmp!(cpu_instr);
+    cmp!(gpu_instr);
+    cmp!(weights);
+    cmp!(hmc);
+    cmp!(fast);
+    cmp!(slow);
+    cmp!(fast_energy);
+    cmp!(slow_energy);
+    cmp!(remap_hit_rate);
+    cmp!(final_params, "epochs");
+    cmp!(epoch_trace, "epochs");
+    cmp!(events_processed, "epochs");
+    cmp!(clamped_events);
+    cmp!(avg_cpu_read_latency);
+    cmp!(avg_gpu_read_latency);
+    cmp!(fast_channel_bytes);
+    cmp!(slow_channel_bytes);
+    cmp!(trace, "trace");
+    // wall_s / events_per_sec deliberately skipped: host wall clock.
+    if !skip.contains(&"telemetry") && !skip.contains(&"epochs") {
+        let (ta, tb) = (a.telemetry_json_string(), b.telemetry_json_string());
+        if ta != tb {
+            return Some(format!(
+                "telemetry: {} vs {}",
+                summarise(&ta),
+                summarise(&tb)
+            ));
+        }
+    }
+    None
+}
+
+fn summarise(t: &Option<String>) -> String {
+    match t {
+        None => "absent".into(),
+        Some(s) => format!("{} JSON bytes", s.len()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::FuzzCase;
+    use h2_system::run_workloads;
+
+    fn small_report() -> RunReport {
+        let (cfg, cpu, gpu, kind, cap) = FuzzCase::generate(3).build().unwrap();
+        run_workloads(&cfg, "diff-test", &cpu, gpu.as_ref(), kind, cap)
+    }
+
+    #[test]
+    fn identical_runs_diff_clean_despite_wall_clock() {
+        let a = small_report();
+        let mut b = small_report();
+        // Host-side throughput fields are never deterministic; the diff
+        // must ignore them even when they disagree wildly.
+        b.wall_s = a.wall_s + 1000.0;
+        b.events_per_sec = 0.25;
+        assert_eq!(diff_reports(&a, &b), None);
+    }
+
+    #[test]
+    fn deterministic_field_changes_are_reported() {
+        let a = small_report();
+
+        let mut b = a.clone();
+        b.cpu_instr += 1;
+        assert!(diff_reports(&a, &b).unwrap().starts_with("cpu_instr:"));
+
+        let mut b = a.clone();
+        b.hmc.swaps += 1;
+        assert!(diff_reports(&a, &b).unwrap().starts_with("hmc:"));
+
+        let mut b = a.clone();
+        b.telemetry = None;
+        if a.telemetry.is_some() {
+            assert!(diff_reports(&a, &b).unwrap().starts_with("telemetry:"));
+        }
+    }
+
+    #[test]
+    fn skip_lists_suppress_expected_differences() {
+        let a = small_report();
+
+        let mut b = a.clone();
+        b.telemetry = None;
+        assert_eq!(diff_reports_except(&a, &b, &["telemetry"]), None);
+
+        let mut b = a.clone();
+        b.events_processed += 5;
+        b.epoch_trace.clear();
+        assert_eq!(diff_reports_except(&a, &b, &["epochs", "telemetry"]), None);
+        assert!(diff_reports(&a, &b).is_some());
+    }
+}

@@ -1,0 +1,51 @@
+//! Acceptance test for the fuzzer's bug-finding loop, run with the
+//! `inject-token-leak` feature: the feature makes `TokenBucket::try_spend`
+//! silently drop every fourth spend from its accounting, a deliberate
+//! conservation bug. The fuzzer must catch it via the token-conservation
+//! monitor and shrink the failing case to a tiny reproducer.
+//!
+//! Gated so the suite is empty (and trivially green) in normal builds:
+//! `cargo test -p h2-check --features inject-token-leak`.
+
+#![cfg(feature = "inject-token-leak")]
+
+use h2_check::{fuzz, parse_repro, repro_json, run_battery, OracleHooks};
+
+#[test]
+fn injected_token_leak_is_caught_and_shrunk() {
+    let hooks = OracleHooks::default();
+    let outcome = fuzz(0, 200, None, &hooks, &mut |_, _| {});
+    let (original, failure, shrunk) = outcome
+        .failure
+        .expect("a 200-seed campaign must trip over the injected token leak");
+    assert_eq!(
+        failure.check, "invariant:token-conservation",
+        "wrong check fired: {failure:?}"
+    );
+    assert!(
+        failure.message.contains("granted"),
+        "conservation message should show the flow terms: {}",
+        failure.message
+    );
+
+    // The shrunk case must be a small reproducer: at most two workload
+    // components, still failing the same check.
+    let components = shrunk.cpu.len() + usize::from(shrunk.gpu.is_some());
+    assert!(
+        components <= 2,
+        "shrunk reproducer still has {components} workload components: {shrunk:?}"
+    );
+    assert!(shrunk.measure_cycles <= original.measure_cycles);
+    let refailure = run_battery(&shrunk, &hooks)
+        .expect_err("shrunk case must still reproduce the leak");
+    assert_eq!(refailure.check, failure.check);
+
+    // And it survives the repro.json round trip.
+    let text = repro_json(&shrunk, &refailure);
+    let (replayed, _) = parse_repro(&text).unwrap();
+    assert_eq!(replayed, shrunk);
+    assert_eq!(
+        run_battery(&replayed, &hooks).unwrap_err().check,
+        "invariant:token-conservation"
+    );
+}

@@ -20,7 +20,7 @@ use crate::climb::{ClimbConfig, HillClimber};
 use crate::hashing::top_k;
 use crate::partition::PartitionMap;
 use crate::tokens::{TokenBucket, DEFAULT_TOKEN_LEVEL, TOKEN_LEVELS};
-use h2_hybrid::policy::{EpochSample, PartitionPolicy, PolicyParams};
+use h2_hybrid::policy::{EpochSample, PartitionPolicy, PolicyParams, TokenFlows};
 use h2_hybrid::remap::WayMeta;
 use h2_hybrid::types::ReqClass;
 use h2_sim_core::SeededRng;
@@ -383,6 +383,51 @@ impl PartitionPolicy for HydrogenPolicy {
         self.cfg.ideal_reconfig
     }
 
+    fn token_flows(&self) -> Option<TokenFlows> {
+        if !self.cfg.enable_tokens {
+            return None;
+        }
+        // Sum across every bucket this policy owns. migration_allowed spends
+        // from the per-channel buckets when they exist, but on_faucet refills
+        // the global bucket too, so all buckets are included either way.
+        let mut f = TokenFlows::default();
+        let buckets = std::iter::once(&self.tokens).chain(self.channel_tokens.iter().flatten());
+        for b in buckets {
+            f.granted += b.granted_total();
+            f.spent += b.spent_total();
+            f.discarded += b.discarded_total();
+            f.denied += b.denied_total();
+            f.available += b.available();
+        }
+        Some(f)
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        if !self.cfg.enable_tokens {
+            return Ok(());
+        }
+        let buckets =
+            std::iter::once((&self.tokens, None)).chain(
+                self.channel_tokens.iter().flatten().enumerate().map(|(i, b)| (b, Some(i))),
+            );
+        for (b, ch) in buckets {
+            if !b.check_conservation() {
+                let which = match ch {
+                    Some(i) => format!("per-channel token bucket {i}"),
+                    None => "global token bucket".to_string(),
+                };
+                return Err(format!(
+                    "{which} violates conservation: granted {} != spent {} + discarded {} + available {}",
+                    b.granted_total(),
+                    b.spent_total(),
+                    b.discarded_total(),
+                    b.available()
+                ));
+            }
+        }
+        Ok(())
+    }
+
     fn collect_metrics(&self, m: &mut h2_sim_core::ScopedMetrics<'_>) {
         m.inc("reconfigs", self.reconfigs);
         m.inc("epochs", self.epoch_count);
@@ -583,6 +628,29 @@ mod tests {
                 assert!(p.way_channel(set, w) >= 1, "shared ways off channel 0");
             }
         }
+    }
+
+    #[test]
+    fn token_flows_conserve_under_traffic() {
+        let mut p = HydrogenPolicy::new(HydrogenConfig {
+            per_channel_tokens: Some(3),
+            enable_climb: false,
+            ..HydrogenConfig::full(4, 4, 30)
+        });
+        let mut rng = SeededRng::derive(1, "t");
+        for i in 0..500u64 {
+            let _ = p.migration_allowed(ReqClass::Gpu, 1 + (i % 2) as u32, false, i as usize, &mut rng);
+            if i % 40 == 0 {
+                p.on_faucet();
+            }
+            let f = p.token_flows().expect("tokens enabled");
+            assert!(f.conserved(), "step {i}: {f:?}");
+            p.check_invariants().expect("buckets conserve");
+        }
+        // Designs without a faucet expose no flows and always pass.
+        let dp = HydrogenPolicy::new(HydrogenConfig::dp_only(4, 4));
+        assert_eq!(dp.token_flows(), None);
+        assert!(dp.check_invariants().is_ok());
     }
 
     #[test]

@@ -105,7 +105,15 @@ impl TokenBucket {
         let cost = cost as u64;
         if self.counter >= cost {
             self.counter -= cost;
-            self.total_spent += cost;
+            // `inject-token-leak` (test-only): silently drop the spent-token
+            // bookkeeping on a quarter of spends, violating conservation.
+            #[cfg(feature = "inject-token-leak")]
+            let leak = self.counter % 4 == 0;
+            #[cfg(not(feature = "inject-token-leak"))]
+            let leak = false;
+            if !leak {
+                self.total_spent += cost;
+            }
             true
         } else {
             self.total_denied += 1;

@@ -6,6 +6,8 @@
 //! h2 run --telemetry <dir> fig9     # also dump per-run telemetry JSON
 //! h2 run --trace <dir> fig9         # also dump Perfetto request traces
 //! h2 all                            # run everything (Tables I-II, Figs 2, 5-11)
+//! h2 fuzz --seeds 500               # deterministic simulation fuzzer (h2-check)
+//! h2 fuzz --replay repro.json       # replay a committed reproducer
 //! ```
 //!
 //! Scale with `H2_PROFILE=quick|default|full`; `H2_VERBOSE=1` for progress.
@@ -23,7 +25,7 @@
 //! sampling rate (every `N`-th demand read; default 64). Cached runs that
 //! were executed without tracing are transparently re-executed with it.
 
-use h2_harness::{run_experiment, Profile, RunCache, ALL_EXPERIMENTS};
+use h2_harness::{run_experiment, validate_run_ids, Profile, RunCache, ALL_EXPERIMENTS};
 use std::path::{Path, PathBuf};
 
 /// Default request-trace sampling rate: every 64th demand read.
@@ -73,11 +75,18 @@ fn main() {
         }
         Some("run") if args.len() > 1 => {
             let ids: Vec<&str> = args[1..].iter().map(|s| s.as_str()).collect();
+            if let Err(e) = validate_run_ids(&ids) {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
             run_ids(&ids, &profile, telemetry_dir.as_deref(), trace.as_ref());
+        }
+        Some("fuzz") => {
+            std::process::exit(h2_harness::fuzz_cli::cmd_fuzz(&args[1..]));
         }
         _ => {
             eprintln!(
-                "usage: h2 list | h2 [--telemetry <dir>] [--trace <dir> [--trace-sample N]] run <experiment>.. | h2 all"
+                "usage: h2 list | h2 [--telemetry <dir>] [--trace <dir> [--trace-sample N]] run <experiment>.. | h2 all | h2 fuzz [--seeds N] [--time-budget SECS] [--replay FILE]"
             );
             eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
             std::process::exit(2);

@@ -12,6 +12,7 @@
 
 pub mod cache;
 pub mod experiments;
+pub mod fuzz_cli;
 pub mod key;
 pub mod persist;
 pub mod profile;
@@ -46,3 +47,33 @@ pub const ALL_EXPERIMENTS: [&str; 12] = [
     "table1", "table2", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
     "extensions", "verify",
 ];
+
+/// Check every requested experiment id up front, so a typo in the last id
+/// fails fast instead of surfacing after the earlier experiments ran.
+pub fn validate_run_ids(ids: &[&str]) -> Result<(), String> {
+    if ids.is_empty() {
+        return Err("h2 run needs at least one experiment (see `h2 list`)".into());
+    }
+    match ids.iter().find(|id| !ALL_EXPERIMENTS.contains(id)) {
+        Some(bad) => Err(format!("unknown experiment '{bad}' (see `h2 list`)")),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_ids_are_validated_up_front() {
+        validate_run_ids(&["fig5", "fig6"]).unwrap();
+        assert_eq!(
+            validate_run_ids(&[]).unwrap_err(),
+            "h2 run needs at least one experiment (see `h2 list`)"
+        );
+        assert_eq!(
+            validate_run_ids(&["fig5", "fig99"]).unwrap_err(),
+            "unknown experiment 'fig99' (see `h2 list`)"
+        );
+    }
+}

@@ -209,6 +209,21 @@ fn decode_registry(d: &mut Dec, limit: usize) -> Option<MetricsRegistry> {
     Some(reg)
 }
 
+/// Encode `report` with the persistence codec and decode it straight back.
+/// This is the fuzzer's codec oracle: for every randomly generated run,
+/// `decode(encode(r))` must reproduce `r` exactly (the caller diffs the
+/// result). Errors mean the decoder rejected bytes the encoder just wrote.
+pub fn codec_roundtrip(report: &RunReport) -> Result<RunReport, String> {
+    let tag = cache_tag();
+    let bytes = encode_report(report, &tag);
+    decode_report(&bytes, &tag).ok_or_else(|| {
+        format!(
+            "decoder rejected a freshly encoded {}-byte entry (tag {tag})",
+            bytes.len()
+        )
+    })
+}
+
 fn encode_report(r: &RunReport, tag: &str) -> Vec<u8> {
     let mut e = Enc::default();
     e.buf.extend_from_slice(&MAGIC);

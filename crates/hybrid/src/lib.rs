@@ -21,6 +21,6 @@ pub mod remap;
 pub mod types;
 
 pub use hmc::{Hmc, HmcEvent, HmcOutput, HmcStats};
-pub use policy::{EpochSample, PartitionPolicy, PolicyParams};
+pub use policy::{EpochSample, PartitionPolicy, PolicyParams, TokenFlows};
 pub use remap::{RemapTable, WayMeta};
 pub use types::{HybridConfig, Mode, ReqClass, Tier};

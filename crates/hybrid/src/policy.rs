@@ -52,6 +52,30 @@ pub struct EpochSample {
     pub bypasses: u64,
 }
 
+/// Aggregate token-bucket flow counters exposed for invariant monitoring.
+/// Sums across every bucket a policy owns (global + per-channel).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TokenFlows {
+    /// Tokens ever granted by the faucet (after banking caps).
+    pub granted: u64,
+    /// Tokens spent on admitted migrations.
+    pub spent: u64,
+    /// Tokens discarded by the banking cap at refill.
+    pub discarded: u64,
+    /// Requests denied for lack of tokens.
+    pub denied: u64,
+    /// Tokens currently available across all buckets.
+    pub available: u64,
+}
+
+impl TokenFlows {
+    /// The conservation law every faucet design must uphold: every granted
+    /// token is either spent, discarded, or still available.
+    pub fn conserved(&self) -> bool {
+        self.granted == self.spent + self.discarded + self.available
+    }
+}
+
 /// A hybrid-memory partitioning design.
 pub trait PartitionPolicy {
     /// Short display name ("Hydrogen", "ProFess", ...).
@@ -132,6 +156,19 @@ pub trait PartitionPolicy {
     /// internal state emit nothing.
     fn collect_metrics(&self, m: &mut h2_sim_core::ScopedMetrics<'_>) {
         let _ = m;
+    }
+
+    /// Aggregate token-flow counters for invariant monitoring, or `None`
+    /// for designs without a token faucet.
+    fn token_flows(&self) -> Option<TokenFlows> {
+        None
+    }
+
+    /// Policy-internal consistency check, called from monitor hook points.
+    /// Returns `Err` with a description when internal state is corrupt
+    /// (e.g. a token bucket violating conservation).
+    fn check_invariants(&self) -> Result<(), String> {
+        Ok(())
     }
 }
 

@@ -227,6 +227,21 @@ impl MemDevice {
         self.channels[ch].queue.len()
     }
 
+    /// Device-level consistency check for invariant monitors: per-channel
+    /// in-flight occupancy must respect the pipeline depth (release-build
+    /// counterpart of the `debug_assert` in [`Self::on_complete`]).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (ch, c) in self.channels.iter().enumerate() {
+            if c.in_flight > PIPELINE_DEPTH {
+                return Err(format!(
+                    "channel {ch}: {} commands in flight exceeds pipeline depth {PIPELINE_DEPTH}",
+                    c.in_flight
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Enqueue a command on channel `ch` at time `now`. Call [`Self::pump`]
     /// afterwards to start whatever the scheduler allows.
     pub fn enqueue(&mut self, ch: usize, cmd: MemCmd, now: Cycles) {

@@ -78,6 +78,22 @@ impl Json {
         s
     }
 
+    /// Parse a JSON document (strict: whole input must be one value plus
+    /// optional whitespace). Numbers map onto the canonical variants the
+    /// writer produces: a token containing `.`/`e`/`E` parses as [`Json::F64`],
+    /// a leading `-` as [`Json::I64`], anything else as [`Json::U64`] — so
+    /// `parse(x.to_string_compact()) == x` for writer-produced documents.
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
     fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -157,6 +173,220 @@ fn write_f64(out: &mut String, v: f64) {
     let _ = write!(out, "{v}");
     if !out[start..].contains(['.', 'e', 'E']) {
         out.push_str(".0");
+    }
+}
+
+/// Nesting depth cap for the parser: untrusted input (fuzz repro files,
+/// re-read trace exports) must not be able to blow the stack.
+const MAX_PARSE_DEPTH: usize = 128;
+
+/// Recursive-descent parser over raw bytes; strings are validated as UTF-8
+/// implicitly because the input is `&str` and escapes are decoded by hand.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err(format!("nesting deeper than {MAX_PARSE_DEPTH}"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(format!("unexpected byte '{}' at {}", b as char, self.pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut xs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(xs));
+        }
+        loop {
+            self.skip_ws();
+            xs.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(xs));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let name = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            fields.push((name, self.value(depth + 1)?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Bulk-copy the unescaped run.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            // Safe: we only stopped on ASCII bytes, so the run is valid UTF-8
+            // (the input as a whole is &str).
+            s.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: the writer never emits them,
+                            // but accept them for general JSON.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                self.expect(b'\\').map_err(|_| "lone high surrogate")?;
+                                if self.peek() != Some(b'u') {
+                                    return Err("lone high surrogate".to_string());
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("invalid low surrogate".to_string());
+                                }
+                                let v = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(v).ok_or("invalid surrogate pair")?
+                            } else {
+                                char::from_u32(cp)
+                                    .ok_or(format!("invalid \\u escape at byte {}", self.pos))?
+                            };
+                            s.push(c);
+                            continue; // hex4 left `pos` past the escape
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => return Err(format!("raw control byte in string at {}", self.pos)),
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    /// Consume `u` plus four hex digits (caller sits on the `u`); leaves
+    /// `pos` just past the last digit.
+    fn hex4(&mut self) -> Result<u32, String> {
+        self.pos += 1; // the 'u'
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err("truncated \\u escape".to_string());
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| "non-ascii \\u escape".to_string())?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_string())?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let tok = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if tok.contains(['.', 'e', 'E']) {
+            tok.parse::<f64>()
+                .map(Json::F64)
+                .map_err(|_| format!("bad number '{tok}' at byte {start}"))
+        } else if tok.starts_with('-') {
+            tok.parse::<i64>()
+                .map(Json::I64)
+                .map_err(|_| format!("bad number '{tok}' at byte {start}"))
+        } else {
+            tok.parse::<u64>()
+                .map(Json::U64)
+                .map_err(|_| format!("bad number '{tok}' at byte {start}"))
+        }
     }
 }
 
@@ -265,5 +495,65 @@ mod tests {
     fn string_escapes() {
         let j = Json::Str("a\n\t\u{1}".into());
         assert_eq!(j.to_string_compact(), "\"a\\n\\t\\u0001\"");
+    }
+
+    #[test]
+    fn parse_roundtrips_writer_output() {
+        let j = Json::obj()
+            .field("u", 42u64)
+            .field("i", -7i64)
+            .field("f", 2.5f64)
+            .field("whole", 3.0f64)
+            .field("s", "x\"y\n\u{1}")
+            .field("b", true)
+            .field("n", Json::Null)
+            .field("a", Json::Arr(vec![Json::U64(1), Json::Obj(vec![])]));
+        assert_eq!(Json::parse(&j.to_string_compact()).unwrap(), j);
+        assert_eq!(Json::parse(&j.to_string_pretty()).unwrap(), j);
+    }
+
+    #[test]
+    fn parse_number_variants() {
+        assert_eq!(Json::parse("42").unwrap(), Json::U64(42));
+        assert_eq!(Json::parse("-42").unwrap(), Json::I64(-42));
+        assert_eq!(Json::parse("1.5").unwrap(), Json::F64(1.5));
+        assert_eq!(Json::parse("-1.5").unwrap(), Json::F64(-1.5));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::F64(1000.0));
+        assert_eq!(Json::parse(&u64::MAX.to_string()).unwrap(), Json::U64(u64::MAX));
+    }
+
+    #[test]
+    fn parse_unicode_escapes() {
+        assert_eq!(Json::parse(r#""\u0041\u00e9""#).unwrap(), Json::Str("Aé".into()));
+        // Surrogate pair for U+1F600.
+        assert_eq!(Json::parse(r#""\ud83d\ude00""#).unwrap(), Json::Str("😀".into()));
+        assert!(Json::parse(r#""\ud83d""#).is_err());
+        // Raw (non-escaped) UTF-8 passes through.
+        assert_eq!(Json::parse("\"héllo\"").unwrap(), Json::Str("héllo".into()));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "1 2", "{\"a\" 1}",
+            "[1]]", "nul", "\"\\x\"", "--1", "1.2.3",
+        ] {
+            assert!(Json::parse(bad).is_err(), "expected parse error for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_depth_limited() {
+        let deep = "[".repeat(400) + &"]".repeat(400);
+        assert!(Json::parse(&deep).unwrap_err().contains("nesting"));
+        let ok = "[".repeat(64) + &"]".repeat(64);
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn parse_whitespace_tolerant() {
+        let j = Json::parse(" { \"a\" : [ 1 , 2 ] , \"b\" : null } \n").unwrap();
+        assert_eq!(j.get("a"), Some(&Json::Arr(vec![Json::U64(1), Json::U64(2)])));
+        assert_eq!(j.get("b"), Some(&Json::Null));
     }
 }

@@ -8,6 +8,7 @@
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod monitor;
 pub mod rng;
 pub mod stats;
 pub mod trace_span;
@@ -16,6 +17,7 @@ pub mod units;
 pub use event::{EngineKind, EventQueue, Scheduled};
 pub use json::Json;
 pub use metrics::{LogHistogram, MetricsRegistry, ScopedMetrics};
+pub use monitor::{InvariantMonitor, MonitorSet, Violation};
 pub use trace_span::{BlameCause, BlameClass, Span, SpanCollector, SpanId, SpanInterval};
 pub use rng::SeededRng;
 pub use units::{Cycles, KIB, MIB};

@@ -1,0 +1,195 @@
+//! Invariant monitors: pluggable runtime checks evaluated at simulator
+//! hook points (epoch boundaries, faucet ticks, end of run).
+//!
+//! The simulator owning the hook points chooses a *probe* type `Ctx` — an
+//! owned snapshot of whatever state its monitors may inspect — and calls
+//! [`MonitorSet::check_all`] with a fresh probe at every hook point. Each
+//! registered [`InvariantMonitor`] inspects the probe and reports `Err`
+//! with a human-readable message when its invariant is violated.
+//!
+//! Violations are *collected*, not panicked on: the fuzzer (`h2-check`)
+//! needs failing runs to complete so it can diff, shrink, and replay them.
+//! A cap keeps a hard-broken invariant from accumulating one violation per
+//! epoch for the whole run.
+
+use crate::units::Cycles;
+
+/// A single invariant check over a probe snapshot of type `Ctx`.
+///
+/// Monitors may keep state between calls (e.g. the previous snapshot, for
+/// monotonicity checks); `check` therefore takes `&mut self`.
+pub trait InvariantMonitor<Ctx> {
+    /// Stable identifier, used in violation reports and for matching
+    /// failures during shrinking.
+    fn name(&self) -> &'static str;
+
+    /// Inspect `probe`; return `Err(message)` if the invariant is violated.
+    fn check(&mut self, probe: &Ctx) -> Result<(), String>;
+}
+
+/// A recorded invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// [`InvariantMonitor::name`] of the monitor that fired.
+    pub monitor: &'static str,
+    /// Simulation time of the hook point where the violation was observed.
+    pub at: Cycles,
+    /// Human-readable detail from the monitor.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{} @ cycle {}] {}", self.monitor, self.at, self.message)
+    }
+}
+
+/// Keep at most this many violations per monitor; a broken invariant would
+/// otherwise report once per epoch for the entire run.
+const MAX_VIOLATIONS_PER_MONITOR: usize = 8;
+
+/// An ordered collection of monitors sharing a probe type.
+pub struct MonitorSet<Ctx> {
+    monitors: Vec<Box<dyn InvariantMonitor<Ctx>>>,
+    violations: Vec<Violation>,
+    /// Per-monitor violation counts, parallel to `monitors`.
+    counts: Vec<usize>,
+}
+
+impl<Ctx> Default for MonitorSet<Ctx> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<Ctx> MonitorSet<Ctx> {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self { monitors: Vec::new(), violations: Vec::new(), counts: Vec::new() }
+    }
+
+    /// Add a monitor; checks run in registration order.
+    pub fn register(&mut self, m: Box<dyn InvariantMonitor<Ctx>>) {
+        self.monitors.push(m);
+        self.counts.push(0);
+    }
+
+    /// Number of registered monitors.
+    pub fn len(&self) -> usize {
+        self.monitors.len()
+    }
+
+    /// True when no monitors are registered.
+    pub fn is_empty(&self) -> bool {
+        self.monitors.is_empty()
+    }
+
+    /// Run every monitor against `probe`, recording violations with
+    /// timestamp `at`. Returns the number of *new* violations.
+    pub fn check_all(&mut self, at: Cycles, probe: &Ctx) -> usize {
+        let mut fresh = 0;
+        for (i, m) in self.monitors.iter_mut().enumerate() {
+            if self.counts[i] >= MAX_VIOLATIONS_PER_MONITOR {
+                continue;
+            }
+            if let Err(message) = m.check(probe) {
+                self.counts[i] += 1;
+                self.violations.push(Violation { monitor: m.name(), at, message });
+                fresh += 1;
+            }
+        }
+        fresh
+    }
+
+    /// All violations recorded so far, in observation order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// True when no violations have been recorded.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Probe {
+        value: i64,
+    }
+
+    /// Fires whenever the probed value is negative.
+    struct NonNegative;
+    impl InvariantMonitor<Probe> for NonNegative {
+        fn name(&self) -> &'static str {
+            "non_negative"
+        }
+        fn check(&mut self, p: &Probe) -> Result<(), String> {
+            if p.value < 0 {
+                Err(format!("value {} is negative", p.value))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    /// Stateful: fires when the value decreases between snapshots.
+    struct Monotone {
+        last: Option<i64>,
+    }
+    impl InvariantMonitor<Probe> for Monotone {
+        fn name(&self) -> &'static str {
+            "monotone"
+        }
+        fn check(&mut self, p: &Probe) -> Result<(), String> {
+            let prev = self.last.replace(p.value);
+            match prev {
+                Some(prev) if p.value < prev => {
+                    Err(format!("value fell from {prev} to {}", p.value))
+                }
+                _ => Ok(()),
+            }
+        }
+    }
+
+    #[test]
+    fn collects_violations_with_timestamps() {
+        let mut set = MonitorSet::new();
+        set.register(Box::new(NonNegative));
+        set.register(Box::new(Monotone { last: None }));
+        assert_eq!(set.len(), 2);
+
+        assert_eq!(set.check_all(10, &Probe { value: 5 }), 0);
+        assert!(set.ok());
+        // Drops below zero AND below the previous value: both fire.
+        assert_eq!(set.check_all(20, &Probe { value: -1 }), 2);
+        assert!(!set.ok());
+        let v = set.violations();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].monitor, "non_negative");
+        assert_eq!(v[0].at, 20);
+        assert!(v[0].message.contains("-1"));
+        assert_eq!(v[1].monitor, "monotone");
+        assert_eq!(v[1].to_string(), "[monotone @ cycle 20] value fell from 5 to -1");
+    }
+
+    #[test]
+    fn per_monitor_cap() {
+        let mut set = MonitorSet::new();
+        set.register(Box::new(NonNegative));
+        for t in 0..100 {
+            set.check_all(t, &Probe { value: -1 });
+        }
+        assert_eq!(set.violations().len(), MAX_VIOLATIONS_PER_MONITOR);
+    }
+
+    #[test]
+    fn empty_set_is_ok() {
+        let mut set: MonitorSet<Probe> = MonitorSet::default();
+        assert!(set.is_empty());
+        assert_eq!(set.check_all(0, &Probe { value: 0 }), 0);
+        assert!(set.ok());
+    }
+}

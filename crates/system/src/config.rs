@@ -198,6 +198,52 @@ impl SystemConfig {
     pub fn total_cycles(&self) -> Cycles {
         self.warmup_cycles + self.measure_cycles
     }
+
+    /// Reject configurations that cannot run: zero-length periodic events
+    /// would self-reschedule at the current time forever, a processor-less
+    /// system retires nothing, and degenerate geometry trips controller
+    /// assertions. Returns the first problem found, phrased for CLI users.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.epoch_cycles == 0 {
+            return Err("epoch_cycles must be > 0 (a zero-length epoch never advances time)".into());
+        }
+        if self.faucet_cycles == 0 {
+            return Err(
+                "faucet_cycles must be > 0 (a zero-length faucet period never advances time)"
+                    .into(),
+            );
+        }
+        if self.measure_cycles == 0 {
+            return Err("measure_cycles must be > 0 (nothing would be measured)".into());
+        }
+        if self.cpu_cores == 0 && self.gpu_eus == 0 {
+            return Err("need at least one CPU core or GPU EU".into());
+        }
+        if self.block_bytes == 0 || !self.block_bytes.is_power_of_two() {
+            return Err(format!(
+                "block_bytes must be a power of two, got {}",
+                self.block_bytes
+            ));
+        }
+        if !(1..=16).contains(&self.assoc) {
+            return Err(format!("assoc must be in 1..=16, got {}", self.assoc));
+        }
+        if self.fast_channels == 0 || self.slow_channels == 0 {
+            return Err("fast_channels and slow_channels must be > 0".into());
+        }
+        if self.footprint_scale == 0 {
+            return Err("footprint_scale must be > 0".into());
+        }
+        if let Some(cap) = self.fast_capacity_override {
+            let min = self.block_bytes * self.assoc as u64;
+            if cap < min {
+                return Err(format!(
+                    "fast capacity {cap} B holds no complete set (need at least {min} B = block_bytes x assoc)"
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -244,6 +290,45 @@ mod tests {
         let (wc, wg) = c.norm_weights();
         assert!((wc + wg - 1.0).abs() < 1e-12);
         assert!((wc / wg - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_accepts_shipped_configs() {
+        for c in [SystemConfig::paper(), SystemConfig::scaled(), SystemConfig::tiny()] {
+            c.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        let mut c = SystemConfig::tiny();
+        c.epoch_cycles = 0;
+        assert!(c.validate().unwrap_err().contains("epoch_cycles"));
+
+        let mut c = SystemConfig::tiny();
+        c.faucet_cycles = 0;
+        assert!(c.validate().unwrap_err().contains("faucet_cycles"));
+
+        let mut c = SystemConfig::tiny();
+        c.measure_cycles = 0;
+        assert!(c.validate().unwrap_err().contains("measure_cycles"));
+
+        let mut c = SystemConfig::tiny();
+        c.cpu_cores = 0;
+        c.gpu_eus = 0;
+        assert!(c.validate().unwrap_err().contains("at least one"));
+
+        let mut c = SystemConfig::tiny();
+        c.block_bytes = 100;
+        assert!(c.validate().unwrap_err().contains("power of two"));
+
+        let mut c = SystemConfig::tiny();
+        c.assoc = 17;
+        assert!(c.validate().unwrap_err().contains("assoc"));
+
+        let mut c = SystemConfig::tiny();
+        c.fast_capacity_override = Some(64);
+        assert!(c.validate().unwrap_err().contains("complete set"));
     }
 
     #[test]

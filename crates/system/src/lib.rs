@@ -20,4 +20,4 @@ pub mod trace_export;
 pub use config::{Participants, SystemConfig};
 pub use policies::PolicyKind;
 pub use report::{RunReport, RunTelemetry, RunTrace};
-pub use runner::{run_sim, run_sim_parts, run_workloads};
+pub use runner::{run_sim, run_sim_parts, run_workloads, run_workloads_monitored, SimProbe};

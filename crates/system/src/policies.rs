@@ -8,7 +8,7 @@
 //! exhaustive search).
 
 use crate::config::SystemConfig;
-use h2_baselines::{HashCachePolicy, NoPartPolicy, ProfessPolicy, WayPartPolicy};
+use h2_baselines::{HashCachePolicy, NoMigratePolicy, NoPartPolicy, ProfessPolicy, WayPartPolicy};
 use h2_hybrid::policy::PartitionPolicy;
 use h2_hybrid::types::HybridConfig;
 use h2_hydrogen::{HydrogenConfig, HydrogenPolicy, SwapMode};
@@ -18,6 +18,10 @@ use h2_hydrogen::{HydrogenConfig, HydrogenPolicy, SwapMode};
 pub enum PolicyKind {
     /// Non-partitioned shared baseline.
     NoPart,
+    /// Shared placement with every migration denied. Not a paper design:
+    /// the checking layer's "zero admitted migrations ⇒ zero migration
+    /// traffic" metamorphic relation runs under this policy.
+    NoMigrate,
     /// Static 75 % way partitioning (coupled).
     WayPart,
     /// HAShCache (direct-mapped + chaining, CPU priority, bypass).
@@ -73,6 +77,7 @@ impl PolicyKind {
     pub fn label(&self) -> String {
         match self {
             PolicyKind::NoPart => "Baseline".into(),
+            PolicyKind::NoMigrate => "NoMigrate".into(),
             PolicyKind::WayPart => "WayPart".into(),
             PolicyKind::HashCache => "HAShCache".into(),
             PolicyKind::Profess => "ProFess".into(),
@@ -117,6 +122,7 @@ impl PolicyKind {
         };
         match self {
             PolicyKind::NoPart => Box::new(NoPartPolicy::new(assoc, channels)),
+            PolicyKind::NoMigrate => Box::new(NoMigratePolicy::new(assoc, channels)),
             PolicyKind::WayPart => Box::new(WayPartPolicy::default_75(assoc, channels)),
             PolicyKind::HashCache => {
                 if assoc == 1 {
@@ -190,6 +196,7 @@ mod tests {
     fn every_kind_builds() {
         let kinds = vec![
             PolicyKind::NoPart,
+            PolicyKind::NoMigrate,
             PolicyKind::WayPart,
             PolicyKind::HashCache,
             PolicyKind::Profess,

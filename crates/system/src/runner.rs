@@ -16,9 +16,10 @@ use h2_hybrid::types::{HybridConfig, ReqClass, Tier};
 use h2_hybrid::HmcStats;
 use h2_mem::device::{MemStats, StartedCmd};
 use h2_mem::{EnergyBreakdown, MemDevice, TimingPreset};
+use h2_hybrid::TokenFlows;
 use h2_sim_core::trace_span::{BlameCause, SpanCollector, SpanId};
 use h2_sim_core::units::{Cycles, MIB};
-use h2_sim_core::{EventQueue, LogHistogram, MetricsRegistry};
+use h2_sim_core::{EventQueue, LogHistogram, MetricsRegistry, MonitorSet};
 use h2_trace::{Mix, WorkloadSpec};
 
 /// Local batching horizon: a front-end processes private-cache hits for at
@@ -59,6 +60,50 @@ enum Ev {
     Epoch,
     Faucet,
     WarmupEnd,
+}
+
+/// Owned snapshot of simulator state handed to invariant monitors
+/// (`h2_sim_core::monitor`) at hook points: every epoch boundary, every
+/// faucet tick, and once after the event loop drains. Building a probe
+/// reads state only — it never perturbs the simulation.
+#[derive(Debug, Clone)]
+pub struct SimProbe {
+    /// Simulation time of the hook point.
+    pub now: Cycles,
+    /// Whether warm-up has ended.
+    pub in_measurement: bool,
+    /// Cumulative CPU instructions retired.
+    pub cpu_instr: u64,
+    /// Cumulative GPU instructions retired.
+    pub gpu_instr: u64,
+    /// Cumulative controller statistics.
+    pub hmc: HmcStats,
+    /// Transactions ever begun (`started == retired + inflight`).
+    pub txns_started: u64,
+    /// Transactions fully drained.
+    pub txns_retired: u64,
+    /// Transactions currently in flight in the controller.
+    pub inflight: usize,
+    /// Fast-way occupancy by class `(cpu, gpu)`.
+    pub occ_cpu: u64,
+    /// See `occ_cpu`.
+    pub occ_gpu: u64,
+    /// Total fast ways (`num_sets x assoc`): the occupancy capacity bound.
+    pub total_ways: u64,
+    /// Remap-table coherence: no set holds two ways with the same tag.
+    pub remap_tags_unique: bool,
+    /// Aggregate policy token flows (`None` for designs without a faucet).
+    pub token_flows: Option<TokenFlows>,
+    /// Policy-internal consistency (token-bucket conservation).
+    pub policy_invariants: Result<(), String>,
+    /// Device-level consistency (pipeline occupancy), fast then slow.
+    pub mem_invariants: Result<(), String>,
+    /// Cumulative fast-device statistics.
+    pub fast: MemStats,
+    /// Cumulative slow-device statistics.
+    pub slow: MemStats,
+    /// Request spans closed so far (when tracing).
+    pub spans_closed: u64,
 }
 
 struct Sim {
@@ -578,7 +623,38 @@ impl Sim {
         self.in_measurement = true;
     }
 
-    fn run(&mut self) {
+    /// Snapshot the state invariant monitors inspect.
+    fn probe(&self) -> SimProbe {
+        let (occ_cpu, occ_gpu) = self.hmc.occupancy_by_class();
+        let hc = self.hmc.config();
+        let mem_invariants = self
+            .fast
+            .check_invariants()
+            .map_err(|e| format!("fast: {e}"))
+            .and_then(|()| self.slow.check_invariants().map_err(|e| format!("slow: {e}")));
+        SimProbe {
+            now: self.q.now(),
+            in_measurement: self.in_measurement,
+            cpu_instr: self.cpu_instr_total(),
+            gpu_instr: self.gpu_instr_total(),
+            hmc: self.hmc.stats(),
+            txns_started: self.hmc.txns_started(),
+            txns_retired: self.hmc.txns_retired(),
+            inflight: self.hmc.inflight(),
+            occ_cpu,
+            occ_gpu,
+            total_ways: hc.num_sets() * hc.assoc as u64,
+            remap_tags_unique: self.hmc.table().check_no_duplicate_tags(),
+            token_flows: self.hmc.policy().token_flows(),
+            policy_invariants: self.hmc.policy().check_invariants(),
+            mem_invariants,
+            fast: self.fast.stats(),
+            slow: self.slow.stats(),
+            spans_closed: self.tracer.spans_closed(),
+        }
+    }
+
+    fn run(&mut self, mut monitors: Option<&mut MonitorSet<SimProbe>>) {
         while let Some(ev) = self.q.pop() {
             if ev.time > self.end {
                 break;
@@ -659,13 +735,24 @@ impl Sim {
                 Ev::Epoch => {
                     self.on_epoch();
                     self.q.schedule_in(self.cfg.epoch_cycles, Ev::Epoch);
+                    if let Some(m) = monitors.as_deref_mut() {
+                        m.check_all(self.q.now(), &self.probe());
+                    }
                 }
                 Ev::Faucet => {
                     self.hmc.on_faucet();
                     self.q.schedule_in(self.cfg.faucet_cycles, Ev::Faucet);
+                    if let Some(m) = monitors.as_deref_mut() {
+                        m.check_all(self.q.now(), &self.probe());
+                    }
                 }
                 Ev::WarmupEnd => self.snapshot_warm(),
             }
+        }
+        // Final check once the queue drains (or the horizon passes): the
+        // end-of-run state must satisfy every invariant too.
+        if let Some(m) = monitors {
+            m.check_all(self.q.now(), &self.probe());
         }
     }
 }
@@ -737,6 +824,23 @@ pub fn run_workloads(
     gpu_spec: Option<&WorkloadSpec>,
     kind: PolicyKind,
     fast_capacity: u64,
+) -> RunReport {
+    run_workloads_monitored(cfg, label, cpu_specs, gpu_spec, kind, fast_capacity, None)
+}
+
+/// [`run_workloads`] with an optional set of invariant monitors checked at
+/// every epoch boundary, faucet tick, and end of run. Monitoring is pure
+/// observation: a monitored run is bit-identical to an unmonitored one
+/// (monitors read [`SimProbe`] snapshots; they cannot touch the simulator).
+#[allow(clippy::too_many_arguments)]
+pub fn run_workloads_monitored(
+    cfg: &SystemConfig,
+    label: &str,
+    cpu_specs: &[WorkloadSpec],
+    gpu_spec: Option<&WorkloadSpec>,
+    kind: PolicyKind,
+    fast_capacity: u64,
+    monitors: Option<&mut MonitorSet<SimProbe>>,
 ) -> RunReport {
     let mut hybrid = HybridConfig {
         block_bytes: cfg.block_bytes,
@@ -845,7 +949,7 @@ pub fn run_workloads(
     sim.q.schedule_at(cfg.faucet_cycles, Ev::Faucet);
     sim.q.schedule_at(cfg.warmup_cycles, Ev::WarmupEnd);
 
-    sim.run();
+    sim.run(monitors);
     let wall_s = t_start.elapsed().as_secs_f64();
 
     let telemetry = if sim.telemetry {
@@ -1148,6 +1252,57 @@ mod tests {
         let jb = b.telemetry_json_string().unwrap();
         assert!(!ja.is_empty());
         assert_eq!(ja, jb, "telemetry must be engine-independent");
+    }
+
+    #[test]
+    fn monitored_run_is_bit_identical_and_clean() {
+        use h2_sim_core::InvariantMonitor;
+
+        /// Token conservation + transaction accounting, straight off the probe.
+        struct Basic;
+        impl InvariantMonitor<SimProbe> for Basic {
+            fn name(&self) -> &'static str {
+                "basic"
+            }
+            fn check(&mut self, p: &SimProbe) -> Result<(), String> {
+                if let Some(f) = p.token_flows {
+                    if !f.conserved() {
+                        return Err(format!("token flows not conserved: {f:?}"));
+                    }
+                }
+                if p.txns_started != p.txns_retired + p.inflight as u64 {
+                    return Err(format!(
+                        "txns {} != {} retired + {} inflight",
+                        p.txns_started, p.txns_retired, p.inflight
+                    ));
+                }
+                p.policy_invariants.clone()
+            }
+        }
+
+        let cfg = tiny();
+        let mix = Mix::by_name("C1").unwrap();
+        let cap = cfg.fast_capacity_for(&mix);
+        let mut monitors = MonitorSet::new();
+        monitors.register(Box::new(Basic));
+        let a = run_workloads_monitored(
+            &cfg,
+            mix.name,
+            &mix.cpu_specs(),
+            Some(&mix.gpu_spec()),
+            PolicyKind::HydrogenFull,
+            cap,
+            Some(&mut monitors),
+        );
+        assert!(monitors.ok(), "violations: {:?}", monitors.violations());
+        let b = run_sim(&cfg, &mix, PolicyKind::HydrogenFull);
+        assert_eq!(a.cpu_instr, b.cpu_instr);
+        assert_eq!(a.gpu_instr, b.gpu_instr);
+        assert_eq!(a.hmc, b.hmc);
+        assert_eq!(a.fast, b.fast);
+        assert_eq!(a.slow, b.slow);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.epoch_trace, b.epoch_trace);
     }
 
     #[test]

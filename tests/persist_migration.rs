@@ -1,0 +1,150 @@
+//! Persistence-schema migration and corruption handling (tier 2).
+//!
+//! The run cache must treat every damaged or outdated `.runcache` entry
+//! as a miss — silently re-executing the simulation — and must never
+//! panic on untrusted bytes: entries written by older schema versions,
+//! truncated by a crash mid-write, or corrupted on disk.
+
+use h2_harness::cache::{Job, RunCache};
+use h2_harness::persist::cache_tag;
+use h2_system::{PolicyKind, SystemConfig};
+use h2_trace::Mix;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("h2-persist-mig-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tiny_job() -> Job {
+    let mut cfg = SystemConfig::tiny();
+    cfg.warmup_cycles = 100_000;
+    cfg.measure_cycles = 200_000;
+    Job::new(&cfg, &Mix::by_name("C1").unwrap(), PolicyKind::NoPart)
+}
+
+/// The single `.h2r` entry file in `dir`.
+fn entry_file(dir: &Path) -> PathBuf {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "h2r"))
+        .collect();
+    assert_eq!(entries.len(), 1, "expected exactly one cache entry in {dir:?}");
+    entries.pop().unwrap()
+}
+
+/// Populate a cache dir with one entry and return (dir, its file, the
+/// fresh report's deterministic fingerprint).
+fn populate(name: &str) -> (PathBuf, PathBuf, u64) {
+    let dir = scratch(name);
+    let job = tiny_job();
+    let report = {
+        let mut cache = RunCache::with_disk_dir(&dir).unwrap();
+        cache.run(&job)
+    };
+    (dir.clone(), entry_file(&dir), report.cpu_instr)
+}
+
+/// After `damage` is applied to the entry file, a fresh cache must
+/// re-execute (no disk hit, no panic) and reproduce the same result.
+fn assert_reexecuted(name: &str, damage: impl FnOnce(&Path)) {
+    let (dir, entry, fingerprint) = populate(name);
+    damage(&entry);
+    let mut cache = RunCache::with_disk_dir(&dir).unwrap();
+    let report = cache.run(&tiny_job());
+    assert_eq!(cache.disk_hits, 0, "{name}: damaged entry must not count as a hit");
+    assert_eq!(cache.executed, 1, "{name}: damaged entry must be re-executed");
+    assert_eq!(report.cpu_instr, fingerprint, "{name}: re-execution must reproduce the run");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn intact_entries_replay_without_execution() {
+    let (dir, _, fingerprint) = populate("intact");
+    let mut cache = RunCache::with_disk_dir(&dir).unwrap();
+    let report = cache.run(&tiny_job());
+    assert_eq!((cache.disk_hits, cache.executed), (1, 0));
+    assert_eq!(report.cpu_instr, fingerprint);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn garbage_entry_is_evicted_and_reexecuted() {
+    assert_reexecuted("garbage", |entry| {
+        fs::write(entry, b"this is not an H2RC entry at all").unwrap();
+    });
+}
+
+#[test]
+fn truncated_entries_never_panic() {
+    // A crash mid-write can leave any prefix; sweep a range of cut points
+    // including mid-header, mid-string, and one byte short of complete.
+    let (dir, entry, fingerprint) = populate("truncated");
+    let full = fs::read(&entry).unwrap();
+    for cut in [0, 1, 3, 4, 7, 8, 20, full.len() / 2, full.len() - 1] {
+        fs::write(&entry, &full[..cut]).unwrap();
+        let mut cache = RunCache::with_disk_dir(&dir).unwrap();
+        let report = cache.run(&tiny_job());
+        assert_eq!(
+            (cache.disk_hits, cache.executed),
+            (0, 1),
+            "cut at {cut} bytes must read as a miss"
+        );
+        assert_eq!(report.cpu_instr, fingerprint);
+        // run() re-stored the entry; restore the damaged state for the
+        // next cut from our pristine copy.
+        fs::write(&entry, &full).unwrap();
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn old_schema_version_entry_is_rejected() {
+    // The on-disk header is `H2RC` magic then a little-endian u32 schema
+    // version at byte offset 4. An entry from an older (or newer) codec
+    // must decode as a miss, not a panic or a wrong-schema read.
+    for version in [1u32, 2, u32::MAX] {
+        assert_reexecuted("schema-version", move |entry| {
+            let mut bytes = fs::read(entry).unwrap();
+            bytes[4..8].copy_from_slice(&version.to_le_bytes());
+            fs::write(entry, &bytes).unwrap();
+        });
+    }
+}
+
+#[test]
+fn version_file_mismatch_wipes_stale_entries() {
+    // A codec upgrade bumps the directory tag; opening the tier with a
+    // mismatched VERSION file must evict wholesale and restart cold.
+    let (dir, entry, fingerprint) = populate("version-file");
+    fs::write(dir.join("VERSION"), "schema0+v0.0.0-ancient").unwrap();
+    let mut cache = RunCache::with_disk_dir(&dir).unwrap();
+    assert!(!entry.exists(), "stale entry should be wiped on open");
+    assert_eq!(fs::read_to_string(dir.join("VERSION")).unwrap(), cache_tag());
+    let report = cache.run(&tiny_job());
+    assert_eq!((cache.disk_hits, cache.executed), (0, 1));
+    assert_eq!(report.cpu_instr, fingerprint);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flipped_payload_bytes_decode_as_miss_or_identical() {
+    // Bit flips beyond the header either fail decoding (a miss) or — if
+    // they land in unvalidated payload such as a float — produce *some*
+    // decoded report; they must never panic. Flip a spread of positions.
+    let (dir, entry, _) = populate("bitflip");
+    let full = fs::read(&entry).unwrap();
+    for pos in (8..full.len()).step_by(full.len() / 23) {
+        let mut bytes = full.clone();
+        bytes[pos] ^= 0xA5;
+        fs::write(&entry, &bytes).unwrap();
+        let mut cache = RunCache::with_disk_dir(&dir).unwrap();
+        let _ = cache.run(&tiny_job()); // must not panic
+        fs::write(&entry, &full).unwrap();
+    }
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,137 @@
+//! Structural validation of the Chrome Trace export (tier 2).
+//!
+//! A Perfetto file that fails to parse, or whose blame slices leak outside
+//! their request slice, renders as garbage without any test noticing —
+//! the golden suite only pins bytes for one configuration. This suite
+//! re-parses every emitted document with the repo's own dependency-free
+//! JSON parser and checks the slice geometry for arbitrary traced runs.
+
+use h2_sim_core::Json;
+use h2_system::{run_sim, PolicyKind, SystemConfig};
+use h2_trace::Mix;
+
+/// Parse a Chrome Trace document and check its structure: valid JSON, a
+/// `traceEvents` array, and for every thread (tid) each `blame` slice
+/// `[ts, ts+dur)` nested inside that thread's single `request` slice.
+/// Returns the number of blame slices checked.
+fn validate_chrome_trace(doc: &str) -> Result<usize, String> {
+    let j = Json::parse(doc).map_err(|e| format!("trace is not valid JSON: {e}"))?;
+    let events = match j.get("traceEvents") {
+        Some(Json::Arr(xs)) => xs,
+        _ => return Err("missing traceEvents array".into()),
+    };
+
+    fn u64_field(e: &Json, name: &str) -> Result<u64, String> {
+        match e.get(name) {
+            Some(Json::U64(v)) => Ok(*v),
+            other => Err(format!("event field '{name}' missing or malformed: {other:?}")),
+        }
+    }
+    fn str_field<'a>(e: &'a Json, name: &str) -> Option<&'a str> {
+        match e.get(name) {
+            Some(Json::Str(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    // First pass: each tid's request slice.
+    let mut requests: Vec<(u64, u64, u64, u64)> = Vec::new(); // (pid, tid, ts, end)
+    for e in events {
+        if str_field(e, "ph") == Some("X") && str_field(e, "cat") == Some("request") {
+            let pid = u64_field(e, "pid")?;
+            let tid = u64_field(e, "tid")?;
+            let ts = u64_field(e, "ts")?;
+            let end = ts + u64_field(e, "dur")?;
+            if requests.iter().any(|&(p, t, _, _)| p == pid && t == tid) {
+                return Err(format!("duplicate request slice for pid {pid} tid {tid}"));
+            }
+            requests.push((pid, tid, ts, end));
+        }
+    }
+
+    // Second pass: every blame slice nests within its thread's request.
+    let mut checked = 0;
+    for e in events {
+        if str_field(e, "ph") != Some("X") || str_field(e, "cat") != Some("blame") {
+            continue;
+        }
+        let pid = u64_field(e, "pid")?;
+        let tid = u64_field(e, "tid")?;
+        let ts = u64_field(e, "ts")?;
+        let end = ts + u64_field(e, "dur")?;
+        let Some(&(_, _, rts, rend)) = requests
+            .iter()
+            .find(|&&(p, t, _, _)| p == pid && t == tid)
+        else {
+            return Err(format!("blame slice on pid {pid} tid {tid} has no request slice"));
+        };
+        if ts < rts || end > rend {
+            return Err(format!(
+                "blame slice [{ts}, {end}) escapes request [{rts}, {rend}) on tid {tid}"
+            ));
+        }
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+fn traced_run(mix: &str, kind: PolicyKind, sample: u64) -> String {
+    let mut cfg = SystemConfig::tiny();
+    cfg.trace_sample = Some(sample);
+    let report = run_sim(&cfg, &Mix::by_name(mix).unwrap(), kind);
+    report
+        .chrome_trace_json_string()
+        .expect("tracing was enabled, an export must exist")
+}
+
+#[test]
+fn exported_traces_parse_and_slices_nest() {
+    let mut total = 0;
+    for (mix, kind) in [
+        ("C1", PolicyKind::HydrogenFull),
+        ("C3", PolicyKind::NoPart),
+        ("C8", PolicyKind::HydrogenDpToken),
+    ] {
+        let doc = traced_run(mix, kind, 16);
+        let checked = validate_chrome_trace(&doc)
+            .unwrap_or_else(|e| panic!("{mix}/{kind:?}: {e}"));
+        assert!(checked > 0, "{mix}/{kind:?}: no blame slices sampled");
+        total += checked;
+    }
+    assert!(total > 100, "expected a meaningful slice population, got {total}");
+}
+
+#[test]
+fn validator_rejects_broken_documents() {
+    assert!(validate_chrome_trace("{not json").is_err());
+    assert!(validate_chrome_trace("{}").unwrap_err().contains("traceEvents"));
+
+    // A blame slice escaping its request must be flagged.
+    let bad = Json::obj()
+        .field("traceEvents", {
+            let mut a = Json::arr();
+            a.push(
+                Json::obj()
+                    .field("ph", "X")
+                    .field("pid", 1u64)
+                    .field("tid", 7u64)
+                    .field("ts", 100u64)
+                    .field("dur", 50u64)
+                    .field("cat", "request")
+                    .field("name", "request"),
+            );
+            a.push(
+                Json::obj()
+                    .field("ph", "X")
+                    .field("pid", 1u64)
+                    .field("tid", 7u64)
+                    .field("ts", 140u64)
+                    .field("dur", 20u64) // [140, 160) escapes [100, 150)
+                    .field("cat", "blame")
+                    .field("name", "service"),
+            );
+            a
+        })
+        .to_string_compact();
+    assert!(validate_chrome_trace(&bad).unwrap_err().contains("escapes"));
+}
