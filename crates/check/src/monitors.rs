@@ -30,7 +30,8 @@ impl InvariantMonitor<SimProbe> for TokenConservation {
                 ));
             }
         }
-        p.policy_invariants.clone()
+        // Borrow the probe's verdict; allocate only on the (error) slow path.
+        p.policy_invariants.as_ref().map_err(String::clone).copied()
     }
 }
 
@@ -166,7 +167,7 @@ impl InvariantMonitor<SimProbe> for MemDeviceInvariants {
     }
 
     fn check(&mut self, p: &SimProbe) -> Result<(), String> {
-        p.mem_invariants.clone()
+        p.mem_invariants.as_ref().map_err(String::clone).copied()
     }
 }
 

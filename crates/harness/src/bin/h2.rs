@@ -6,8 +6,10 @@
 //! h2 run --telemetry <dir> fig9     # also dump per-run telemetry JSON
 //! h2 run --trace <dir> fig9         # also dump Perfetto request traces
 //! h2 all                            # run everything (Tables I-II, Figs 2, 5-11)
+//! h2 run --jobs 4 fig8              # cap the simulation worker pool
 //! h2 fuzz --seeds 500               # deterministic simulation fuzzer (h2-check)
 //! h2 fuzz --replay repro.json       # replay a committed reproducer
+//! h2 bench [--gate|--baseline]      # hot-path perf bench / regression gate
 //! ```
 //!
 //! Scale with `H2_PROFILE=quick|default|full`; `H2_VERBOSE=1` for progress.
@@ -27,6 +29,14 @@
 
 use h2_harness::{run_experiment, validate_run_ids, Profile, RunCache, ALL_EXPERIMENTS};
 use std::path::{Path, PathBuf};
+
+// With the `alloc-count` feature, every allocation in the process goes
+// through the counting wrapper so `h2 bench` can report steady-state
+// allocations per simulated event.
+#[cfg(feature = "alloc-count")]
+#[global_allocator]
+static GLOBAL: h2_harness::alloc_count::CountingAlloc =
+    h2_harness::alloc_count::CountingAlloc;
 
 /// Default request-trace sampling rate: every 64th demand read.
 const DEFAULT_TRACE_SAMPLE: u64 = 64;
@@ -64,6 +74,20 @@ fn main() {
         std::process::exit(2);
     }
     let trace = trace_dir.map(|d| (d, trace_sample.unwrap_or(DEFAULT_TRACE_SAMPLE)));
+    let jobs = match take_flag(&mut args, "--jobs") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(0) => {
+                eprintln!("--jobs must be > 0 (zero workers run nothing)");
+                std::process::exit(2);
+            }
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("--jobs needs an unsigned integer, got '{v}'");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
 
     match args.first().map(|s| s.as_str()) {
         Some("list") => {
@@ -71,7 +95,7 @@ fn main() {
             println!("profile: {profile:?} (H2_PROFILE=quick|default|full)");
         }
         Some("all") => {
-            run_ids(&ALL_EXPERIMENTS, &profile, telemetry_dir.as_deref(), trace.as_ref());
+            run_ids(&ALL_EXPERIMENTS, &profile, telemetry_dir.as_deref(), trace.as_ref(), jobs);
         }
         Some("run") if args.len() > 1 => {
             let ids: Vec<&str> = args[1..].iter().map(|s| s.as_str()).collect();
@@ -79,14 +103,17 @@ fn main() {
                 eprintln!("{e}");
                 std::process::exit(2);
             }
-            run_ids(&ids, &profile, telemetry_dir.as_deref(), trace.as_ref());
+            run_ids(&ids, &profile, telemetry_dir.as_deref(), trace.as_ref(), jobs);
         }
         Some("fuzz") => {
             std::process::exit(h2_harness::fuzz_cli::cmd_fuzz(&args[1..]));
         }
+        Some("bench") => {
+            std::process::exit(h2_harness::hotbench::cmd_bench(&args[1..]));
+        }
         _ => {
             eprintln!(
-                "usage: h2 list | h2 [--telemetry <dir>] [--trace <dir> [--trace-sample N]] run <experiment>.. | h2 all | h2 fuzz [--seeds N] [--time-budget SECS] [--replay FILE]"
+                "usage: h2 list | h2 [--telemetry <dir>] [--trace <dir> [--trace-sample N]] [--jobs N] run <experiment>.. | h2 all | h2 fuzz [--seeds N] [--time-budget SECS] [--jobs N] [--replay FILE] | h2 bench [--gate|--baseline] [--iters N]"
             );
             eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
             std::process::exit(2);
@@ -99,8 +126,12 @@ fn run_ids(
     profile: &Profile,
     telemetry_dir: Option<&Path>,
     trace: Option<&(PathBuf, u64)>,
+    jobs: Option<usize>,
 ) {
     let mut cache = RunCache::persistent();
+    if let Some(n) = jobs {
+        cache.set_jobs(n);
+    }
     if let Some(dir) = telemetry_dir {
         if let Err(e) = cache.set_telemetry_dir(dir) {
             eprintln!("cannot create telemetry dir {}: {e}", dir.display());

@@ -114,6 +114,26 @@ pub struct RunCache {
     /// the run is re-executed traced and overwrites the untraced entry).
     /// Tracing never changes job keys — see `crate::key`.
     trace_sample: Option<u64>,
+    /// Worker-pool size override for `run_batch` (`--jobs N`). `None`
+    /// falls back to the process-wide default, then to the CPU count.
+    jobs: Option<usize>,
+}
+
+/// Process-wide default worker count (0 = auto-detect). Set once from the
+/// CLI (`--jobs`) so every cache constructed afterwards — including the
+/// scratch caches the fuzz oracles build internally — honours it.
+static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the process-wide default `run_batch` worker count (0 = auto).
+pub fn set_default_jobs(n: usize) {
+    DEFAULT_JOBS.store(n, Ordering::Relaxed);
+}
+
+fn default_jobs() -> Option<usize> {
+    match DEFAULT_JOBS.load(Ordering::Relaxed) {
+        0 => None,
+        n => Some(n),
+    }
 }
 
 impl RunCache {
@@ -153,6 +173,12 @@ impl RunCache {
     /// Whether a persistent tier is attached.
     pub fn is_persistent(&self) -> bool {
         self.disk.is_some()
+    }
+
+    /// Cap the `run_batch` worker pool at `n` threads (`n = 1` forces
+    /// sequential execution). Overrides [`set_default_jobs`].
+    pub fn set_jobs(&mut self, n: usize) {
+        self.jobs = Some(n.max(1));
     }
 
     /// Dump every run's telemetry timeline into `dir` (created if needed)
@@ -309,9 +335,12 @@ impl RunCache {
             misses.push((key, job.clone()));
         }
 
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        let workers = self
+            .jobs
+            .or_else(default_jobs)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            })
             .min(misses.len().max(1));
 
         if workers <= 1 || misses.len() <= 1 {
@@ -434,6 +463,25 @@ mod tests {
         assert_eq!(c.deduped, 2);
         assert_eq!(rs[0].cpu_instr, rs[1].cpu_instr);
         assert_eq!(rs[0].cpu_instr, rs[2].cpu_instr);
+    }
+
+    #[test]
+    fn jobs_one_forces_sequential_batches() {
+        let mut c = RunCache::new();
+        c.set_jobs(1);
+        let jobs = vec![tiny_job(PolicyKind::NoPart), tiny_job(PolicyKind::WayPart)];
+        let rs = c.run_batch(&jobs);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(c.executed, 2);
+        assert_eq!(rs[0].policy, "Baseline");
+        assert_eq!(rs[1].policy, "WayPart");
+    }
+
+    #[test]
+    fn set_jobs_clamps_zero_to_one() {
+        let mut c = RunCache::new();
+        c.set_jobs(0);
+        assert_eq!(c.jobs, Some(1));
     }
 
     #[test]

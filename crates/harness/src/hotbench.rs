@@ -1,0 +1,399 @@
+//! `h2 bench` — the hot-path performance gate.
+//!
+//! Times the fully-observed simulator configuration (telemetry on, request
+//! tracing at the default 1/64 sample) end to end and writes the result as
+//! `BENCH_hotpath.json` at the repo root. This is the configuration the
+//! zero-allocation work targets: interned metric handles, the transaction
+//! and span slabs, pooled trace buffers, and calendar-queue idle
+//! fast-forward all sit on this path.
+//!
+//! ```text
+//! h2 bench                      # measure, write BENCH_hotpath.json
+//! h2 bench --gate               # also compare against the committed
+//!                               # baseline; exit 1 on a >10% regression
+//! h2 bench --baseline           # re-baseline: overwrite the committed file
+//! h2 bench --iters 40           # more samples (default 20)
+//! ```
+//!
+//! The committed baseline lives at `tests/bench/hotpath_baseline.json`
+//! (relative to the repo root). `--gate` skips cleanly when it is missing,
+//! so fresh clones and machines without a recorded baseline never fail.
+//!
+//! Allocation accounting needs the counting global allocator, which is
+//! compiled in only with `--features alloc-count` (off by default so
+//! ordinary builds pay nothing; its overhead on a zero-allocation hot
+//! path is one relaxed atomic per — rare — allocation, so CI builds the
+//! gate with it on). Without the feature, `allocs_per_event` is reported
+//! as `null` and not gated.
+
+use crate::alloc_count;
+use h2_sim_core::Json;
+use h2_system::{run_sim, PolicyKind, SystemConfig};
+use h2_trace::Mix;
+use std::path::PathBuf;
+
+/// Machine-readable results file, written at the repo root.
+pub const RESULTS_FILE: &str = "BENCH_hotpath.json";
+
+/// Committed baseline path, relative to the repo root.
+pub const BASELINE_FILE: &str = "tests/bench/hotpath_baseline.json";
+
+/// A regression worse than this fraction of the baseline fails `--gate`.
+pub const GATE_TOLERANCE: f64 = 0.10;
+
+/// Parsed `h2 bench` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchArgs {
+    /// Compare against the committed baseline, exit non-zero on regression.
+    pub gate: bool,
+    /// Overwrite the committed baseline with this run's numbers.
+    pub baseline: bool,
+    /// Timed iterations (p50/p99 resolution improves with more).
+    pub iters: u64,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs { gate: false, baseline: false, iters: 20 }
+    }
+}
+
+impl BenchArgs {
+    /// Parse the arguments after `h2 bench`. Errors are complete messages
+    /// ready for stderr.
+    pub fn parse(args: &[String]) -> Result<BenchArgs, String> {
+        let mut out = BenchArgs::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--gate" => out.gate = true,
+                "--baseline" => out.baseline = true,
+                "--iters" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| "--iters needs an argument".to_string())?;
+                    out.iters = v
+                        .parse()
+                        .map_err(|_| format!("--iters needs an unsigned integer, got '{v}'"))?;
+                    if out.iters == 0 {
+                        return Err("--iters must be > 0 (zero samples measure nothing)".into());
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "unknown argument '{other}' (usage: h2 bench [--gate] [--baseline] [--iters N])"
+                    ))
+                }
+            }
+        }
+        if out.gate && out.baseline {
+            return Err(
+                "--gate and --baseline are mutually exclusive (a gate compares, a baseline overwrites)"
+                    .into(),
+            );
+        }
+        Ok(out)
+    }
+}
+
+/// The benchmark configuration: the tiny system, fully observed. Matches
+/// the `full_system_tiny_c1_150k_traced` microbench, the workload the
+/// ≥1.5x hot-path acceptance bar is stated against.
+fn bench_cfg(measure_cycles: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::tiny();
+    cfg.warmup_cycles = 50_000;
+    cfg.measure_cycles = measure_cycles;
+    cfg.telemetry = true;
+    cfg.trace_sample = Some(64);
+    cfg
+}
+
+/// One timed measurement of the traced full-system run.
+struct Measured {
+    ns: Vec<u64>,
+    events_per_iter: u64,
+}
+
+fn measure(iters: u64) -> Measured {
+    let cfg = bench_cfg(100_000);
+    let mix = Mix::by_name("C1").unwrap();
+    // Warm the page cache, branch predictors, and the lazy workload tables.
+    let warm = run_sim(&cfg, &mix, PolicyKind::HydrogenFull);
+    let events_per_iter = warm.events_processed;
+    let mut ns = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t = std::time::Instant::now();
+        let r = run_sim(&cfg, &mix, PolicyKind::HydrogenFull);
+        let dt = t.elapsed().as_nanos() as u64;
+        assert_eq!(
+            r.events_processed, events_per_iter,
+            "the benchmark run is deterministic"
+        );
+        ns.push(dt);
+    }
+    ns.sort_unstable();
+    Measured { ns, events_per_iter }
+}
+
+/// Steady-state allocations per event, measured differentially: two runs
+/// that differ only in measure-window length, so constructor and warm-up
+/// allocations cancel and only the per-event steady state remains.
+/// `None` when the counting allocator is not compiled in.
+fn allocs_per_event() -> Option<f64> {
+    if !alloc_count::enabled() {
+        return None;
+    }
+    let mix = Mix::by_name("C1").unwrap();
+    let short = bench_cfg(100_000);
+    let long = bench_cfg(300_000);
+    let a0 = alloc_count::allocs();
+    let r_short = run_sim(&short, &mix, PolicyKind::HydrogenFull);
+    let a1 = alloc_count::allocs();
+    let r_long = run_sim(&long, &mix, PolicyKind::HydrogenFull);
+    let a2 = alloc_count::allocs();
+    let d_allocs = (a2 - a1).saturating_sub(a1 - a0);
+    let d_events = r_long.events_processed.saturating_sub(r_short.events_processed);
+    Some(d_allocs as f64 / d_events.max(1) as f64)
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx]
+}
+
+fn results_json(m: &Measured, allocs: Option<f64>) -> Json {
+    let best = m.ns[0];
+    let p50 = percentile(&m.ns, 0.50);
+    let p99 = percentile(&m.ns, 0.99);
+    let events_per_sec = m.events_per_iter as f64 * 1e9 / best.max(1) as f64;
+    let allocs_field = match allocs {
+        Some(a) => Json::F64(a),
+        None => Json::Null,
+    };
+    Json::obj()
+        .field("schema", 1u64)
+        .field("bench", "full_system_tiny_c1_150k_traced")
+        .field("iters", m.ns.len() as u64)
+        .field("events_per_iter", m.events_per_iter)
+        .field("ns_best", best)
+        .field("ns_p50", p50)
+        .field("ns_p99", p99)
+        .field("events_per_sec", events_per_sec)
+        .field("allocs_per_event", allocs_field)
+}
+
+/// The nearest ancestor directory holding `.git` (the repo root); falls
+/// back to the CWD so runs outside a checkout still land somewhere.
+fn repo_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut at = cwd.as_path();
+    loop {
+        if at.join(".git").is_dir() {
+            return at.to_path_buf();
+        }
+        match at.parent() {
+            Some(p) => at = p,
+            None => return cwd,
+        }
+    }
+}
+
+fn f64_of(j: &Json) -> Option<f64> {
+    match j {
+        Json::F64(v) => Some(*v),
+        Json::U64(v) => Some(*v as f64),
+        Json::I64(v) => Some(*v as f64),
+        _ => None,
+    }
+}
+
+/// Gate verdict against a baseline document. `Ok(message)` passes,
+/// `Err(message)` is a regression.
+pub fn gate_verdict(current: &Json, baseline: &Json) -> Result<String, String> {
+    let cur = current
+        .get("events_per_sec")
+        .and_then(f64_of)
+        .ok_or("current results lack events_per_sec")?;
+    let base = baseline
+        .get("events_per_sec")
+        .and_then(f64_of)
+        .ok_or("baseline lacks events_per_sec")?;
+    let ratio = cur / base.max(1e-9);
+    let line = format!(
+        "{:.2} Mev/s vs baseline {:.2} Mev/s ({:+.1}%)",
+        cur / 1e6,
+        base / 1e6,
+        (ratio - 1.0) * 100.0
+    );
+    if ratio < 1.0 - GATE_TOLERANCE {
+        Err(format!(
+            "hot-path regression: {line}, worse than the {:.0}% tolerance",
+            GATE_TOLERANCE * 100.0
+        ))
+    } else {
+        Ok(line)
+    }
+}
+
+/// Run `h2 bench` end to end; returns the process exit code.
+pub fn cmd_bench(args: &[String]) -> i32 {
+    let parsed = match BenchArgs::parse(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+
+    eprintln!(
+        "[h2 bench] timing the traced full-system run ({} iters, telemetry on, trace 1/64)...",
+        parsed.iters
+    );
+    let m = measure(parsed.iters);
+    let allocs = allocs_per_event();
+    let doc = results_json(&m, allocs);
+    println!(
+        "full_system_tiny_c1_150k_traced  best {} ns/iter  p50 {} ns  p99 {} ns  ({:.2} Mev/s)",
+        m.ns[0],
+        percentile(&m.ns, 0.50),
+        percentile(&m.ns, 0.99),
+        m.events_per_iter as f64 * 1e3 / m.ns[0].max(1) as f64
+    );
+    match allocs {
+        Some(a) => println!("steady-state allocations: {a:.4} per event"),
+        None => println!("steady-state allocations: not measured (build with --features alloc-count)"),
+    }
+
+    let root = repo_root();
+    let out = root.join(RESULTS_FILE);
+    if let Err(e) = std::fs::write(&out, doc.to_string_pretty()) {
+        eprintln!("[h2 bench] cannot write {}: {e}", out.display());
+        return 2;
+    }
+    println!("results: {}", out.display());
+
+    let baseline_path = root.join(BASELINE_FILE);
+    if parsed.baseline {
+        if let Some(dir) = baseline_path.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("[h2 bench] cannot create {}: {e}", dir.display());
+                return 2;
+            }
+        }
+        return match std::fs::write(&baseline_path, doc.to_string_pretty()) {
+            Ok(()) => {
+                println!("baseline: {}", baseline_path.display());
+                0
+            }
+            Err(e) => {
+                eprintln!("[h2 bench] cannot write {}: {e}", baseline_path.display());
+                2
+            }
+        };
+    }
+
+    if parsed.gate {
+        let text = match std::fs::read_to_string(&baseline_path) {
+            Ok(t) => t,
+            Err(_) => {
+                eprintln!(
+                    "[h2 bench] no baseline at {} — gate skipped (run `h2 bench --baseline` to record one)",
+                    baseline_path.display()
+                );
+                return 0;
+            }
+        };
+        let base = match Json::parse(&text) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("[h2 bench] unreadable baseline {}: {e}", baseline_path.display());
+                return 2;
+            }
+        };
+        return match gate_verdict(&doc, &base) {
+            Ok(line) => {
+                println!("gate OK: {line}");
+                0
+            }
+            Err(msg) => {
+                eprintln!("[h2 bench] {msg}");
+                1
+            }
+        };
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<BenchArgs, String> {
+        BenchArgs::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults_and_flags() {
+        assert_eq!(parse(&[]).unwrap(), BenchArgs::default());
+        let a = parse(&["--gate", "--iters", "40"]).unwrap();
+        assert!(a.gate);
+        assert_eq!(a.iters, 40);
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        assert_eq!(
+            parse(&["--iters", "0"]).unwrap_err(),
+            "--iters must be > 0 (zero samples measure nothing)"
+        );
+        assert_eq!(
+            parse(&["--iters", "lots"]).unwrap_err(),
+            "--iters needs an unsigned integer, got 'lots'"
+        );
+        assert_eq!(parse(&["--iters"]).unwrap_err(), "--iters needs an argument");
+        assert!(parse(&["--fast"]).unwrap_err().starts_with("unknown argument '--fast'"));
+        assert_eq!(
+            parse(&["--gate", "--baseline"]).unwrap_err(),
+            "--gate and --baseline are mutually exclusive (a gate compares, a baseline overwrites)"
+        );
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond() {
+        let base = Json::obj().field("events_per_sec", 100e6);
+        let ok = Json::obj().field("events_per_sec", 95e6);
+        let bad = Json::obj().field("events_per_sec", 80e6);
+        let faster = Json::obj().field("events_per_sec", 150e6);
+        assert!(gate_verdict(&ok, &base).is_ok());
+        assert!(gate_verdict(&faster, &base).is_ok());
+        let msg = gate_verdict(&bad, &base).unwrap_err();
+        assert!(msg.contains("hot-path regression"), "{msg}");
+    }
+
+    #[test]
+    fn gate_rejects_malformed_documents() {
+        let base = Json::obj().field("events_per_sec", 100e6);
+        assert!(gate_verdict(&Json::obj(), &base).is_err());
+        assert!(gate_verdict(&base, &Json::obj()).is_err());
+    }
+
+    #[test]
+    fn percentiles_pick_sorted_ranks() {
+        let ns = vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(percentile(&ns, 0.0), 10);
+        assert_eq!(percentile(&ns, 0.5), 60);
+        assert_eq!(percentile(&ns, 0.99), 100);
+        assert_eq!(percentile(&ns, 1.0), 100);
+    }
+
+    #[test]
+    fn results_json_shape() {
+        let m = Measured { ns: vec![100, 200, 300], events_per_iter: 1000 };
+        let j = results_json(&m, Some(0.25));
+        let s = j.to_string_compact();
+        assert!(s.contains(r#""ns_best":100"#), "{s}");
+        assert!(s.contains(r#""allocs_per_event":0.25"#), "{s}");
+        let j = results_json(&m, None);
+        assert!(j.to_string_compact().contains(r#""allocs_per_event":null"#));
+    }
+}

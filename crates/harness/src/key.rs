@@ -8,13 +8,15 @@
 //! giving a fixed-width `u128` key that is cheap to compare, to use as a
 //! `HashMap` key, and to name on-disk cache entries with.
 //!
-//! Three deliberate omissions: [`SystemConfig::engine`] (the two event
+//! Deliberate omissions: [`SystemConfig::engine`] (the two event
 //! engines are proved bit-identical by the differential tests, so flipping
 //! the engine must *hit* the cache, not re-simulate),
-//! [`SystemConfig::telemetry`], and [`SystemConfig::trace_sample`] (both
+//! [`SystemConfig::telemetry`], [`SystemConfig::trace_sample`] (both
 //! are pure observations that never perturb timing — runs differing only
 //! in them are the same run; a traced replay of an untraced cache entry is
-//! handled by the cache's upgrade-on-miss rule, not by the key).
+//! handled by the cache's upgrade-on-miss rule, not by the key), and
+//! [`SystemConfig::string_metrics`] (the string and interned telemetry
+//! paths are byte-identical by construction and by the equivalence suite).
 
 use h2_system::{Participants, PolicyKind, SystemConfig};
 use h2_trace::Mix;
@@ -140,8 +142,8 @@ fn encode_config(e: &mut KeyEncoder, c: &SystemConfig) {
     e.u64(c.warmup_cycles);
     e.u64(c.measure_cycles);
     e.u64(c.seed);
-    // `c.engine`, `c.telemetry` and `c.trace_sample` intentionally
-    // excluded — see module docs.
+    // `c.engine`, `c.telemetry`, `c.trace_sample` and `c.string_metrics`
+    // intentionally excluded — see module docs.
 }
 
 /// The canonical key of one (config, mix, policy, participants) job.
@@ -223,6 +225,15 @@ mod tests {
         let mut c = SystemConfig::tiny();
         let k0 = job_key(&c, &mix, PolicyKind::NoPart, Participants::Both);
         c.trace_sample = Some(64);
+        assert_eq!(job_key(&c, &mix, PolicyKind::NoPart, Participants::Both), k0);
+    }
+
+    #[test]
+    fn string_metrics_flag_does_not_change_the_key() {
+        let mix = Mix::by_name("C1").unwrap();
+        let mut c = SystemConfig::tiny();
+        let k0 = job_key(&c, &mix, PolicyKind::NoPart, Participants::Both);
+        c.string_metrics = true;
         assert_eq!(job_key(&c, &mix, PolicyKind::NoPart, Participants::Both), k0);
     }
 

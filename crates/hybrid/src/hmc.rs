@@ -20,7 +20,7 @@ use h2_cache::remap::{RemapCache, RemapLookup};
 use h2_mem::MemCmd;
 use h2_sim_core::trace_span::{BlameClass, SpanId, TraceTag};
 use h2_sim_core::units::Cycles;
-use h2_sim_core::SeededRng;
+use h2_sim_core::{CounterId, GaugeId, MetricsRegistry, SeededRng};
 
 /// Token value for fire-and-forget commands not tied to a transaction
 /// (metadata write-backs).
@@ -153,6 +153,45 @@ impl HmcStats {
     }
 }
 
+/// Interned handles for one requester class's counters (see
+/// [`Hmc::intern_metrics`]).
+#[derive(Debug, Clone, Copy)]
+struct ClassMetricHandles {
+    accesses: CounterId,
+    fast_hits: CounterId,
+    fast_misses: CounterId,
+    migrations: CounterId,
+    bypasses: CounterId,
+    migrations_denied: CounterId,
+    buffer_denied: CounterId,
+}
+
+/// Dense metric handles covering the static (non-policy) portion of
+/// [`Hmc::collect_metrics`]. Produced once at system build by
+/// [`Hmc::intern_metrics`]; [`Hmc::record_metrics`] then stores every value
+/// with indexed writes — no hashing, no string formatting.
+#[derive(Debug, Clone)]
+pub struct HmcMetricHandles {
+    classes: [ClassMetricHandles; 2],
+    victim_writebacks: CounterId,
+    swaps: CounterId,
+    lazy_fixups: CounterId,
+    txns_started: CounterId,
+    txns_retired: CounterId,
+    inflight: GaugeId,
+    bg_txns: GaugeId,
+    rc_hits: CounterId,
+    rc_misses: CounterId,
+    rc_writebacks: CounterId,
+    meta_reads: CounterId,
+    meta_writebacks: CounterId,
+    occ_cpu: GaugeId,
+    occ_gpu: GaugeId,
+    pol_bw: GaugeId,
+    pol_cap: GaugeId,
+    pol_tok: GaugeId,
+}
+
 /// The hybrid memory controller.
 pub struct Hmc {
     cfg: HybridConfig,
@@ -161,6 +200,11 @@ pub struct Hmc {
     policy: Box<dyn PartitionPolicy>,
     rng: SeededRng,
     txns: Vec<Option<Txn>>,
+    /// Per-slot generation, bumped on retire. Command tokens embed the
+    /// generation (see [`Self::token`]) so a token that outlives its
+    /// transaction is detected instead of silently addressing whatever
+    /// reused the slot.
+    gens: Vec<u32>,
     free: Vec<u32>,
     /// Transactions currently holding a migration buffer (backpressure).
     bg_txns: usize,
@@ -184,6 +228,7 @@ impl Hmc {
             policy,
             rng: SeededRng::derive(seed, "hmc"),
             txns: Vec::with_capacity(256),
+            gens: Vec::with_capacity(256),
             free: Vec::new(),
             bg_txns: 0,
             stats: HmcStats::default(),
@@ -245,13 +290,24 @@ impl Hmc {
             i
         } else {
             self.txns.push(Some(txn));
+            self.gens.push(0);
             (self.txns.len() - 1) as u32
         }
     }
 
+    /// Low 30 bits of a slot's generation, as embedded in tokens. 30 bits
+    /// keeps the token layout `gen:30 | idx:32 | step:2` inside a `u64`;
+    /// a slot would need a billion reuses for a stale token to alias.
     #[inline]
-    fn token(idx: u32, step: u64) -> u64 {
-        ((idx as u64) << 2) | step
+    fn gen_bits(&self, idx: u32) -> u64 {
+        (self.gens[idx as usize] & 0x3FFF_FFFF) as u64
+    }
+
+    /// Command token for step `step` of the transaction in slot `idx`,
+    /// stamped with the slot's current generation.
+    #[inline]
+    fn token(&self, idx: u32, step: u64) -> u64 {
+        (self.gen_bits(idx) << 34) | ((idx as u64) << 2) | step
     }
 
     /// Device byte address of the remap-table line for `set` (the table
@@ -317,13 +373,17 @@ impl Hmc {
 
         // Metadata probe: remap cache first. Entries are marked dirty
         // because LRU/fill updates must eventually persist to the table.
-        let mut probes = vec![set / META_SETS_PER_LINE];
+        let mut probes = [set / META_SETS_PER_LINE, 0];
+        let mut nprobes = 1;
         if self.cfg.chaining {
-            probes.push(self.cfg.chain_set(set) / META_SETS_PER_LINE);
+            let chained = self.cfg.chain_set(set) / META_SETS_PER_LINE;
+            if chained != probes[0] {
+                probes[1] = chained;
+                nprobes = 2;
+            }
         }
-        probes.dedup();
         let mut worst_miss = false;
-        for s in probes {
+        for s in probes.into_iter().take(nprobes) {
             match self.rcache.lookup(s, true) {
                 RemapLookup::Hit => {}
                 RemapLookup::Miss { dirty_victim } => {
@@ -373,7 +433,7 @@ impl Hmc {
         }
         out.push(HmcOutput::After {
             delay: self.rcache.latency() + self.cfg.extra_tag_latency + spec_penalty,
-            token: Self::token(idx, STEP_META),
+            token: self.token(idx, STEP_META),
         });
     }
 
@@ -383,8 +443,12 @@ impl Hmc {
         if token == ORPHAN_TOKEN {
             return None;
         }
-        let idx = (token >> 2) as usize;
+        let idx = ((token >> 2) & 0xFFFF_FFFF) as usize;
+        let gen = token >> 34;
         let step = token & 3;
+        if self.gens.get(idx).map(|g| (g & 0x3FFF_FFFF) as u64) != Some(gen) {
+            return None; // stale token: the slot was retired and reused
+        }
         self.txns.get(idx)?.as_ref().map(|t| (t, step))
     }
 
@@ -431,8 +495,15 @@ impl Hmc {
         if token == ORPHAN_TOKEN {
             return;
         }
-        let idx = (token >> 2) as u32;
+        let idx = ((token >> 2) & 0xFFFF_FFFF) as u32;
         let step = token & 3;
+        if self.gen_bits(idx) != token >> 34 {
+            // Generation mismatch: the token's transaction already retired.
+            // Healthy pipelines never produce this (every outstanding command
+            // holds its transaction open), so flag it loudly in debug builds.
+            debug_assert!(false, "stale transaction token {token:#x}");
+            return;
+        }
         match step {
             STEP_META => self.proceed_meta(idx, out),
             STEP_DEMAND => self.demand_done(idx, out),
@@ -479,7 +550,7 @@ impl Hmc {
                 bytes: 64,
                 is_write: txn.is_write,
                 priority: demand_priority(self.policy.priority(txn.class)),
-                token: Self::token(idx, STEP_DEMAND),
+                token: self.token(idx, STEP_DEMAND),
             },
         });
         if let Some(t) = self.txns[idx as usize].as_mut() {
@@ -635,7 +706,7 @@ impl Hmc {
                 bytes: 64,
                 is_write: txn.is_write && !migrate,
                 priority: demand_priority(self.policy.priority(txn.class)),
-                token: Self::token(idx, STEP_DEMAND),
+                token: self.token(idx, STEP_DEMAND),
             },
         });
         if let Some(t) = self.txns[idx as usize].as_mut() {
@@ -729,7 +800,7 @@ impl Hmc {
                 bytes,
                 is_write,
                 priority: 0,
-                token: Self::token(idx, STEP_BG),
+                token: self.token(idx, STEP_BG),
             },
         });
     }
@@ -767,6 +838,8 @@ impl Hmc {
             debug_assert!(self.bg_txns > 0);
             self.bg_txns -= 1;
         }
+        // Invalidate any token still naming this slot before it is reused.
+        self.gens[idx as usize] = self.gens[idx as usize].wrapping_add(1);
         self.free.push(idx);
         self.txns_retired += 1;
         out.push(HmcOutput::Retired { req_id: t.req_id });
@@ -882,6 +955,91 @@ impl Hmc {
         // 20-digit float.
         pol.set_gauge("tok", if p.tok == usize::MAX { -1.0 } else { p.tok as f64 });
         self.policy.collect_metrics(&mut pol);
+    }
+
+    /// Intern the static names emitted by [`Self::collect_metrics`] — same
+    /// names, same order — under `prefix`, returning dense handles for
+    /// [`Self::record_metrics`]. The policy's own metrics (emitted under
+    /// `{prefix}.policy` *after* the `bw`/`cap`/`tok` gauges) are not
+    /// covered: collect those with [`Self::collect_policy_metrics`]
+    /// immediately after interning so their names land in fresh-collection
+    /// order too.
+    pub fn intern_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) -> HmcMetricHandles {
+        let classes = ["cpu", "gpu"].map(|cls| {
+            let p = format!("{prefix}.{cls}");
+            ClassMetricHandles {
+                accesses: reg.intern_counter(&format!("{p}.accesses")),
+                fast_hits: reg.intern_counter(&format!("{p}.fast_hits")),
+                fast_misses: reg.intern_counter(&format!("{p}.fast_misses")),
+                migrations: reg.intern_counter(&format!("{p}.migrations")),
+                bypasses: reg.intern_counter(&format!("{p}.bypasses")),
+                migrations_denied: reg.intern_counter(&format!("{p}.migrations_denied")),
+                buffer_denied: reg.intern_counter(&format!("{p}.buffer_denied")),
+            }
+        });
+        HmcMetricHandles {
+            classes,
+            victim_writebacks: reg.intern_counter(&format!("{prefix}.victim_writebacks")),
+            swaps: reg.intern_counter(&format!("{prefix}.swaps")),
+            lazy_fixups: reg.intern_counter(&format!("{prefix}.lazy_fixups")),
+            txns_started: reg.intern_counter(&format!("{prefix}.txns_started")),
+            txns_retired: reg.intern_counter(&format!("{prefix}.txns_retired")),
+            inflight: reg.intern_gauge(&format!("{prefix}.inflight")),
+            bg_txns: reg.intern_gauge(&format!("{prefix}.bg_txns")),
+            rc_hits: reg.intern_counter(&format!("{prefix}.remap_cache.hits")),
+            rc_misses: reg.intern_counter(&format!("{prefix}.remap_cache.misses")),
+            rc_writebacks: reg.intern_counter(&format!("{prefix}.remap_cache.writebacks")),
+            meta_reads: reg.intern_counter(&format!("{prefix}.meta_reads")),
+            meta_writebacks: reg.intern_counter(&format!("{prefix}.meta_writebacks")),
+            occ_cpu: reg.intern_gauge(&format!("{prefix}.occ_ways.cpu")),
+            occ_gpu: reg.intern_gauge(&format!("{prefix}.occ_ways.gpu")),
+            pol_bw: reg.intern_gauge(&format!("{prefix}.policy.bw")),
+            pol_cap: reg.intern_gauge(&format!("{prefix}.policy.cap")),
+            pol_tok: reg.intern_gauge(&format!("{prefix}.policy.tok")),
+        }
+    }
+
+    /// Store the current cumulative controller statistics through handles
+    /// interned by [`Self::intern_metrics`]. Value-identical to the static
+    /// portion of a fresh [`Self::collect_metrics`] pass.
+    pub fn record_metrics(&self, reg: &mut MetricsRegistry, h: &HmcMetricHandles) {
+        let s = &self.stats;
+        for (i, c) in h.classes.iter().enumerate() {
+            reg.set_counter(c.accesses, s.accesses[i]);
+            reg.set_counter(c.fast_hits, s.fast_hits[i]);
+            reg.set_counter(c.fast_misses, s.fast_misses[i]);
+            reg.set_counter(c.migrations, s.migrations[i]);
+            reg.set_counter(c.bypasses, s.bypasses[i]);
+            reg.set_counter(c.migrations_denied, s.migrations_denied[i]);
+            reg.set_counter(c.buffer_denied, s.buffer_denied[i]);
+        }
+        reg.set_counter(h.victim_writebacks, s.victim_writebacks);
+        reg.set_counter(h.swaps, s.swaps);
+        reg.set_counter(h.lazy_fixups, s.lazy_fixups);
+        reg.set_counter(h.txns_started, self.txns_started);
+        reg.set_counter(h.txns_retired, self.txns_retired);
+        reg.set_gauge_id(h.inflight, self.inflight() as f64);
+        reg.set_gauge_id(h.bg_txns, self.bg_txns as f64);
+        let (rh, rm, rw) = self.rcache.counts();
+        reg.set_counter(h.rc_hits, rh);
+        reg.set_counter(h.rc_misses, rm);
+        reg.set_counter(h.rc_writebacks, rw);
+        reg.set_counter(h.meta_reads, s.meta_reads);
+        reg.set_counter(h.meta_writebacks, s.meta_writebacks);
+        let (occ_cpu, occ_gpu) = self.table.occupancy_by_class();
+        reg.set_gauge_id(h.occ_cpu, occ_cpu as f64);
+        reg.set_gauge_id(h.occ_gpu, occ_gpu as f64);
+        let p = self.policy.params();
+        reg.set_gauge_id(h.pol_bw, p.bw as f64);
+        reg.set_gauge_id(h.pol_cap, p.cap as f64);
+        reg.set_gauge_id(h.pol_tok, if p.tok == usize::MAX { -1.0 } else { p.tok as f64 });
+    }
+
+    /// Forward the policy's own metrics into `m` (callers scope under
+    /// `{prefix}.policy` and typically use a set-mode scope so cumulative
+    /// values overwrite instead of accumulate).
+    pub fn collect_policy_metrics(&self, m: &mut h2_sim_core::ScopedMetrics<'_>) {
+        self.policy.collect_metrics(m);
     }
 }
 

@@ -21,6 +21,7 @@ use h2_sim_core::trace_span::{
     coalesce, split_queue_wait, BlameCause, BlameClass, CmdTrace, SpanInterval, TraceTag,
 };
 use h2_sim_core::units::Cycles;
+use h2_sim_core::{CounterId, GaugeId, MetricsRegistry};
 
 /// Waiting time after which a queued command is escalated past all
 /// priorities (starvation guard for priority schedulers).
@@ -171,6 +172,30 @@ pub struct MemStats {
     pub max_queue: u64,
 }
 
+/// Dense metric handles for one channel, interned once at system build
+/// (see [`MemDevice::intern_metrics`]).
+#[derive(Debug, Clone, Copy)]
+struct ChannelMetricHandles {
+    reads: CounterId,
+    writes: CounterId,
+    bytes: CounterId,
+    activations: CounterId,
+    row_hits: CounterId,
+    row_conflicts: CounterId,
+    busy_cycles: CounterId,
+    enqueued: CounterId,
+    queue_peak: GaugeId,
+    queue_avg: GaugeId,
+}
+
+/// Interned metric handles for a whole device: one
+/// [`ChannelMetricHandles`] per channel, in channel order. Produced by
+/// [`MemDevice::intern_metrics`], consumed by [`MemDevice::record_metrics`].
+#[derive(Debug, Clone)]
+pub struct MemMetricHandles {
+    channels: Vec<ChannelMetricHandles>,
+}
+
 /// A multi-channel DRAM device.
 #[derive(Debug)]
 pub struct MemDevice {
@@ -185,6 +210,11 @@ pub struct MemDevice {
     /// default; when off, no tracing state is touched and timing is
     /// byte-identical to a device that never heard of tracing.
     tracing: bool,
+    /// Recycled interval buffers for traced-command blame decompositions:
+    /// [`Self::start`] pops one per traced command instead of allocating,
+    /// and [`Self::reclaim_traces`] returns drained buffers here. Steady
+    /// state allocates nothing.
+    iv_pool: Vec<Vec<SpanInterval>>,
 }
 
 impl MemDevice {
@@ -203,6 +233,7 @@ impl MemDevice {
             seq: 0,
             demand_first,
             tracing: false,
+            iv_pool: Vec::new(),
         }
     }
 
@@ -329,6 +360,29 @@ impl MemDevice {
         std::mem::take(&mut self.channels[ch].records)
     }
 
+    /// Allocation-free variant of [`Self::take_cmd_traces`]: swap the
+    /// channel's record buffer with a caller-provided empty one (typically
+    /// the one handed back by the last [`Self::reclaim_traces`]), so the
+    /// channel keeps its capacity. Pair with `reclaim_traces` after the
+    /// records are absorbed.
+    pub fn take_traces_into(&mut self, ch: usize, mut swap: Vec<CmdTrace>) -> Vec<CmdTrace> {
+        debug_assert!(swap.is_empty(), "swap-in buffer must be empty");
+        std::mem::swap(&mut self.channels[ch].records, &mut swap);
+        swap
+    }
+
+    /// Return drained trace records: their interval buffers go back to the
+    /// pool for reuse by later traced commands, and the emptied outer
+    /// vector is handed back for the next [`Self::take_traces_into`].
+    pub fn reclaim_traces(&mut self, mut recs: Vec<CmdTrace>) -> Vec<CmdTrace> {
+        for rec in recs.drain(..) {
+            let mut iv = rec.intervals;
+            iv.clear();
+            self.iv_pool.push(iv);
+        }
+        recs
+    }
+
     /// FR-FCFS-lite: pick the queued command with the highest priority,
     /// then preferring open-row hits, then the oldest. Commands that have
     /// waited longer than [`AGE_CAP`] are escalated to the top priority so
@@ -395,7 +449,8 @@ impl MemDevice {
 
         if self.tracing {
             if let Some(info) = p.trace {
-                let mut iv: Vec<SpanInterval> = Vec::with_capacity(6);
+                let mut iv: Vec<SpanInterval> =
+                    self.iv_pool.pop().unwrap_or_else(|| Vec::with_capacity(6));
                 if now > p.arrival_time {
                     if info.tag.token_stalled {
                         iv.push(SpanInterval {
@@ -522,6 +577,59 @@ impl MemDevice {
                     bk.inc("row_conflicts", bank.row_conflicts);
                 }
             }
+        }
+    }
+
+    /// Intern this device's per-channel metric names (the `per_bank =
+    /// false` subset of [`Self::collect_metrics`], same names, same order)
+    /// under `prefix`, returning dense handles for
+    /// [`Self::record_metrics`]. Called once at system build; every
+    /// subsequent collection is an indexed store with no hashing or
+    /// formatting.
+    pub fn intern_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) -> MemMetricHandles {
+        MemMetricHandles {
+            channels: (0..self.channels.len())
+                .map(|i| {
+                    let p = format!("{prefix}.ch{i}");
+                    ChannelMetricHandles {
+                        reads: reg.intern_counter(&format!("{p}.reads")),
+                        writes: reg.intern_counter(&format!("{p}.writes")),
+                        bytes: reg.intern_counter(&format!("{p}.bytes")),
+                        activations: reg.intern_counter(&format!("{p}.activations")),
+                        row_hits: reg.intern_counter(&format!("{p}.row_hits")),
+                        row_conflicts: reg.intern_counter(&format!("{p}.row_conflicts")),
+                        busy_cycles: reg.intern_counter(&format!("{p}.busy_cycles")),
+                        enqueued: reg.intern_counter(&format!("{p}.enqueued")),
+                        queue_peak: reg.intern_gauge(&format!("{p}.queue_peak")),
+                        queue_avg: reg.intern_gauge(&format!("{p}.queue_avg")),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Store the current cumulative channel statistics through handles
+    /// interned by [`Self::intern_metrics`]. Value-identical to a fresh
+    /// `collect_metrics(_, false)` pass.
+    pub fn record_metrics(&self, reg: &mut MetricsRegistry, h: &MemMetricHandles) {
+        for (c, hc) in self.channels.iter().zip(h.channels.iter()) {
+            reg.set_counter(hc.reads, c.reads);
+            reg.set_counter(hc.writes, c.writes);
+            reg.set_counter(hc.bytes, c.bytes);
+            reg.set_counter(hc.activations, c.activations);
+            reg.set_counter(hc.row_hits, c.row_hits);
+            reg.set_counter(hc.row_conflicts, c.row_conflicts);
+            reg.set_counter(hc.busy_cycles, c.busy_cycles);
+            reg.set_counter(hc.enqueued, c.queued_total);
+            reg.set_gauge_id(hc.queue_peak, c.max_queue as f64);
+            reg.set_gauge_id(
+                hc.queue_avg,
+                if c.queued_total > 0 {
+                    c.depth_sum as f64 / c.queued_total as f64
+                } else {
+                    0.0
+                },
+            );
         }
     }
 

@@ -156,6 +156,21 @@ impl LogHistogram {
     }
 }
 
+/// Dense handle to a counter interned with
+/// [`MetricsRegistry::intern_counter`]. Valid only for the registry that
+/// issued it (and for same-layout clones of that registry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(u32);
+
+/// Dense handle to a gauge interned with [`MetricsRegistry::intern_gauge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(u32);
+
+/// Dense handle to a histogram interned with
+/// [`MetricsRegistry::intern_hist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistId(u32);
+
 /// Hierarchical registry of named counters (`u64`), gauges (`f64`), and
 /// [`LogHistogram`]s. Names are dot-separated paths (`mem.fast.ch0.reads`);
 /// the [`scoped`](MetricsRegistry::scoped) helper prepends a prefix so
@@ -164,6 +179,14 @@ impl LogHistogram {
 /// Iteration order is insertion order (backed by an index map), so a
 /// registry built by a deterministic collection pass serialises identically
 /// every run.
+///
+/// Besides the name-keyed API there is an *interned* API: resolve a name
+/// once with [`intern_counter`](MetricsRegistry::intern_counter) (and
+/// friends) and then read/write through the dense integer handle with no
+/// hashing or string formatting. Interning a name that already exists
+/// returns its existing position, so a registry populated by a string-keyed
+/// collection pass and one populated through handles interned in the same
+/// order are byte-identical when serialised.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     enabled: bool,
@@ -282,7 +305,39 @@ impl MetricsRegistry {
 
     /// Borrow the registry with every name prefixed by `prefix` + `.`.
     pub fn scoped<'a>(&'a mut self, prefix: &str) -> ScopedMetrics<'a> {
-        ScopedMetrics { reg: self, prefix: prefix.to_string() }
+        ScopedMetrics { reg: self, prefix: prefix.to_string(), set_mode: false }
+    }
+
+    /// Like [`Self::scoped`], but `inc` *sets* the counter and `merge_hist`
+    /// *replaces* the histogram instead of accumulating. Components that
+    /// emit cumulative values through the ordinary add-semantics hook can
+    /// then write directly into a persistent registry without
+    /// double-counting across epochs.
+    pub fn scoped_set<'a>(&'a mut self, prefix: &str) -> ScopedMetrics<'a> {
+        ScopedMetrics { reg: self, prefix: prefix.to_string(), set_mode: true }
+    }
+
+    /// Set counter `name` to an absolute value (name-keyed; creates the
+    /// counter at the tail on first use).
+    pub fn set_counter_named(&mut self, name: &str, v: u64) {
+        if !self.enabled {
+            return;
+        }
+        match self.counter_idx.get(name) {
+            Some(&i) => self.counters[i].1 = v,
+            None => {
+                self.counter_idx.insert(name.to_string(), self.counters.len());
+                self.counters.push((name.to_string(), v));
+            }
+        }
+    }
+
+    /// Replace histogram `name` with a copy of `h` (name-keyed).
+    pub fn set_hist_named(&mut self, name: &str, h: &LogHistogram) {
+        if !self.enabled {
+            return;
+        }
+        self.hist_mut(name).clone_from(h);
     }
 
     /// Per-window view: counters and histograms become `self - prev`
@@ -306,13 +361,145 @@ impl MetricsRegistry {
         }
         out
     }
+
+    // ---- interned-handle API (the allocation-free hot path) ----
+
+    /// Resolve `name` to a dense counter handle, creating the counter (at
+    /// the current tail position, value 0) if it does not exist yet.
+    /// Interning ignores the `enabled` flag: it is a build-time operation,
+    /// and callers only build handle layouts for registries they collect.
+    pub fn intern_counter(&mut self, name: &str) -> CounterId {
+        let i = match self.counter_idx.get(name) {
+            Some(&i) => i,
+            None => {
+                let i = self.counters.len();
+                self.counter_idx.insert(name.to_string(), i);
+                self.counters.push((name.to_string(), 0));
+                i
+            }
+        };
+        CounterId(i as u32)
+    }
+
+    /// Resolve `name` to a dense gauge handle (creating it at 0.0).
+    pub fn intern_gauge(&mut self, name: &str) -> GaugeId {
+        let i = match self.gauge_idx.get(name) {
+            Some(&i) => i,
+            None => {
+                let i = self.gauges.len();
+                self.gauge_idx.insert(name.to_string(), i);
+                self.gauges.push((name.to_string(), 0.0));
+                i
+            }
+        };
+        GaugeId(i as u32)
+    }
+
+    /// Resolve `name` to a dense histogram handle (creating it empty).
+    pub fn intern_hist(&mut self, name: &str) -> HistId {
+        let i = match self.hist_idx.get(name) {
+            Some(&i) => i,
+            None => {
+                let i = self.hists.len();
+                self.hist_idx.insert(name.to_string(), i);
+                self.hists.push((name.to_string(), LogHistogram::new()));
+                i
+            }
+        };
+        HistId(i as u32)
+    }
+
+    /// Set an interned counter to an absolute (cumulative) value.
+    #[inline]
+    pub fn set_counter(&mut self, id: CounterId, v: u64) {
+        self.counters[id.0 as usize].1 = v;
+    }
+
+    /// Add to an interned counter.
+    #[inline]
+    pub fn add_counter(&mut self, id: CounterId, v: u64) {
+        self.counters[id.0 as usize].1 += v;
+    }
+
+    /// Set an interned gauge.
+    #[inline]
+    pub fn set_gauge_id(&mut self, id: GaugeId, v: f64) {
+        self.gauges[id.0 as usize].1 = v;
+    }
+
+    /// Overwrite an interned histogram with a copy of `h` (set semantics:
+    /// the registry slot mirrors the component's cumulative histogram).
+    #[inline]
+    pub fn set_hist(&mut self, id: HistId, h: &LogHistogram) {
+        self.hists[id.0 as usize].1.clone_from(h);
+    }
+
+    /// Index-wise [`Self::delta_from`] for two same-layout registries (a
+    /// persistent cumulative registry and its previous-epoch snapshot):
+    /// no name lookups, positions are trusted to match. The layouts must
+    /// be identical — same names at the same indices — which holds by
+    /// construction when `prev` started as a clone of `self` and every
+    /// later interning touched both.
+    pub fn delta_from_indexed(&self, prev: &MetricsRegistry) -> MetricsRegistry {
+        debug_assert_eq!(self.counters.len(), prev.counters.len(), "counter layouts diverged");
+        debug_assert_eq!(self.gauges.len(), prev.gauges.len(), "gauge layouts diverged");
+        debug_assert_eq!(self.hists.len(), prev.hists.len(), "histogram layouts diverged");
+        let mut out = MetricsRegistry::new(true);
+        out.counters = self
+            .counters
+            .iter()
+            .zip(prev.counters.iter())
+            .map(|((n, v), (pn, pv))| {
+                debug_assert_eq!(n, pn, "counter layouts diverged");
+                (n.clone(), v.saturating_sub(*pv))
+            })
+            .collect();
+        out.counter_idx = self.counter_idx.clone();
+        out.gauges = self.gauges.clone();
+        out.gauge_idx = self.gauge_idx.clone();
+        out.hists = self
+            .hists
+            .iter()
+            .zip(prev.hists.iter())
+            .map(|((n, h), (pn, ph))| {
+                debug_assert_eq!(n, pn, "histogram layouts diverged");
+                (n.clone(), h.delta_from(ph))
+            })
+            .collect();
+        out.hist_idx = self.hist_idx.clone();
+        out
+    }
+
+    /// Copy every value from a same-layout registry, allocating nothing
+    /// (histograms are fixed arrays). Used to refresh the previous-epoch
+    /// snapshot from the cumulative registry after a frame is cut.
+    pub fn copy_values_from(&mut self, other: &MetricsRegistry) {
+        debug_assert_eq!(self.counters.len(), other.counters.len(), "counter layouts diverged");
+        debug_assert_eq!(self.gauges.len(), other.gauges.len(), "gauge layouts diverged");
+        debug_assert_eq!(self.hists.len(), other.hists.len(), "histogram layouts diverged");
+        for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
+            a.1 = b.1;
+        }
+        for (a, b) in self.gauges.iter_mut().zip(other.gauges.iter()) {
+            a.1 = b.1;
+        }
+        for (a, b) in self.hists.iter_mut().zip(other.hists.iter()) {
+            a.1.clone_from(&b.1);
+        }
+    }
 }
 
 /// A mutable view of a [`MetricsRegistry`] that prepends `prefix.` to every
 /// name, so components can emit relative paths.
+///
+/// In *set mode* ([`MetricsRegistry::scoped_set`]) `inc` assigns instead of
+/// adding and `merge_hist` replaces instead of merging, so the same
+/// cumulative-value emission code can target either a fresh snapshot
+/// registry (add into zero) or a persistent one (overwrite last epoch).
 pub struct ScopedMetrics<'a> {
     reg: &'a mut MetricsRegistry,
     prefix: String,
+    set_mode: bool,
 }
 
 impl ScopedMetrics<'_> {
@@ -324,13 +511,17 @@ impl ScopedMetrics<'_> {
         }
     }
 
-    /// Add `v` to counter `prefix.name`.
+    /// Add `v` to counter `prefix.name` (set mode: assign `v`).
     pub fn inc(&mut self, name: &str, v: u64) {
         if !self.reg.enabled {
             return;
         }
         let full = self.full(name);
-        self.reg.inc(&full, v);
+        if self.set_mode {
+            self.reg.set_counter_named(&full, v);
+        } else {
+            self.reg.inc(&full, v);
+        }
     }
 
     /// Set gauge `prefix.name`.
@@ -351,19 +542,23 @@ impl ScopedMetrics<'_> {
         self.reg.observe(&full, v);
     }
 
-    /// Merge a pre-built histogram into `prefix.name`.
+    /// Merge a pre-built histogram into `prefix.name` (set mode: replace).
     pub fn merge_hist(&mut self, name: &str, h: &LogHistogram) {
         if !self.reg.enabled {
             return;
         }
         let full = self.full(name);
-        self.reg.merge_hist(&full, h);
+        if self.set_mode {
+            self.reg.set_hist_named(&full, h);
+        } else {
+            self.reg.merge_hist(&full, h);
+        }
     }
 
-    /// Narrow the scope another level.
+    /// Narrow the scope another level (inherits set mode).
     pub fn scoped(&mut self, sub: &str) -> ScopedMetrics<'_> {
         let prefix = self.full(sub);
-        ScopedMetrics { reg: self.reg, prefix }
+        ScopedMetrics { reg: self.reg, prefix, set_mode: self.set_mode }
     }
 }
 
@@ -433,6 +628,88 @@ mod tests {
         m.scoped("x").inc("y", 4);
         assert!(m.is_empty());
         assert_eq!(m.counter("a"), 0);
+    }
+
+    #[test]
+    fn interned_handles_alias_named_metrics() {
+        let mut m = MetricsRegistry::new(true);
+        m.inc("a.n", 3);
+        let c = m.intern_counter("a.n");
+        let fresh = m.intern_counter("a.fresh");
+        let g = m.intern_gauge("a.g");
+        let h = m.intern_hist("a.h");
+        m.set_counter(c, 10);
+        m.add_counter(fresh, 2);
+        m.set_gauge_id(g, 1.5);
+        let mut src = LogHistogram::new();
+        src.record(7);
+        m.set_hist(h, &src);
+        assert_eq!(m.counter("a.n"), 10);
+        assert_eq!(m.counter("a.fresh"), 2);
+        assert_eq!(m.gauge("a.g"), Some(1.5));
+        assert_eq!(m.hist("a.h").unwrap().count(), 1);
+        // Re-interning resolves to the same position.
+        assert_eq!(m.intern_counter("a.n"), c);
+        let names: Vec<_> = m.counters().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(names, vec!["a.n", "a.fresh"]);
+    }
+
+    #[test]
+    fn indexed_delta_matches_named_delta() {
+        let mut cum = MetricsRegistry::new(true);
+        let c = cum.intern_counter("x.n");
+        let g = cum.intern_gauge("x.g");
+        let h = cum.intern_hist("x.h");
+        cum.set_counter(c, 4);
+        cum.set_gauge_id(g, 2.0);
+        let mut hist = LogHistogram::new();
+        hist.record(3);
+        cum.set_hist(h, &hist);
+        let mut prev = cum.clone();
+        cum.set_counter(c, 9);
+        cum.set_gauge_id(g, 5.0);
+        hist.record(100);
+        cum.set_hist(h, &hist);
+
+        let by_index = cum.delta_from_indexed(&prev);
+        let by_name = cum.delta_from(&prev);
+        assert_eq!(by_index.counter("x.n"), by_name.counter("x.n"));
+        assert_eq!(by_index.counter("x.n"), 5);
+        assert_eq!(by_index.gauge("x.g"), Some(5.0));
+        assert_eq!(by_index.hist("x.h").unwrap().count(), 1);
+
+        prev.copy_values_from(&cum);
+        let zero = cum.delta_from_indexed(&prev);
+        assert_eq!(zero.counter("x.n"), 0);
+        assert_eq!(zero.hist("x.h").unwrap().count(), 0);
+        // Layout (names + order) survives every operation.
+        let a: Vec<_> = cum.counters().map(|(n, _)| n.to_string()).collect();
+        let b: Vec<_> = zero.counters().map(|(n, _)| n.to_string()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn set_mode_scope_assigns_instead_of_adding() {
+        let mut m = MetricsRegistry::new(true);
+        {
+            let mut s = m.scoped_set("pol");
+            s.inc("reconfigs", 5);
+            let mut t = s.scoped("tokens");
+            t.inc("granted", 10);
+        }
+        {
+            let mut s = m.scoped_set("pol");
+            s.inc("reconfigs", 7);
+            let mut t = s.scoped("tokens");
+            t.inc("granted", 12);
+        }
+        assert_eq!(m.counter("pol.reconfigs"), 7);
+        assert_eq!(m.counter("pol.tokens.granted"), 12);
+        let mut h = LogHistogram::new();
+        h.record(1);
+        m.scoped_set("pol").merge_hist("lat", &h);
+        m.scoped_set("pol").merge_hist("lat", &h);
+        assert_eq!(m.hist("pol.lat").unwrap().count(), 1);
     }
 
     #[test]

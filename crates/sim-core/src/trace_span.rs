@@ -19,7 +19,6 @@
 //! default) the collector is a no-op and producers skip all bookkeeping.
 
 use crate::units::Cycles;
-use std::collections::HashMap;
 
 /// Spans retained per run; beyond this, sampled candidates are counted in
 /// [`SpanCollector::dropped`] instead of being recorded.
@@ -246,7 +245,16 @@ pub fn coalesce(intervals: &mut Vec<SpanInterval>) {
     intervals.truncate(w);
 }
 
-struct OpenSpan {
+/// One slab slot of the collector. A slot cycles through
+/// `reserved → open → free`; `gen` is bumped on every release so stale
+/// [`SpanId`]s (which embed the generation) are detected and ignored.
+struct SpanSlot {
+    gen: u32,
+    /// Dense public identifier, assigned in sampling order (what
+    /// [`Span::id`] reports — slab geometry never leaks into output).
+    public_id: u64,
+    /// `true` between [`SpanCollector::open`] and [`SpanCollector::close`].
+    live: bool,
     class: u8,
     start: Cycles,
     intervals: Vec<SpanInterval>,
@@ -260,11 +268,21 @@ struct OpenSpan {
 /// order. `sample = None` disables tracing entirely; `Some(0)` enables the
 /// machinery but samples nothing (the zero-perturbation guard used by the
 /// golden tests).
+///
+/// Open spans live in a generation-checked slab: a [`SpanId`] is
+/// `(generation << 32) | slot`, so record/absorb/close are array index +
+/// generation compare instead of a `HashMap` probe, and interval buffers
+/// are reused across the spans that pass through a slot.
 pub struct SpanCollector {
     sample: Option<u64>,
     seq: u64,
     next_id: u64,
-    open: HashMap<SpanId, OpenSpan>,
+    slots: Vec<SpanSlot>,
+    free: Vec<u32>,
+    /// Spans currently open (reserved-but-unopened slots excluded),
+    /// mirroring the `open.len()` of the old `HashMap` representation so
+    /// the `MAX_SPANS` drop accounting is unchanged.
+    open_live: usize,
     closed: Vec<Span>,
     dropped: u64,
     /// Cumulative blamed cycles: `[victim class][cause]`.
@@ -278,11 +296,24 @@ impl SpanCollector {
             sample,
             seq: 0,
             next_id: 0,
-            open: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            open_live: 0,
             closed: Vec::new(),
             dropped: 0,
             blame: [[0; 8]; 2],
         }
+    }
+
+    fn decode(id: SpanId) -> (u32, usize) {
+        ((id.0 >> 32) as u32, (id.0 & 0xffff_ffff) as usize)
+    }
+
+    /// The live slot for `id`, or `None` if the id is stale (generation
+    /// mismatch) or was never opened.
+    fn slot_mut(&mut self, id: SpanId) -> Option<&mut SpanSlot> {
+        let (gen, idx) = Self::decode(id);
+        self.slots.get_mut(idx).filter(|s| s.gen == gen && s.live)
     }
 
     /// Whether tracing machinery is active at all.
@@ -309,42 +340,79 @@ impl SpanCollector {
         if !pick {
             return None;
         }
-        if self.open.len() + self.closed.len() >= MAX_SPANS {
+        if self.open_live + self.closed.len() >= MAX_SPANS {
             self.dropped += 1;
             return None;
         }
-        let id = SpanId(self.next_id);
+        let public_id = self.next_id;
         self.next_id += 1;
-        Some(id)
+        let idx = match self.free.pop() {
+            Some(i) => i as usize,
+            None => {
+                self.slots.push(SpanSlot {
+                    gen: 0,
+                    public_id: 0,
+                    live: false,
+                    class: 0,
+                    start: 0,
+                    intervals: Vec::new(),
+                });
+                self.slots.len() - 1
+            }
+        };
+        let slot = &mut self.slots[idx];
+        slot.public_id = public_id;
+        Some(SpanId(((slot.gen as u64) << 32) | idx as u64))
     }
 
     /// Begin a span at its issue time. `class`: 0 = CPU, 1 = GPU.
     pub fn open(&mut self, id: SpanId, class: u8, start: Cycles) {
-        self.open.insert(id, OpenSpan { class, start, intervals: Vec::new() });
+        let (gen, idx) = Self::decode(id);
+        let Some(slot) = self.slots.get_mut(idx) else { return };
+        if slot.gen != gen || slot.live {
+            return;
+        }
+        slot.live = true;
+        slot.class = class;
+        slot.start = start;
+        slot.intervals.clear();
+        self.open_live += 1;
     }
 
     /// Record one blamed interval for an open span (no-op on `start == end`
     /// or unknown spans).
+    #[inline]
     pub fn record(&mut self, id: SpanId, cause: BlameCause, start: Cycles, end: Cycles) {
         if end <= start {
             return;
         }
-        if let Some(s) = self.open.get_mut(&id) {
+        if let Some(s) = self.slot_mut(id) {
             s.intervals.push(SpanInterval { cause, start, end });
         }
     }
 
     /// Absorb a DRAM device decomposition into its owning span.
     pub fn absorb(&mut self, rec: CmdTrace) {
-        if let Some(s) = self.open.get_mut(&rec.span) {
+        if let Some(s) = self.slot_mut(rec.span) {
             s.intervals.extend(rec.intervals);
+        }
+    }
+
+    /// Absorb a borrowed slice of blamed intervals into an open span —
+    /// the pooled-buffer variant of [`Self::absorb`] (the caller keeps and
+    /// recycles its buffer).
+    pub fn absorb_intervals(&mut self, span: SpanId, intervals: &[SpanInterval]) {
+        if let Some(s) = self.slot_mut(span) {
+            s.intervals.extend_from_slice(intervals);
         }
     }
 
     /// Close a span at its completion time: sort and coalesce intervals,
     /// verify the tiling, and fold the decomposition into the blame matrix.
     pub fn close(&mut self, id: SpanId, end: Cycles) {
-        let Some(mut s) = self.open.remove(&id) else { return };
+        let Some(s) = self.slot_mut(id) else { return };
+        // Stable sort: equal (start, end) keys must keep insertion order so
+        // the coalesced decomposition is reproducible across runs.
         s.intervals.sort_by_key(|iv| (iv.start, iv.end));
         coalesce(&mut s.intervals);
         debug_assert!(
@@ -353,17 +421,19 @@ impl SpanCollector {
             s.start,
             s.intervals
         );
-        for iv in &s.intervals {
-            self.blame[s.class.min(1) as usize][iv.cause.as_u8() as usize] +=
-                iv.end - iv.start;
+        let (class, start, public_id) = (s.class, s.start, s.public_id);
+        let intervals = std::mem::take(&mut s.intervals);
+        for iv in &intervals {
+            self.blame[class.min(1) as usize][iv.cause.as_u8() as usize] += iv.end - iv.start;
         }
-        self.closed.push(Span {
-            id: id.0,
-            class: s.class,
-            start: s.start,
-            end,
-            intervals: std::mem::take(&mut s.intervals),
-        });
+        self.closed.push(Span { id: public_id, class, start, end, intervals });
+        // Release the slot for reuse under a fresh generation.
+        let (_, idx) = Self::decode(id);
+        let slot = &mut self.slots[idx];
+        slot.live = false;
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(idx as u32);
+        self.open_live -= 1;
     }
 
     /// Number of completed spans so far.
@@ -503,6 +573,59 @@ mod tests {
         let spans = c.take_spans();
         assert_eq!(spans.len(), 1);
         assert!(tiles_exactly(&spans[0].intervals, spans[0].start, spans[0].end));
+    }
+
+    #[test]
+    fn slab_reuses_slots_and_keeps_public_ids_dense() {
+        let mut c = SpanCollector::new(Some(1));
+        for i in 0..10u64 {
+            let id = c.try_sample().unwrap();
+            c.open(id, 0, i * 100);
+            c.record(id, BlameCause::Service, i * 100, i * 100 + 10);
+            c.close(id, i * 100 + 10);
+        }
+        // Every span passed through the same slot; public ids stay dense.
+        assert_eq!(c.slots.len(), 1);
+        let spans = c.take_spans();
+        assert_eq!(spans.iter().map(|s| s.id).collect::<Vec<_>>(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stale_ids_are_ignored_after_slot_reuse() {
+        let mut c = SpanCollector::new(Some(1));
+        let a = c.try_sample().unwrap();
+        c.open(a, 0, 0);
+        c.record(a, BlameCause::Service, 0, 10);
+        c.close(a, 10);
+        // Slot 0 is reused under a new generation for `b`.
+        let b = c.try_sample().unwrap();
+        c.open(b, 1, 100);
+        assert_ne!(a, b);
+        // Operations through the stale handle must not touch `b`'s span.
+        c.record(a, BlameCause::BusBusy, 100, 200);
+        c.absorb_intervals(a, &[SpanInterval { cause: BlameCause::BusBusy, start: 100, end: 200 }]);
+        c.close(a, 999);
+        c.record(b, BlameCause::Service, 100, 150);
+        c.close(b, 150);
+        let spans = c.take_spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1].end, 150);
+        assert_eq!(spans[1].intervals, vec![SpanInterval { cause: BlameCause::Service, start: 100, end: 150 }]);
+    }
+
+    #[test]
+    fn absorb_intervals_matches_absorb() {
+        let mut c = SpanCollector::new(Some(1));
+        let id = c.try_sample().unwrap();
+        c.open(id, 0, 0);
+        let ivs = [
+            SpanInterval { cause: BlameCause::BusBusy, start: 0, end: 5 },
+            SpanInterval { cause: BlameCause::Service, start: 5, end: 9 },
+        ];
+        c.absorb_intervals(id, &ivs);
+        c.close(id, 9);
+        let spans = c.take_spans();
+        assert_eq!(spans[0].intervals, ivs.to_vec());
     }
 
     #[test]

@@ -92,6 +92,13 @@ pub struct SystemConfig {
     /// part of the run-cache key; the cache re-executes an entry cached
     /// without spans when a traced replay asks for them.
     pub trace_sample: Option<u64>,
+    /// Collect telemetry through the legacy string-keyed metric path
+    /// instead of the interned-handle fast path. The two paths are
+    /// byte-identical (proved by the equivalence tests and the
+    /// `interned-metrics` fuzz relation); this switch exists only for that
+    /// differential testing. Pure observation, so — like `engine` and
+    /// `telemetry` — it is not part of the run-cache key.
+    pub string_metrics: bool,
 }
 
 impl Default for SystemConfig {
@@ -130,6 +137,7 @@ impl SystemConfig {
             engine: EngineKind::default(),
             telemetry: true,
             trace_sample: None,
+            string_metrics: false,
         }
     }
 

@@ -11,15 +11,17 @@ use crate::frontend::{CoreBlock, CpuCore, GpuCtx};
 use crate::policies::PolicyKind;
 use crate::report::{EpochFrame, EpochRecord, RunReport, RunTelemetry, RunTrace};
 use h2_cache::sram::{AccessOutcome, SetAssocCache};
-use h2_hybrid::hmc::{Hmc, HmcEvent, HmcOutput};
+use h2_hybrid::hmc::{Hmc, HmcEvent, HmcMetricHandles, HmcOutput};
 use h2_hybrid::types::{HybridConfig, ReqClass, Tier};
 use h2_hybrid::HmcStats;
-use h2_mem::device::{MemStats, StartedCmd};
+use h2_mem::device::{MemMetricHandles, MemStats, StartedCmd};
 use h2_mem::{EnergyBreakdown, MemDevice, TimingPreset};
 use h2_hybrid::TokenFlows;
-use h2_sim_core::trace_span::{BlameCause, SpanCollector, SpanId};
+use h2_sim_core::trace_span::{BlameCause, CmdTrace, SpanCollector, SpanId};
 use h2_sim_core::units::{Cycles, MIB};
-use h2_sim_core::{EventQueue, LogHistogram, MetricsRegistry, MonitorSet};
+use h2_sim_core::{
+    CounterId, EventQueue, GaugeId, HistId, LogHistogram, MetricsRegistry, MonitorSet,
+};
 use h2_trace::{Mix, WorkloadSpec};
 
 /// Local batching horizon: a front-end processes private-cache hits for at
@@ -106,6 +108,45 @@ pub struct SimProbe {
     pub spans_closed: u64,
 }
 
+/// Interned hit/miss/writeback counters for one cache level.
+#[derive(Debug, Clone, Copy)]
+struct CacheLevelHandles {
+    hits: CounterId,
+    misses: CounterId,
+    writebacks: CounterId,
+}
+
+/// Interned `trace.*` counters, created lazily at the first collection
+/// where a span has closed (mirroring the string path, which emits the
+/// trace scope only once `spans_closed() > 0`).
+#[derive(Debug, Clone)]
+struct TraceHandles {
+    spans: CounterId,
+    dropped: CounterId,
+    /// `[victim class][BlameCause::ALL index]`.
+    blame: [[CounterId; 8]; 2],
+}
+
+/// Every metric name [`Sim::collect_registry`] emits, resolved once at
+/// system build into dense registry handles. Steady-state telemetry
+/// collection then runs through [`Sim::update_cum_registry`] — indexed
+/// stores with zero hashing or string formatting — while serialisation
+/// renders names only at flush, keeping output byte-identical to the
+/// string path (`SystemConfig::string_metrics`).
+struct MetricsLayout {
+    cpu_instr: CounterId,
+    gpu_instr: CounterId,
+    lat_cpu: HistId,
+    lat_gpu: HistId,
+    /// `cpu_l1`, `cpu_l2`, `gpu_l1`, `llc` — in collection order.
+    cache: [CacheLevelHandles; 4],
+    llc_occupancy: GaugeId,
+    mem_fast: MemMetricHandles,
+    mem_slow: MemMetricHandles,
+    hmc: HmcMetricHandles,
+    trace: Option<TraceHandles>,
+}
+
 struct Sim {
     cfg: SystemConfig,
     q: EventQueue<Ev>,
@@ -156,6 +197,20 @@ struct Sim {
     /// observation: sampling decisions ride along with events but never
     /// influence what is scheduled when.
     tracer: SpanCollector,
+    /// Interned metric handles (`None` on the string path or with
+    /// telemetry off). See [`MetricsLayout`].
+    layout: Option<MetricsLayout>,
+    /// Persistent cumulative registry the handle path writes into; frames
+    /// are `cum - prev_reg` and `prev_reg` copies `cum` value-wise, so no
+    /// registry is ever rebuilt in steady state.
+    cum_reg: MetricsRegistry,
+    /// Recycled buffers for the event hot path: controller outputs,
+    /// started-command completions, and drained device trace records. Each
+    /// is taken at use, drained, and put back — steady state allocates
+    /// nothing.
+    out_buf: Vec<HmcOutput>,
+    started_buf: Vec<StartedCmd>,
+    trace_scratch: Vec<CmdTrace>,
 }
 
 impl Sim {
@@ -203,14 +258,130 @@ impl Sim {
             let mut tr = reg.scoped("trace");
             tr.inc("spans", self.tracer.spans_closed());
             tr.inc("dropped", self.tracer.dropped());
-            for (ci, cname) in ["cpu", "gpu"].iter().enumerate() {
-                let mut victim = tr.scoped(&format!("blame.{cname}"));
+            for (ci, vscope) in ["blame.cpu", "blame.gpu"].iter().enumerate() {
+                let mut victim = tr.scoped(vscope);
                 for cause in BlameCause::ALL {
                     victim.inc(cause.name(), self.tracer.blame_cycles(ci as u8, cause));
                 }
             }
         }
         reg
+    }
+
+    /// Resolve every static metric name into dense handles (exactly the
+    /// names [`Self::collect_registry`] emits, in the same per-kind
+    /// insertion order) and seed the persistent cumulative/previous
+    /// registries. Called once at system build when the handle path is
+    /// active (`telemetry && !string_metrics`).
+    fn init_metrics_layout(&mut self) {
+        let mut reg = MetricsRegistry::new(true);
+        let cpu_instr = reg.intern_counter("sys.cpu_instr");
+        let gpu_instr = reg.intern_counter("sys.gpu_instr");
+        let lat_cpu = reg.intern_hist("lat.cpu_read");
+        let lat_gpu = reg.intern_hist("lat.gpu_demand");
+        let cache = ["cache.cpu_l1", "cache.cpu_l2", "cache.gpu_l1", "cache.llc"].map(|p| {
+            CacheLevelHandles {
+                hits: reg.intern_counter(&format!("{p}.hits")),
+                misses: reg.intern_counter(&format!("{p}.misses")),
+                writebacks: reg.intern_counter(&format!("{p}.writebacks")),
+            }
+        });
+        let llc_occupancy = reg.intern_gauge("cache.llc.occupancy");
+        let mem_fast = self.fast.intern_metrics(&mut reg, "mem.fast");
+        let mem_slow = self.slow.intern_metrics(&mut reg, "mem.slow");
+        let hmc = self.hmc.intern_metrics(&mut reg, "hmc");
+        // The policy's own metric names are dynamic but stable per run
+        // (channel-token scopes are fixed at construction). A set-mode
+        // collect registers them now, right where a fresh string collection
+        // would put them — at the tail of the `hmc.policy` scope.
+        {
+            let mut pol = reg.scoped_set("hmc.policy");
+            self.hmc.collect_policy_metrics(&mut pol);
+        }
+        self.prev_reg = reg.clone();
+        self.cum_reg = reg;
+        self.layout = Some(MetricsLayout {
+            cpu_instr,
+            gpu_instr,
+            lat_cpu,
+            lat_gpu,
+            cache,
+            llc_occupancy,
+            mem_fast,
+            mem_slow,
+            hmc,
+            trace: None,
+        });
+    }
+
+    fn intern_trace_handles(reg: &mut MetricsRegistry) -> TraceHandles {
+        let spans = reg.intern_counter("trace.spans");
+        let dropped = reg.intern_counter("trace.dropped");
+        let blame = ["cpu", "gpu"].map(|cname| {
+            BlameCause::ALL
+                .map(|cause| reg.intern_counter(&format!("trace.blame.{cname}.{}", cause.name())))
+        });
+        TraceHandles { spans, dropped, blame }
+    }
+
+    /// Handle-path equivalent of `collect_registry(false)`: store every
+    /// component's cumulative statistics into the persistent registry
+    /// through the interned handles. Value- and layout-identical to a fresh
+    /// string collection (the equivalence tests compare the serialised
+    /// bytes).
+    fn update_cum_registry(&mut self) {
+        let mut layout = self.layout.take().expect("handle path initialised");
+        let mut reg = std::mem::take(&mut self.cum_reg);
+        reg.set_counter(layout.cpu_instr, self.cpu_instr_total());
+        reg.set_counter(layout.gpu_instr, self.gpu_instr_total());
+        reg.set_hist(layout.lat_cpu, &self.cpu_lat_hist);
+        reg.set_hist(layout.lat_gpu, &self.gpu_lat_hist);
+        let levels: [&[SetAssocCache]; 4] = [
+            &self.l1s,
+            &self.l2s,
+            &self.gpu_l1s,
+            std::slice::from_ref(&self.llc),
+        ];
+        for (h, caches) in layout.cache.iter().zip(levels) {
+            let (mut hits, mut misses, mut wbs) = (0u64, 0u64, 0u64);
+            for c in caches {
+                let st = c.stats();
+                hits += st.hits;
+                misses += st.misses;
+                wbs += st.writebacks;
+            }
+            reg.set_counter(h.hits, hits);
+            reg.set_counter(h.misses, misses);
+            reg.set_counter(h.writebacks, wbs);
+        }
+        reg.set_gauge_id(layout.llc_occupancy, self.llc.occupancy() as f64);
+        self.fast.record_metrics(&mut reg, &layout.mem_fast);
+        self.slow.record_metrics(&mut reg, &layout.mem_slow);
+        self.hmc.record_metrics(&mut reg, &layout.hmc);
+        {
+            let mut pol = reg.scoped_set("hmc.policy");
+            self.hmc.collect_policy_metrics(&mut pol);
+        }
+        if self.tracer.spans_closed() > 0 {
+            if layout.trace.is_none() {
+                // First collection with a closed span: append the trace
+                // names to both the cumulative and previous-boundary
+                // registries (prev values stay zero, so the first traced
+                // frame deltas from zero exactly like the string path).
+                layout.trace = Some(Self::intern_trace_handles(&mut reg));
+                Self::intern_trace_handles(&mut self.prev_reg);
+            }
+            let t = layout.trace.as_ref().expect("just interned");
+            reg.set_counter(t.spans, self.tracer.spans_closed());
+            reg.set_counter(t.dropped, self.tracer.dropped());
+            for (ci, row) in t.blame.iter().enumerate() {
+                for (k, cause) in BlameCause::ALL.iter().enumerate() {
+                    reg.set_counter(row[k], self.tracer.blame_cycles(ci as u8, *cause));
+                }
+            }
+        }
+        self.cum_reg = reg;
+        self.layout = Some(layout);
     }
 
     fn dev(&mut self, tier: Tier) -> &mut MemDevice {
@@ -227,22 +398,20 @@ impl Sim {
     fn issue_mem(&mut self, tier: Tier, channel: usize, cmd: h2_mem::MemCmd) {
         let now = self.q.now();
         let traced = self.tracer.enabled();
-        let mut started: Vec<StartedCmd> = Vec::new();
+        let mut started = std::mem::take(&mut self.started_buf);
         if traced {
             let class = self.hmc.cmd_blame_class(cmd.token);
             let tag = self.hmc.demand_trace(cmd.token);
             let d = self.dev(tier);
             d.enqueue_traced(channel, cmd, now, class, tag);
             d.pump(channel, now, &mut started);
-            for rec in self.dev(tier).take_cmd_traces(channel) {
-                self.tracer.absorb(rec);
-            }
+            self.drain_traces(tier, channel);
         } else {
             let d = self.dev(tier);
             d.enqueue(channel, cmd, now);
             d.pump(channel, now, &mut started);
         }
-        for s in started {
+        for s in started.drain(..) {
             self.q.schedule_at(
                 s.done_at,
                 Ev::MemDone {
@@ -252,10 +421,24 @@ impl Sim {
                 },
             );
         }
+        self.started_buf = started;
     }
 
-    fn process_outputs(&mut self, outputs: Vec<HmcOutput>) {
-        for o in outputs {
+    /// Move a channel's pending trace decompositions into the tracer using
+    /// the recycled record/interval buffers — the pooled equivalent of
+    /// `take_cmd_traces` + `absorb`.
+    fn drain_traces(&mut self, tier: Tier, channel: usize) {
+        let swap = std::mem::take(&mut self.trace_scratch);
+        let mut recs = self.dev(tier).take_traces_into(channel, swap);
+        for rec in &recs {
+            self.tracer.absorb_intervals(rec.span, &rec.intervals);
+        }
+        recs = self.dev(tier).reclaim_traces(recs);
+        self.trace_scratch = recs;
+    }
+
+    fn process_outputs(&mut self, outputs: &mut Vec<HmcOutput>) {
+        for o in outputs.drain(..) {
             match o {
                 HmcOutput::Mem { tier, channel, cmd } => self.issue_mem(tier, channel, cmd),
                 HmcOutput::After { delay, token } => {
@@ -595,18 +778,32 @@ impl Sim {
             if self.telemetry {
                 // Per-epoch frame: counter/histogram deltas since the last
                 // boundary, gauges as sampled now (after adaptation).
-                let cur = self.collect_registry(false);
-                self.frames.push(EpochFrame {
-                    record: record.clone(),
-                    metrics: cur.delta_from(&self.prev_reg),
-                });
-                self.prev_reg = cur;
+                if self.layout.is_some() {
+                    self.update_cum_registry();
+                    self.frames.push(EpochFrame {
+                        record: record.clone(),
+                        metrics: self.cum_reg.delta_from_indexed(&self.prev_reg),
+                    });
+                    self.prev_reg.copy_values_from(&self.cum_reg);
+                } else {
+                    let cur = self.collect_registry(false);
+                    self.frames.push(EpochFrame {
+                        record: record.clone(),
+                        metrics: cur.delta_from(&self.prev_reg),
+                    });
+                    self.prev_reg = cur;
+                }
             }
             self.epoch_trace.push(record);
         } else if self.telemetry {
             // Keep the boundary snapshot fresh during warm-up so the first
             // measured frame covers exactly one epoch.
-            self.prev_reg = self.collect_registry(false);
+            if self.layout.is_some() {
+                self.update_cum_registry();
+                self.prev_reg.copy_values_from(&self.cum_reg);
+            } else {
+                self.prev_reg = self.collect_registry(false);
+            }
         }
     }
 
@@ -617,8 +814,15 @@ impl Sim {
         self.warm_fast = self.fast.stats();
         self.warm_slow = self.slow.stats();
         if self.telemetry {
+            // Wide per-bank totals snapshot: taken twice per run, so it
+            // stays on the string path.
             self.warm_reg = self.collect_registry(true);
-            self.prev_reg = self.collect_registry(false);
+            if self.layout.is_some() {
+                self.update_cum_registry();
+                self.prev_reg.copy_values_from(&self.cum_reg);
+            } else {
+                self.prev_reg = self.collect_registry(false);
+            }
         }
         self.in_measurement = true;
     }
@@ -681,15 +885,17 @@ impl Sim {
                     if let Some(sid) = span {
                         self.tracer.open(sid, class.idx() as u8, ev.time);
                     }
-                    let mut out = Vec::new();
+                    let mut out = std::mem::take(&mut self.out_buf);
                     self.hmc
                         .access_traced(id, class, addr, is_write, needs_response, span, &mut out);
-                    self.process_outputs(out);
+                    self.process_outputs(&mut out);
+                    self.out_buf = out;
                 }
                 Ev::HmcSram(token) => {
-                    let mut out = Vec::new();
+                    let mut out = std::mem::take(&mut self.out_buf);
                     self.hmc.handle(HmcEvent::SramDone(token), &mut out);
-                    self.process_outputs(out);
+                    self.process_outputs(&mut out);
+                    self.out_buf = out;
                 }
                 Ev::MemDone {
                     tier,
@@ -706,22 +912,21 @@ impl Sim {
                         self.dev(tier).on_complete(channel);
                         None
                     };
-                    let mut out = Vec::new();
+                    let mut out = std::mem::take(&mut self.out_buf);
                     self.hmc.handle(HmcEvent::MemDone(token), &mut out);
-                    self.process_outputs(out);
+                    self.process_outputs(&mut out);
+                    self.out_buf = out;
                     // Start queued successors.
                     let now = self.q.now();
-                    let mut started = Vec::new();
+                    let mut started = std::mem::take(&mut self.started_buf);
                     self.dev(tier).pump(channel, now, &mut started);
                     if traced {
-                        for rec in self.dev(tier).take_cmd_traces(channel) {
-                            self.tracer.absorb(rec);
-                        }
+                        self.drain_traces(tier, channel);
                     }
                     if let Some(sid) = done_span {
                         self.tracer.close(sid, now);
                     }
-                    for s in started {
+                    for s in started.drain(..) {
                         self.q.schedule_at(
                             s.done_at,
                             Ev::MemDone {
@@ -731,6 +936,7 @@ impl Sim {
                             },
                         );
                     }
+                    self.started_buf = started;
                 }
                 Ev::Epoch => {
                     self.on_epoch();
@@ -936,7 +1142,15 @@ pub fn run_workloads_monitored(
         prev_reg: MetricsRegistry::new(cfg.telemetry),
         warm_reg: MetricsRegistry::new(cfg.telemetry),
         tracer: SpanCollector::new(cfg.trace_sample),
+        layout: None,
+        cum_reg: MetricsRegistry::new(cfg.telemetry),
+        out_buf: Vec::new(),
+        started_buf: Vec::new(),
+        trace_scratch: Vec::new(),
     };
+    if cfg.telemetry && !cfg.string_metrics {
+        sim.init_metrics_layout();
+    }
 
     // Stagger initial wake-ups so front-ends do not move in lockstep.
     for i in 0..sim.cores.len() {
@@ -1276,7 +1490,7 @@ mod tests {
                         p.txns_started, p.txns_retired, p.inflight
                     ));
                 }
-                p.policy_invariants.clone()
+                p.policy_invariants.as_ref().map_err(String::clone).copied()
             }
         }
 
@@ -1303,6 +1517,63 @@ mod tests {
         assert_eq!(a.slow, b.slow);
         assert_eq!(a.events_processed, b.events_processed);
         assert_eq!(a.epoch_trace, b.epoch_trace);
+    }
+
+    /// Acceptance suite for the interned-handle telemetry path: against the
+    /// string path of record, runs must produce byte-identical serialised
+    /// telemetry and identical reports — on both engines, with the tracer
+    /// armed and off.
+    #[test]
+    fn interned_metrics_match_string_path_byte_for_byte() {
+        let mix = Mix::by_name("C1").unwrap();
+        for engine in [h2_sim_core::EngineKind::Calendar, h2_sim_core::EngineKind::Heap] {
+            for trace in [None, Some(64)] {
+                let mut cfg = tiny();
+                cfg.engine = engine;
+                cfg.trace_sample = trace;
+                cfg.string_metrics = false;
+                let fast = run_sim(&cfg, &mix, PolicyKind::HydrogenFull);
+                cfg.string_metrics = true;
+                let strs = run_sim(&cfg, &mix, PolicyKind::HydrogenFull);
+                let ctx = format!("engine={engine:?} trace={trace:?}");
+                assert_eq!(fast.cpu_instr, strs.cpu_instr, "{ctx}");
+                assert_eq!(fast.gpu_instr, strs.gpu_instr, "{ctx}");
+                assert_eq!(fast.hmc, strs.hmc, "{ctx}");
+                assert_eq!(fast.fast, strs.fast, "{ctx}");
+                assert_eq!(fast.slow, strs.slow, "{ctx}");
+                assert_eq!(fast.epoch_trace, strs.epoch_trace, "{ctx}");
+                assert_eq!(fast.events_processed, strs.events_processed, "{ctx}");
+                assert_eq!(
+                    fast.telemetry_json_string().unwrap(),
+                    strs.telemetry_json_string().unwrap(),
+                    "{ctx}: serialised telemetry must be byte-identical"
+                );
+                let sa = fast.trace.as_ref().map(|t| &t.spans);
+                let sb = strs.trace.as_ref().map(|t| &t.spans);
+                assert_eq!(sa, sb, "{ctx}: span sets must match");
+            }
+        }
+    }
+
+    /// The handle path must also hold across policies with different (and
+    /// dynamically named) policy metric sets.
+    #[test]
+    fn interned_metrics_match_string_path_across_policies() {
+        let mix = Mix::by_name("C2").unwrap();
+        for kind in [PolicyKind::NoPart, PolicyKind::HydrogenFull] {
+            let mut cfg = tiny();
+            cfg.trace_sample = Some(64);
+            cfg.string_metrics = false;
+            let fast = run_sim(&cfg, &mix, kind);
+            cfg.string_metrics = true;
+            let strs = run_sim(&cfg, &mix, kind);
+            assert_eq!(
+                fast.telemetry_json_string().unwrap(),
+                strs.telemetry_json_string().unwrap(),
+                "policy {}",
+                kind.label()
+            );
+        }
     }
 
     #[test]
