@@ -83,6 +83,11 @@ impl CacheStats {
 pub struct SetAssocCache {
     cfg: CacheConfig,
     sets: u64,
+    /// `log2(line_bytes)` / `log2(sets)` — the geometry is power-of-two, so
+    /// the per-access index math is shifts and masks, not `div`/`rem` (this
+    /// runs for every L1/L2/LLC reference the front-ends generate).
+    line_shift: u32,
+    set_shift: u32,
     lines: Vec<Line>,
     tick: u64,
     stats: CacheStats,
@@ -92,8 +97,15 @@ impl SetAssocCache {
     /// Build a cache from its configuration.
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = cfg.num_sets();
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two (got {})",
+            cfg.line_bytes
+        );
         let lines = vec![Line::default(); (sets * cfg.ways as u64) as usize];
         Self {
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_shift: sets.trailing_zeros(),
             cfg,
             sets,
             lines,
@@ -119,8 +131,8 @@ impl SetAssocCache {
 
     #[inline]
     fn index(&self, addr: u64) -> (u64, u64) {
-        let line = addr / self.cfg.line_bytes;
-        (line % self.sets, line / self.sets)
+        let line = addr >> self.line_shift;
+        (line & (self.sets - 1), line >> self.set_shift)
     }
 
     #[inline]

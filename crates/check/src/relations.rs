@@ -36,6 +36,16 @@ pub enum Relation {
     /// observation-layer rewrite with no semantic freedom at all, so this
     /// diff runs with *no* exclusions.
     InternedMetrics,
+    /// Re-running under the batched dispatch kernel (same-timestamp
+    /// frontiers drained in one engine call) produces a byte-identical
+    /// report — batching is a pure loop transformation, so this diff also
+    /// runs with *no* exclusions.
+    BatchedKernel,
+    /// Re-running under the channel-parallel conservative-lookahead kernel
+    /// (DRAM channels simulated on worker threads between flush horizons)
+    /// produces a byte-identical report, telemetry and trace included — the
+    /// strongest relation in the catalogue, again with *no* exclusions.
+    ParallelKernel,
 }
 
 impl Relation {
@@ -48,6 +58,8 @@ impl Relation {
             Relation::EpochDouble => "epoch-double",
             Relation::NoMigrateZero => "no-migrate-zero",
             Relation::InternedMetrics => "interned-metrics",
+            Relation::BatchedKernel => "batched-kernel",
+            Relation::ParallelKernel => "parallel-kernel",
         }
     }
 }
@@ -58,6 +70,8 @@ pub fn applicable(case: &FuzzCase) -> Vec<Relation> {
         Relation::TelemetryOff,
         Relation::TraceFlip,
         Relation::InternedMetrics,
+        Relation::BatchedKernel,
+        Relation::ParallelKernel,
     ];
     if case.cpu.is_empty() || case.gpu.is_none() {
         rels.push(Relation::SoloSideZero);
@@ -140,6 +154,24 @@ pub fn check(
                 Some(d) => Err(format!(
                     "interned metrics diverge from the string path: {d}"
                 )),
+            }
+        }
+        Relation::BatchedKernel => {
+            let variant = rerun(case, label, |cfg| {
+                cfg.kernel = h2_sim_core::SimKernel::Batched;
+            })?;
+            match diff_reports_except(base, &variant, &[]) {
+                None => Ok(()),
+                Some(d) => Err(format!("batched kernel diverges: {d}")),
+            }
+        }
+        Relation::ParallelKernel => {
+            let variant = rerun(case, label, |cfg| {
+                cfg.kernel = h2_sim_core::SimKernel::Parallel;
+            })?;
+            match diff_reports_except(base, &variant, &[]) {
+                None => Ok(()),
+                Some(d) => Err(format!("parallel kernel diverges: {d}")),
             }
         }
         Relation::NoMigrateZero => {

@@ -33,6 +33,35 @@ pub fn top_k(set: u64, candidates: &[usize], k: usize) -> Vec<usize> {
     scored.into_iter().take(k).map(|(_, c)| c).collect()
 }
 
+/// Bitmask form of [`top_k`] for members `< 16`: bit `m` is set iff member
+/// `m` is among the `k` highest scorers. Runs on the stack — the per-access
+/// partition-mask path allocates nothing. Ties break toward the smaller
+/// member, matching the sort in [`top_k`], so the *set* it picks is
+/// identical (only the ordering information is dropped).
+pub fn top_k_mask(set: u64, candidates: &[usize], k: usize) -> u16 {
+    debug_assert!(candidates.iter().all(|&c| c < 16), "members must fit a u16 mask");
+    let n = candidates.len().min(16);
+    let mut scores = [0u64; 16];
+    for (i, &c) in candidates.iter().take(n).enumerate() {
+        scores[i] = score(set, c as u64);
+    }
+    let mut taken = [false; 16];
+    let mut mask: u16 = 0;
+    for _ in 0..k.min(n) {
+        let mut best: Option<(u64, usize)> = None;
+        for (i, &s) in scores.iter().take(n).enumerate() {
+            // Strict `>` keeps the first (smallest-member) of a score tie.
+            if !taken[i] && best.is_none_or(|(bs, _)| s > bs) {
+                best = Some((s, i));
+            }
+        }
+        let (_, i) = best.expect("k <= remaining candidates");
+        taken[i] = true;
+        mask |= 1 << candidates[i];
+    }
+    mask
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,5 +120,29 @@ mod tests {
         assert_eq!(top_k(1, &[5, 6], 10).len(), 2);
         assert!(top_k(1, &[], 3).is_empty());
         assert!(top_k(1, &[5, 6], 0).is_empty());
+        assert_eq!(top_k_mask(1, &[5, 6], 10), (1 << 5) | (1 << 6));
+        assert_eq!(top_k_mask(1, &[], 3), 0);
+        assert_eq!(top_k_mask(1, &[5, 6], 0), 0);
+    }
+
+    #[test]
+    fn mask_form_selects_the_same_members() {
+        // The stack-based mask must pick exactly the sorted form's set for
+        // every (set, candidate range, k) the partition map can produce.
+        for set in 0..2_000u64 {
+            for lo in 0..4usize {
+                let cands: Vec<usize> = (lo..8).collect();
+                for k in 0..=cands.len() {
+                    let want = top_k(set, &cands, k)
+                        .iter()
+                        .fold(0u16, |m, &c| m | 1 << c);
+                    assert_eq!(
+                        top_k_mask(set, &cands, k),
+                        want,
+                        "set {set} lo {lo} k {k}"
+                    );
+                }
+            }
+        }
     }
 }

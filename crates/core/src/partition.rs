@@ -15,7 +15,7 @@
 //! independent (decoupled), and a one-step change of `B` or `C` alters the
 //! fewest way assignments (consistent hashing, §IV-D).
 
-use crate::hashing::top_k;
+use crate::hashing::top_k_mask;
 
 /// The decoupled partition mapping for one `(B, C)` configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,11 +79,19 @@ impl PartitionMap {
         for w in 0..self.bw {
             mask |= 1 << w;
         }
-        // Extra CPU ways on rendezvous-selected shared channels.
+        // Extra CPU ways on rendezvous-selected shared channels. This runs
+        // on every access (via `alloc_mask`), so it stays on the stack.
         let extra = self.cap - self.bw;
         if extra > 0 {
-            let shared: Vec<usize> = (self.bw..self.n).collect();
-            for ch in top_k(set, &shared, extra) {
+            let mut shared = [0usize; 16];
+            let n = self.n - self.bw;
+            for (i, s) in shared.iter_mut().take(n).enumerate() {
+                *s = self.bw + i;
+            }
+            let mut sel = top_k_mask(set, &shared[..n], extra);
+            while sel != 0 {
+                let ch = sel.trailing_zeros() as usize;
+                sel &= sel - 1;
                 mask |= 1 << self.channel_way(set, ch);
             }
         }

@@ -17,7 +17,7 @@
 //! implementation would do when there are fewer ways than channels.
 
 use crate::climb::{ClimbConfig, HillClimber};
-use crate::hashing::top_k;
+use crate::hashing::top_k_mask;
 use crate::partition::PartitionMap;
 use crate::tokens::{TokenBucket, DEFAULT_TOKEN_LEVEL, TOKEN_LEVELS};
 use h2_hybrid::policy::{EpochSample, PartitionPolicy, PolicyParams, TokenFlows};
@@ -244,12 +244,13 @@ impl PartitionPolicy for HydrogenPolicy {
             },
             None => {
                 // Fallback (assoc < channels): capacity-only partitioning by
-                // rendezvous selection of CPU ways.
-                let ways: Vec<usize> = (0..self.cfg.assoc).collect();
-                let mut cpu: u16 = 0;
-                for w in top_k(set, &ways, self.cap) {
-                    cpu |= 1 << w;
+                // rendezvous selection of CPU ways, computed on the stack —
+                // this runs per access.
+                let mut ways = [0usize; 16];
+                for (i, w) in ways.iter_mut().take(self.cfg.assoc).enumerate() {
+                    *w = i;
                 }
+                let cpu = top_k_mask(set, &ways[..self.cfg.assoc], self.cap);
                 let all = ((1u32 << self.cfg.assoc) - 1) as u16;
                 match class {
                     ReqClass::Cpu => cpu,

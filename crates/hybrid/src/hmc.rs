@@ -477,6 +477,26 @@ impl Hmc {
         t.span.map(|span| TraceTag { span, token_stalled: t.token_denied })
     }
 
+    /// [`Self::cmd_blame_class`] and [`Self::demand_trace`] in one token
+    /// decomposition — the per-command issue path needs both.
+    pub fn cmd_trace_ctx(&self, token: u64) -> (BlameClass, Option<TraceTag>) {
+        match self.token_txn(token) {
+            Some((t, step)) if step != STEP_BG => {
+                let class = match t.class {
+                    ReqClass::Cpu => BlameClass::CpuDemand,
+                    ReqClass::Gpu => BlameClass::GpuDemand,
+                };
+                let tag = if step == STEP_DEMAND {
+                    t.span.map(|span| TraceTag { span, token_stalled: t.token_denied })
+                } else {
+                    None
+                };
+                (class, tag)
+            }
+            _ => (BlameClass::Background, None),
+        }
+    }
+
     /// If `token` is the *metadata* step of a traced transaction, its span
     /// and whether the probe missed the remap cache.
     pub fn meta_span(&self, token: u64) -> Option<(SpanId, bool)> {
@@ -562,7 +582,9 @@ impl Hmc {
         let mask = self.policy.alloc_mask(set, meta.owner);
         let misplaced = mask & (1 << way) == 0;
         if misplaced {
-            if std::env::var("H2_DEBUG_FIXUP").is_ok() {
+            // Cached: `env::var` allocates and this runs per misplaced hit.
+            static DEBUG_FIXUP: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+            if *DEBUG_FIXUP.get_or_init(|| std::env::var("H2_DEBUG_FIXUP").is_ok()) {
                 eprintln!(
                     "FIXUP set={} way={} owner={:?} mask={:#06b} hitclass={:?} view={:?}",
                     set, way, meta.owner, mask, txn.class,

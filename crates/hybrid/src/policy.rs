@@ -148,7 +148,13 @@ pub trait PartitionPolicy {
     /// of OS page colouring).
     fn home_set(&self, block: u64, class: ReqClass, num_sets: u64) -> u64 {
         let _ = class;
-        block % num_sets
+        // Power-of-two set counts (every paper config) take the mask path;
+        // this runs per transaction.
+        if num_sets.is_power_of_two() {
+            block & (num_sets - 1)
+        } else {
+            block % num_sets
+        }
     }
 
     /// Emit policy-internal telemetry (token accounting, search state,
@@ -201,7 +207,11 @@ impl PartitionPolicy for SharedPolicy {
 
     fn way_channel(&self, set: u64, way: usize) -> usize {
         // Rotate ways across channels per set so no channel is special.
-        (way + set as usize) % self.channels
+        if self.channels.is_power_of_two() {
+            (way + set as usize) & (self.channels - 1)
+        } else {
+            (way + set as usize) % self.channels
+        }
     }
 
     fn migration_allowed(

@@ -91,27 +91,54 @@ impl Default for HybridConfig {
     }
 }
 
+/// `x / d` strength-reduced to a shift when `d` is a power of two.
+///
+/// The divisor is almost never a compile-time constant here (geometry lives
+/// in config fields), but every paper configuration uses power-of-two block
+/// sizes, set counts and channel counts, and a hardware divider costs an
+/// order of magnitude more than `tzcnt + shr`. These helpers sit on the
+/// per-transaction hot path (several calls per memory access); the fallback
+/// keeps non-power-of-two sweeps exact.
+#[inline(always)]
+fn fast_div(x: u64, d: u64) -> u64 {
+    if d.is_power_of_two() {
+        x >> d.trailing_zeros()
+    } else {
+        x / d
+    }
+}
+
+/// `x % d` strength-reduced to a mask when `d` is a power of two.
+#[inline(always)]
+fn fast_rem(x: u64, d: u64) -> u64 {
+    if d.is_power_of_two() {
+        x & (d - 1)
+    } else {
+        x % d
+    }
+}
+
 impl HybridConfig {
     /// Number of sets implied by capacity, block size and associativity.
     pub fn num_sets(&self) -> u64 {
-        let sets = self.fast_capacity / (self.block_bytes * self.assoc as u64);
+        let sets = fast_div(self.fast_capacity, self.block_bytes * self.assoc as u64);
         assert!(sets > 0, "fast capacity too small");
         sets
     }
 
     /// Block id of a byte address.
     pub fn block_of(&self, addr: u64) -> u64 {
-        addr / self.block_bytes
+        fast_div(addr, self.block_bytes)
     }
 
     /// Set index of a block id.
     pub fn set_of_block(&self, block: u64) -> u64 {
-        block % self.num_sets()
+        fast_rem(block, self.num_sets())
     }
 
     /// Tag of a block id within its set.
     pub fn tag_of_block(&self, block: u64) -> u64 {
-        block / self.num_sets()
+        fast_div(block, self.num_sets())
     }
 
     /// Reconstruct a block id from (set, tag).
@@ -121,13 +148,13 @@ impl HybridConfig {
 
     /// Slow-memory channel of a block (address-interleaved).
     pub fn slow_channel_of(&self, block: u64) -> usize {
-        (block % self.slow_channels as u64) as usize
+        fast_rem(block, self.slow_channels as u64) as usize
     }
 
     /// Chained set for HAShCache pseudo-associativity.
     pub fn chain_set(&self, set: u64) -> u64 {
         let n = self.num_sets();
-        (set ^ (n / 2).max(1)) % n
+        fast_rem(set ^ (n / 2).max(1), n)
     }
 
     /// Device byte address of a block in the slow tier (its home).

@@ -69,6 +69,30 @@ pub enum EngineKind {
     Heap,
 }
 
+/// How a simulator's main loop dispatches events. All kernels are
+/// bit-identical by construction (the dispatch order over `(time, seq)` is
+/// the same total order); they differ only in how the loop is driven:
+///
+/// * `Scalar` — one `pop` per event, the reference loop.
+/// * `Batched` — [`EventQueue::pop_batch`] drains each same-timestamp
+///   frontier in one engine call, amortising find-min and dispatch
+///   overhead across the frontier.
+/// * `Parallel` — conservative-lookahead parallel DES: per-channel memory
+///   device work runs on worker threads inside a lookahead window bounded
+///   by the minimum command-completion latency, with sequence numbers
+///   reserved eagerly ([`EventQueue::reserve_seqs`]) so the merged event
+///   order is identical to the sequential kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimKernel {
+    /// One pop per event (the reference loop).
+    #[default]
+    Scalar,
+    /// Same-timestamp frontiers popped as one batch.
+    Batched,
+    /// Channel-parallel conservative-lookahead execution.
+    Parallel,
+}
+
 pub mod legacy {
     //! The original binary-heap engine, kept as a differential oracle.
 
@@ -161,6 +185,57 @@ pub mod legacy {
             self.now = ev.time;
             self.popped += 1;
             Some(ev)
+        }
+
+        /// Pop *every* event scheduled for the earliest pending cycle,
+        /// appending them to `out` in `(time, seq)` order, and return how
+        /// many were popped. Equivalent to repeated [`Self::pop`] while the
+        /// head time is unchanged — the batched kernel's way of taking a
+        /// whole same-timestamp frontier in one call.
+        pub fn pop_batch(&mut self, out: &mut Vec<Scheduled<E>>) -> usize {
+            let Some(first) = self.heap.pop() else { return 0 };
+            debug_assert!(first.time >= self.now, "time went backwards");
+            let t = first.time;
+            let start = out.len();
+            out.push(first);
+            while let Some(top) = self.heap.peek() {
+                if top.time != t {
+                    break;
+                }
+                out.push(self.heap.pop().unwrap());
+            }
+            let k = out.len() - start;
+            self.now = t;
+            self.popped += k as u64;
+            k
+        }
+
+        /// Reserve `k` consecutive sequence numbers and return the first.
+        /// Later [`Self::schedule_at_seq`] calls burn them in any order;
+        /// regular [`Self::schedule_at`] calls continue after the block.
+        pub fn reserve_seqs(&mut self, k: u64) -> u64 {
+            let first = self.next_seq;
+            self.next_seq += k;
+            first
+        }
+
+        /// Schedule with an explicitly reserved sequence number (from
+        /// [`Self::reserve_seqs`]). This is how the parallel kernel keeps
+        /// the global `(time, seq)` order bit-identical while events are
+        /// produced out of order by worker threads.
+        pub fn schedule_at_seq(&mut self, time: Cycles, seq: u64, payload: E) {
+            debug_assert!(seq < self.next_seq, "seq {seq} was never reserved");
+            debug_assert!(
+                time >= self.now,
+                "event scheduled in the past: {} < {}",
+                time,
+                self.now
+            );
+            if time < self.now {
+                self.clamped += 1;
+            }
+            let time = time.max(self.now);
+            self.heap.push(Scheduled { time, seq, payload });
         }
 
         /// Fire time of the earliest pending event, if any.
@@ -407,6 +482,81 @@ pub mod calendar {
             Some(ev)
         }
 
+        /// Pop *every* event scheduled for the earliest pending cycle,
+        /// appending them to `out` in `(time, seq)` order, and return how
+        /// many were popped.
+        ///
+        /// By invariant 1 a bucket only ever holds one absolute time, and
+        /// after the overflow drain the earliest bucket holds *all* events
+        /// of the minimum time (invariant 2) — so the whole frontier is one
+        /// `drain` of one bucket plus a seq sort (bucket order is insertion
+        /// order except for overflow migrants, which can arrive out of seq).
+        /// Reuses the caller's buffer; steady state allocates nothing.
+        pub fn pop_batch(&mut self, out: &mut Vec<Scheduled<E>>) -> usize {
+            // Establish invariant 2, as in `pop`.
+            let base = if self.wheel_len == 0 {
+                let Some(top) = self.overflow.peek() else { return 0 };
+                let jump = top.time;
+                self.drain_overflow(jump);
+                jump
+            } else {
+                self.drain_overflow(self.now);
+                self.now
+            };
+            let s = self
+                .next_occupied_slot(Self::slot_of(base))
+                .expect("wheel non-empty after drain");
+            let bucket = &mut self.buckets[s];
+            let t = bucket[0].time;
+            let start = out.len();
+            out.append(bucket);
+            out[start..].sort_unstable_by_key(|e| e.seq);
+            let k = out.len() - start;
+            let w = s / 64;
+            self.occupancy[w] &= !(1u64 << (s % 64));
+            if self.occupancy[w] == 0 {
+                self.summary[w / 64] &= !(1u64 << (w % 64));
+            }
+            self.wheel_len -= k;
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.popped += k as u64;
+            k
+        }
+
+        /// Reserve `k` consecutive sequence numbers and return the first.
+        /// Later [`Self::schedule_at_seq`] calls burn them in any order;
+        /// regular [`Self::schedule_at`] calls continue after the block.
+        pub fn reserve_seqs(&mut self, k: u64) -> u64 {
+            let first = self.next_seq;
+            self.next_seq += k;
+            first
+        }
+
+        /// Schedule with an explicitly reserved sequence number (from
+        /// [`Self::reserve_seqs`]). This is how the parallel kernel keeps
+        /// the global `(time, seq)` order bit-identical while events are
+        /// produced out of order by worker threads.
+        pub fn schedule_at_seq(&mut self, time: Cycles, seq: u64, payload: E) {
+            debug_assert!(seq < self.next_seq, "seq {seq} was never reserved");
+            debug_assert!(
+                time >= self.now,
+                "event scheduled in the past: {} < {}",
+                time,
+                self.now
+            );
+            if time < self.now {
+                self.clamped += 1;
+            }
+            let time = time.max(self.now);
+            let ev = Scheduled { time, seq, payload };
+            if time - self.now < WHEEL_SLOTS as u64 {
+                self.wheel_insert(ev);
+            } else {
+                self.overflow.push(ev);
+            }
+        }
+
         /// Fire time of the earliest pending event, if any.
         pub fn peek_time(&self) -> Option<Cycles> {
             // Unlike `pop` this must not mutate, so compare the wheel front
@@ -528,6 +678,30 @@ impl<E> EventQueue<E> {
     /// Pop the earliest event, advancing `now` to its fire time.
     pub fn pop(&mut self) -> Option<Scheduled<E>> {
         delegate!(mut self, q => q.pop())
+    }
+
+    /// Pop every event scheduled for the earliest pending cycle, appending
+    /// them to `out` in `(time, seq)` order; returns how many were popped.
+    /// Equivalent to repeated [`Self::pop`] while the head time is
+    /// unchanged (0 when the queue is empty). `now` advances to the
+    /// frontier's time; the popped count increases by the batch size.
+    pub fn pop_batch(&mut self, out: &mut Vec<Scheduled<E>>) -> usize {
+        delegate!(mut self, q => q.pop_batch(out))
+    }
+
+    /// Reserve `k` consecutive sequence numbers, returning the first.
+    /// Consume them with [`Self::schedule_at_seq`]; interleaved
+    /// [`Self::schedule_at`] calls are unaffected (they continue after the
+    /// reserved block).
+    pub fn reserve_seqs(&mut self, k: u64) -> u64 {
+        delegate!(mut self, q => q.reserve_seqs(k))
+    }
+
+    /// Schedule `payload` at `time` with an explicitly reserved sequence
+    /// number. The caller owns the determinism argument: reserved seqs must
+    /// reproduce the exact seqs the sequential kernel would have assigned.
+    pub fn schedule_at_seq(&mut self, time: Cycles, seq: u64, payload: E) {
+        delegate!(mut self, q => q.schedule_at_seq(time, seq, payload))
     }
 
     /// Fire time of the earliest pending event, if any.
@@ -685,6 +859,117 @@ mod tests {
             let ev = q.pop().unwrap();
             assert_eq!((ev.time, ev.payload), (100, 1));
         }
+    }
+
+    #[test]
+    fn pop_batch_takes_whole_frontier_in_seq_order() {
+        for mut q in both_engines() {
+            q.schedule_at(10, 0);
+            q.schedule_at(20, 10);
+            q.schedule_at(10, 1);
+            q.schedule_at(10, 2);
+            let mut out = Vec::new();
+            assert_eq!(q.pop_batch(&mut out), 3);
+            assert_eq!(
+                out.iter().map(|e| (e.time, e.payload)).collect::<Vec<_>>(),
+                vec![(10, 0), (10, 1), (10, 2)]
+            );
+            assert_eq!(q.now(), 10);
+            assert_eq!(q.events_processed(), 3);
+            out.clear();
+            assert_eq!(q.pop_batch(&mut out), 1);
+            assert_eq!(out[0].payload, 10);
+            out.clear();
+            assert_eq!(q.pop_batch(&mut out), 0, "empty queue pops nothing");
+        }
+    }
+
+    #[test]
+    fn pop_batch_matches_repeated_pop_exactly() {
+        // Differential: one queue drained with pop_batch, its twin with
+        // pop, over a randomized schedule with heavy same-cycle ties and
+        // overflow spills — on both engines.
+        for kind in [EngineKind::Calendar, EngineKind::Heap] {
+            let mut batched = EventQueue::with_engine(kind);
+            let mut single = EventQueue::with_engine(kind);
+            let mut x = 0x243f6a8885a308d3u64;
+            for i in 0..20_000u64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let delta = match x % 4 {
+                    0 => 0,
+                    1 => x % 8,
+                    2 => x % 900,
+                    _ => 15_000 + x % 60_000,
+                };
+                batched.schedule_in(delta, i);
+                single.schedule_in(delta, i);
+            }
+            let mut out = Vec::new();
+            loop {
+                out.clear();
+                let k = batched.pop_batch(&mut out);
+                if k == 0 {
+                    assert!(single.pop().is_none());
+                    break;
+                }
+                for ev in &out {
+                    let s = single.pop().expect("single drained early");
+                    assert_eq!((s.time, s.seq, s.payload), (ev.time, ev.seq, ev.payload));
+                }
+                assert_eq!(batched.now(), single.now());
+            }
+            assert_eq!(batched.events_processed(), single.events_processed());
+        }
+    }
+
+    #[test]
+    fn pop_batch_sorts_overflow_migrants_into_seq_order() {
+        // Same cycle reached via overflow (low seq) and direct wheel
+        // insertion (high seq): the bucket's insertion order is wheel-first,
+        // but the batch must come out in seq order.
+        let horizon = calendar::WHEEL_SLOTS as u64;
+        let t = 2 * horizon + 3;
+        let mut q = EventQueue::with_engine(EngineKind::Calendar);
+        q.schedule_at(t, 1u64); // overflow, seq 0
+        q.schedule_at(horizon + 10, 0); // stepping stone, seq 1
+        q.pop();
+        q.schedule_at(t, 2); // wheel, seq 2
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(&mut out), 2);
+        assert_eq!(
+            out.iter().map(|e| (e.seq, e.payload)).collect::<Vec<_>>(),
+            vec![(0, 1), (2, 2)]
+        );
+    }
+
+    #[test]
+    fn reserved_seqs_interleave_with_regular_scheduling() {
+        for mut q in both_engines() {
+            q.schedule_at(5, 100); // seq 0
+            let first = q.reserve_seqs(3); // seqs 1..4
+            assert_eq!(first, 1);
+            q.schedule_at(5, 200); // seq 4
+            // Burn the reserved block out of order.
+            q.schedule_at_seq(5, first + 2, 303);
+            q.schedule_at_seq(5, first, 301);
+            q.schedule_at_seq(5, first + 1, 302);
+            let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+            assert_eq!(order, vec![100, 301, 302, 303, 200]);
+        }
+    }
+
+    #[test]
+    fn reserved_seqs_cross_the_overflow_horizon() {
+        let horizon = calendar::WHEEL_SLOTS as u64;
+        let mut q = EventQueue::with_engine(EngineKind::Calendar);
+        let first = q.reserve_seqs(2);
+        q.schedule_at_seq(3 * horizon, first + 1, 2u64); // overflow
+        q.schedule_at_seq(4, first, 1); // wheel
+        q.schedule_at(3 * horizon, 3); // same far cycle, later seq
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| (e.time, e.payload))).collect();
+        assert_eq!(order, vec![(4, 1), (3 * horizon, 2), (3 * horizon, 3)]);
     }
 
     /// Differential check on a deliberately nasty interleaving: bursts of

@@ -14,10 +14,10 @@ pub mod stats;
 pub mod trace_span;
 pub mod units;
 
-pub use event::{EngineKind, EventQueue, Scheduled};
+pub use event::{EngineKind, EventQueue, Scheduled, SimKernel};
 pub use json::Json;
 pub use metrics::{CounterId, GaugeId, HistId, LogHistogram, MetricsRegistry, ScopedMetrics};
 pub use monitor::{InvariantMonitor, MonitorSet, Violation};
 pub use trace_span::{BlameCause, BlameClass, Span, SpanCollector, SpanId, SpanInterval};
-pub use rng::SeededRng;
+pub use rng::{SeededRng, ZipfDraw};
 pub use units::{Cycles, KIB, MIB};

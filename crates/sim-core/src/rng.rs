@@ -141,20 +141,61 @@ impl SeededRng {
     /// Approximately Zipf-distributed rank in `[0, n)` with exponent `s`,
     /// via inverse-CDF on a truncated harmonic approximation. Small `s`
     /// degrades gracefully toward uniform.
+    ///
+    /// Repeated draws with the same `(n, s)` should go through a cached
+    /// [`ZipfDraw`] instead — it hoists the `(n, s)`-only transcendentals
+    /// out of the per-draw path and produces bit-identical ranks.
     pub fn zipf(&mut self, n: u64, s: f64) -> u64 {
-        if n <= 1 {
+        ZipfDraw::new(n, s).draw(self)
+    }
+}
+
+/// Precomputed constants for repeated [`SeededRng::zipf`] draws with one
+/// `(n, s)` pair. The cached terms are produced by exactly the operations
+/// the one-shot form evaluates, so [`ZipfDraw::draw`] is bit-identical to
+/// `rng.zipf(n, s)` — it just pays one `powf` per draw instead of two
+/// (plus a `ln` on the `s ≈ 1` branch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfDraw {
+    n: u64,
+    /// `(s - 1).abs() < 1e-6`: the harmonic (`s == 1`) branch.
+    harmonic: bool,
+    /// `ln n` (harmonic branch only).
+    ln_n: f64,
+    /// `n^(1-s) - 1` (general branch).
+    pow_term: f64,
+    /// `1 / (1 - s)` (general branch).
+    inv_e: f64,
+}
+
+impl ZipfDraw {
+    /// Precompute the `(n, s)`-dependent terms of the inverse CDF.
+    pub fn new(n: u64, s: f64) -> Self {
+        let harmonic = (s - 1.0).abs() < 1e-6;
+        let e = 1.0 - s;
+        Self {
+            n,
+            harmonic,
+            ln_n: if n > 1 { (n as f64).ln() } else { 0.0 },
+            pow_term: (n as f64).powf(e) - 1.0,
+            inv_e: 1.0 / e,
+        }
+    }
+
+    /// Draw one rank in `[0, n)`.
+    pub fn draw(&self, rng: &mut SeededRng) -> u64 {
+        if self.n <= 1 {
             return 0;
         }
         // Inverse of the continuous Zipf CDF: x = [(n^(1-s)-1)u + 1]^(1/(1-s))
-        let u = self.unit();
-        if (s - 1.0).abs() < 1e-6 {
+        let u = rng.unit();
+        if self.harmonic {
             // s == 1: CDF ~ ln(x)/ln(n)
-            let x = (u * (n as f64).ln()).exp();
-            return (x as u64).min(n - 1);
+            let x = (u * self.ln_n).exp();
+            return (x as u64).min(self.n - 1);
         }
-        let e = 1.0 - s;
-        let x = (((n as f64).powf(e) - 1.0) * u + 1.0).powf(1.0 / e);
-        (x.floor() as u64).clamp(0, n - 1)
+        let x = (self.pow_term * u + 1.0).powf(self.inv_e);
+        (x.floor() as u64).clamp(0, self.n - 1)
     }
 }
 

@@ -13,7 +13,7 @@ use h2_cache::HierarchyConfig;
 use h2_hybrid::types::Mode;
 use h2_mem::TimingPreset;
 use h2_sim_core::units::{Cycles, KIB, MIB};
-use h2_sim_core::EngineKind;
+use h2_sim_core::{EngineKind, SimKernel};
 use h2_trace::Mix;
 
 /// Which sides of the processor run (solo runs feed Fig 2a / Fig 10a).
@@ -79,6 +79,11 @@ pub struct SystemConfig {
     /// differential tests), so this is not part of the run-cache key; the
     /// `Heap` oracle exists for differential testing and benchmarking.
     pub engine: EngineKind,
+    /// Main-loop dispatch kernel (scalar / batched / channel-parallel).
+    /// Every kernel produces the same `(time, seq)` event order, so — like
+    /// `engine` — this is proved bit-identical by the differential tests
+    /// and is not part of the run-cache key.
+    pub kernel: SimKernel,
     /// Collect epoch-resolved telemetry (metrics registry snapshots and
     /// per-class latency histograms) into [`crate::report::RunTelemetry`].
     /// Telemetry is an *observation* of the simulation — it never perturbs
@@ -135,6 +140,7 @@ impl SystemConfig {
             measure_cycles: 500_000_000,
             seed: 42,
             engine: EngineKind::default(),
+            kernel: SimKernel::default(),
             telemetry: true,
             trace_sample: None,
             string_metrics: false,

@@ -11,6 +11,7 @@
 
 pub mod config;
 pub mod frontend;
+mod parallel;
 pub mod policies;
 pub mod report;
 pub mod runner;

@@ -1,0 +1,324 @@
+//! Conservative-lookahead channel-parallel execution (the `Parallel`
+//! dispatch kernel).
+//!
+//! # Design
+//!
+//! DRAM channels are the natural parallel unit of this simulator: a
+//! channel's internal state (banks, open rows, bus, pending-command slab)
+//! evolves from exactly three inputs — enqueues, pumps, completions — and
+//! never reads another channel's state. The runner therefore detaches every
+//! channel as a [`ChannelShard`] onto its own worker thread and, instead of
+//! touching devices inline, logs [`ChanOp`]s at the sequential call sites.
+//! Workers apply their op streams FIFO, so each channel's state evolution
+//! is *the same computation* the sequential kernels perform, merely
+//! displaced in wall-clock time.
+//!
+//! Two mirrors make the displacement invisible to the event order:
+//!
+//! * **Arrival sequences** — the device-wide arrival counter is mirrored
+//!   here and pre-assigned to every `Enqueue` op, so FR-FCFS age ordering
+//!   is identical to sequential execution.
+//! * **Completion events** — a pump starts exactly
+//!   `min(queued, free pipeline slots)` commands, a count that depends
+//!   only on occupancy the controller also mirrors. The runner reserves
+//!   that many event-queue sequence numbers at the very point the
+//!   sequential kernel would have scheduled the completions; workers
+//!   return `(reserved seq, completion time)` pairs and the runner
+//!   schedules them with [`EventQueue::schedule_at_seq`], landing every
+//!   `MemDone` at its exact sequential `(time, seq)` position.
+//!
+//! # The lookahead window
+//!
+//! Results must be scheduled before simulated time reaches them. A command
+//! started at `t` completes no earlier than `t + t_cas + burst`, so with
+//! `L = min(t_cas + burst_64b)` over both devices, all results of ops
+//! logged at or after `t` live at or beyond `t + L`. The runner flushes
+//! whenever the next event would cross `oldest outstanding op + L` — the
+//! conservative-lookahead barrier of classic parallel DES. Between
+//! flushes, main-loop event processing and worker-side device math
+//! overlap.
+//!
+//! Epoch/faucet/warm-up events (and the end of the run) are hard
+//! barriers: workers yield their shards back and the devices are whole
+//! again, so probes, telemetry collection, and invariant checks read
+//! exactly the state the sequential kernels would show.
+
+use h2_hybrid::types::Tier;
+use h2_mem::device::PIPELINE_DEPTH;
+use h2_mem::{ChanOp, ChannelShard, MemCmd, MemDevice, SeqStarted};
+use h2_sim_core::trace_span::{BlameClass, CmdTrace, TraceTag};
+use h2_sim_core::units::Cycles;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+enum ToWorker {
+    /// Apply one deferred device operation.
+    Op(ChanOp),
+    /// Return all accumulated results (started commands, trace records).
+    Flush,
+    /// Hand the shard back to the controller (hard barrier).
+    Yield,
+    /// Take the shard again after a barrier.
+    Resume(Box<ChannelShard>),
+}
+
+enum FromWorker {
+    Batch {
+        started: Vec<SeqStarted>,
+        traces: Vec<CmdTrace>,
+    },
+    Shard(Box<ChannelShard>),
+}
+
+/// One channel worker: applies ops against its shard as they arrive,
+/// accumulating results until the controller flushes or yields.
+fn worker_loop(rx: Receiver<ToWorker>, tx: Sender<FromWorker>) {
+    let mut shard: Option<Box<ChannelShard>> = None;
+    let mut started: Vec<SeqStarted> = Vec::new();
+    let mut traces: Vec<CmdTrace> = Vec::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToWorker::Op(op) => {
+                let s = shard.as_mut().expect("device op before shard handoff");
+                s.apply(&op, &mut started, &mut traces);
+            }
+            ToWorker::Flush => {
+                if tx
+                    .send(FromWorker::Batch {
+                        started: std::mem::take(&mut started),
+                        traces: std::mem::take(&mut traces),
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            ToWorker::Yield => {
+                debug_assert!(started.is_empty(), "yield must follow a flush");
+                let s = shard.take().expect("yield without shard");
+                if tx.send(FromWorker::Shard(s)).is_err() {
+                    return;
+                }
+            }
+            ToWorker::Resume(s) => shard = Some(s),
+        }
+    }
+}
+
+/// Occupancy mirror of one detached channel — enough to predict pump
+/// cardinality without consulting the (displaced) device state.
+#[derive(Debug, Clone, Copy, Default)]
+struct ChanMirror {
+    queue_len: usize,
+    in_flight: usize,
+}
+
+struct Worker {
+    tx: Sender<ToWorker>,
+    rx: Receiver<FromWorker>,
+    join: Option<JoinHandle<()>>,
+    mirror: ChanMirror,
+    /// Has unflushed results (a pump that started at least one command).
+    results_pending: bool,
+}
+
+/// The main-thread side of the parallel memory system: op logging,
+/// occupancy/sequence mirrors, flush/barrier orchestration.
+pub(crate) struct ParallelMem {
+    workers: Vec<Worker>,
+    fast_n: usize,
+    /// Mirror of each device's arrival-sequence counter (fast, slow).
+    dev_seq: [u64; 2],
+    /// Minimum op-to-completion latency over both devices.
+    lookahead: Cycles,
+    /// Log time of the oldest op with still-unflushed results.
+    oldest_op: Option<Cycles>,
+}
+
+fn tier_idx(tier: Tier) -> usize {
+    match tier {
+        Tier::Fast => 0,
+        Tier::Slow => 1,
+    }
+}
+
+impl ParallelMem {
+    /// Detach every channel of both devices onto worker threads.
+    pub fn new(fast: &mut MemDevice, slow: &mut MemDevice) -> Self {
+        let lookahead = {
+            let f = fast.timing();
+            let s = slow.timing();
+            (f.t_cas + f.burst_64b).min(s.t_cas + s.burst_64b).max(1)
+        };
+        let fast_n = fast.num_channels();
+        let slow_n = slow.num_channels();
+        let dev_seq = [fast.next_arrival_seq(), slow.next_arrival_seq()];
+        let mut workers = Vec::with_capacity(fast_n + slow_n);
+        for (dev, n) in [(&mut *fast, fast_n), (&mut *slow, slow_n)] {
+            for ch in 0..n {
+                let (tx, worker_rx) = channel();
+                let (worker_tx, rx) = channel();
+                let join = std::thread::Builder::new()
+                    .name(format!("h2-chan-{}", workers.len()))
+                    .spawn(move || worker_loop(worker_rx, worker_tx))
+                    .expect("spawn channel worker");
+                let shard = dev.detach_shard(ch);
+                let w = Worker {
+                    tx,
+                    rx,
+                    join: Some(join),
+                    mirror: ChanMirror::default(),
+                    results_pending: false,
+                };
+                w.tx.send(ToWorker::Resume(Box::new(shard))).expect("worker alive");
+                workers.push(w);
+            }
+        }
+        Self {
+            workers,
+            fast_n,
+            dev_seq,
+            lookahead,
+            oldest_op: None,
+        }
+    }
+
+    fn widx(&self, tier: Tier, ch: usize) -> usize {
+        match tier {
+            Tier::Fast => ch,
+            Tier::Slow => self.fast_n + ch,
+        }
+    }
+
+    /// Simulated time beyond which unflushed results could be needed; the
+    /// runner must flush before popping an event at or past this.
+    pub fn deadline(&self) -> Option<Cycles> {
+        self.oldest_op.map(|t| t + self.lookahead)
+    }
+
+    /// Log an enqueue (the deferred `enqueue_traced`), pre-assigning the
+    /// device arrival sequence the sequential path would hand out.
+    pub fn enqueue(
+        &mut self,
+        tier: Tier,
+        ch: usize,
+        cmd: MemCmd,
+        now: Cycles,
+        class: BlameClass,
+        tag: Option<TraceTag>,
+    ) {
+        let ti = tier_idx(tier);
+        let seq = self.dev_seq[ti];
+        self.dev_seq[ti] += 1;
+        let w = self.widx(tier, ch);
+        self.workers[w].mirror.queue_len += 1;
+        self.workers[w]
+            .tx
+            .send(ToWorker::Op(ChanOp::Enqueue { cmd, now, class, tag, seq }))
+            .expect("channel worker died");
+    }
+
+    /// Commands the next pump on `(tier, ch)` will start — the count the
+    /// runner must reserve completion sequences for.
+    pub fn pump_count(&self, tier: Tier, ch: usize) -> u32 {
+        let m = &self.workers[self.widx(tier, ch)].mirror;
+        m.queue_len.min(PIPELINE_DEPTH - m.in_flight) as u32
+    }
+
+    /// Log a pump whose `expect` completions were reserved at `seq_base`.
+    /// Call only with `expect == pump_count(..) > 0`.
+    pub fn send_pump(&mut self, tier: Tier, ch: usize, now: Cycles, seq_base: u64, expect: u32) {
+        let w = self.widx(tier, ch);
+        let worker = &mut self.workers[w];
+        debug_assert_eq!(expect, {
+            let m = &worker.mirror;
+            m.queue_len.min(PIPELINE_DEPTH - m.in_flight) as u32
+        });
+        worker.mirror.queue_len -= expect as usize;
+        worker.mirror.in_flight += expect as usize;
+        worker.results_pending = true;
+        self.oldest_op.get_or_insert(now);
+        worker
+            .tx
+            .send(ToWorker::Op(ChanOp::Pump { now, seq_base, expect }))
+            .expect("channel worker died");
+    }
+
+    /// Log a completion (the deferred `on_complete_traced`).
+    pub fn complete(&mut self, tier: Tier, ch: usize, token: u64) {
+        let w = self.widx(tier, ch);
+        self.workers[w].mirror.in_flight -= 1;
+        self.workers[w]
+            .tx
+            .send(ToWorker::Op(ChanOp::Complete { token }))
+            .expect("channel worker died");
+    }
+
+    /// Collect every outstanding result. The sink receives each worker's
+    /// batch as `(tier, started, traces)`; afterwards no results are
+    /// outstanding and the deadline clears.
+    pub fn flush<F: FnMut(Tier, Vec<SeqStarted>, Vec<CmdTrace>)>(&mut self, mut sink: F) {
+        for i in 0..self.workers.len() {
+            if !self.workers[i].results_pending {
+                continue;
+            }
+            let tier = if i < self.fast_n { Tier::Fast } else { Tier::Slow };
+            self.workers[i].tx.send(ToWorker::Flush).expect("channel worker died");
+            match self.workers[i].rx.recv().expect("channel worker died") {
+                FromWorker::Batch { started, traces } => sink(tier, started, traces),
+                FromWorker::Shard(_) => unreachable!("unexpected shard on flush"),
+            }
+            self.workers[i].results_pending = false;
+        }
+        self.oldest_op = None;
+    }
+
+    /// Hard barrier: flush, then re-attach every shard so both devices are
+    /// whole (probes, telemetry, invariant checks). Follow with
+    /// [`Self::resume`] to detach again — or [`Self::shutdown`] to finish.
+    pub fn barrier<F: FnMut(Tier, Vec<SeqStarted>, Vec<CmdTrace>)>(
+        &mut self,
+        fast: &mut MemDevice,
+        slow: &mut MemDevice,
+        sink: F,
+    ) {
+        self.flush(sink);
+        for w in &self.workers {
+            w.tx.send(ToWorker::Yield).expect("channel worker died");
+        }
+        for (i, w) in self.workers.iter().enumerate() {
+            match w.rx.recv().expect("channel worker died") {
+                FromWorker::Shard(shard) => {
+                    let dev = if i < self.fast_n { &mut *fast } else { &mut *slow };
+                    dev.attach_shard(*shard);
+                }
+                FromWorker::Batch { .. } => unreachable!("unexpected batch on yield"),
+            }
+        }
+    }
+
+    /// Detach every channel again after a [`Self::barrier`].
+    pub fn resume(&mut self, fast: &mut MemDevice, slow: &mut MemDevice) {
+        for (i, w) in self.workers.iter().enumerate() {
+            let shard = if i < self.fast_n {
+                fast.detach_shard(i)
+            } else {
+                slow.detach_shard(i - self.fast_n)
+            };
+            w.tx.send(ToWorker::Resume(Box::new(shard))).expect("channel worker died");
+        }
+    }
+
+    /// Tear the workers down. Call after a final [`Self::barrier`] (all
+    /// shards re-attached, no outstanding results).
+    pub fn shutdown(mut self) {
+        for w in &mut self.workers {
+            // Dropping the sender ends the worker's recv loop.
+            let (dead_tx, _) = channel();
+            w.tx = dead_tx;
+            if let Some(j) = w.join.take() {
+                j.join().expect("channel worker panicked");
+            }
+        }
+    }
+}

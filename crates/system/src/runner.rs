@@ -17,10 +17,11 @@ use h2_hybrid::HmcStats;
 use h2_mem::device::{MemMetricHandles, MemStats, StartedCmd};
 use h2_mem::{EnergyBreakdown, MemDevice, TimingPreset};
 use h2_hybrid::TokenFlows;
-use h2_sim_core::trace_span::{BlameCause, CmdTrace, SpanCollector, SpanId};
+use crate::parallel::ParallelMem;
+use h2_sim_core::trace_span::{BlameCause, BlameClass, CmdTrace, SpanCollector, SpanId};
 use h2_sim_core::units::{Cycles, MIB};
 use h2_sim_core::{
-    CounterId, EventQueue, GaugeId, HistId, LogHistogram, MetricsRegistry, MonitorSet,
+    CounterId, EventQueue, GaugeId, HistId, LogHistogram, MetricsRegistry, MonitorSet, SimKernel,
 };
 use h2_trace::{Mix, WorkloadSpec};
 
@@ -211,6 +212,9 @@ struct Sim {
     out_buf: Vec<HmcOutput>,
     started_buf: Vec<StartedCmd>,
     trace_scratch: Vec<CmdTrace>,
+    /// Channel-worker controller — `Some` only while the `Parallel` kernel
+    /// drives the loop. Device calls divert to deferred ops when set.
+    par: Option<ParallelMem>,
 }
 
 impl Sim {
@@ -396,12 +400,14 @@ impl Sim {
     /// snapshots) and traced demands their span tag; decomposition records
     /// produced by started commands are drained into the tracer.
     fn issue_mem(&mut self, tier: Tier, channel: usize, cmd: h2_mem::MemCmd) {
+        if self.par.is_some() {
+            return self.issue_mem_par(tier, channel, cmd);
+        }
         let now = self.q.now();
         let traced = self.tracer.enabled();
         let mut started = std::mem::take(&mut self.started_buf);
         if traced {
-            let class = self.hmc.cmd_blame_class(cmd.token);
-            let tag = self.hmc.demand_trace(cmd.token);
+            let (class, tag) = self.hmc.cmd_trace_ctx(cmd.token);
             let d = self.dev(tier);
             d.enqueue_traced(channel, cmd, now, class, tag);
             d.pump(channel, now, &mut started);
@@ -424,10 +430,70 @@ impl Sim {
         self.started_buf = started;
     }
 
+    /// Parallel-kernel twin of [`Self::issue_mem`]: log the enqueue and
+    /// pump as deferred ops, reserving completion-event sequence numbers at
+    /// this exact program point so the eventual `MemDone`s land where the
+    /// sequential kernels would have scheduled them.
+    fn issue_mem_par(&mut self, tier: Tier, channel: usize, cmd: h2_mem::MemCmd) {
+        let now = self.q.now();
+        let (class, tag) = if self.tracer.enabled() {
+            self.hmc.cmd_trace_ctx(cmd.token)
+        } else {
+            (BlameClass::Background, None)
+        };
+        let par = self.par.as_mut().expect("parallel kernel active");
+        par.enqueue(tier, channel, cmd, now, class, tag);
+        let k = par.pump_count(tier, channel);
+        if k > 0 {
+            let seq_base = self.q.reserve_seqs(k as u64);
+            self.par
+                .as_mut()
+                .expect("parallel kernel active")
+                .send_pump(tier, channel, now, seq_base, k);
+        }
+    }
+
+    /// Parallel-kernel twin of the `MemDone` dispatch arm. The completion,
+    /// the controller's reaction, and the follow-up pump happen in the same
+    /// relative order as sequentially; only the device math is deferred.
+    fn mem_done_par(&mut self, tier: Tier, channel: usize, token: u64) {
+        // The span (if any) owning this demand completion must be read
+        // *before* `handle` retires the transaction — as sequentially.
+        let done_span = if self.tracer.enabled() {
+            self.hmc.demand_trace(token).map(|t| t.span)
+        } else {
+            None
+        };
+        self.par
+            .as_mut()
+            .expect("parallel kernel active")
+            .complete(tier, channel, token);
+        let mut out = std::mem::take(&mut self.out_buf);
+        self.hmc.handle(HmcEvent::MemDone(token), &mut out);
+        self.process_outputs(&mut out);
+        self.out_buf = out;
+        let now = self.q.now();
+        let par = self.par.as_mut().expect("parallel kernel active");
+        let k = par.pump_count(tier, channel);
+        if k > 0 {
+            let seq_base = self.q.reserve_seqs(k as u64);
+            self.par
+                .as_mut()
+                .expect("parallel kernel active")
+                .send_pump(tier, channel, now, seq_base, k);
+        }
+        if let Some(sid) = done_span {
+            self.tracer.close(sid, now);
+        }
+    }
+
     /// Move a channel's pending trace decompositions into the tracer using
     /// the recycled record/interval buffers — the pooled equivalent of
     /// `take_cmd_traces` + `absorb`.
     fn drain_traces(&mut self, tier: Tier, channel: usize) {
+        if !self.dev(tier).has_traces(channel) {
+            return;
+        }
         let swap = std::mem::take(&mut self.trace_scratch);
         let mut recs = self.dev(tier).take_traces_into(channel, swap);
         for rec in &recs {
@@ -858,20 +924,167 @@ impl Sim {
         }
     }
 
+    /// Drive the event loop with the configured dispatch kernel. All
+    /// kernels pop the same `(time, seq)` order, so the choice never
+    /// changes the simulation — only how the loop is driven (see
+    /// [`SimKernel`]).
     fn run(&mut self, mut monitors: Option<&mut MonitorSet<SimProbe>>) {
+        match self.cfg.kernel {
+            SimKernel::Scalar => self.run_scalar(&mut monitors),
+            SimKernel::Batched => self.run_batched(&mut monitors),
+            SimKernel::Parallel => self.run_parallel(&mut monitors),
+        }
+        // Final check once the queue drains (or the horizon passes): the
+        // end-of-run state must satisfy every invariant too.
+        if let Some(m) = monitors {
+            m.check_all(self.q.now(), &self.probe());
+        }
+    }
+
+    /// The reference loop: one pop per event.
+    fn run_scalar(&mut self, monitors: &mut Option<&mut MonitorSet<SimProbe>>) {
         while let Some(ev) = self.q.pop() {
             if ev.time > self.end {
                 break;
             }
-            match ev.payload {
+            self.dispatch(ev.time, ev.payload, monitors);
+        }
+    }
+
+    /// Batched loop: each same-timestamp frontier is drained from the
+    /// engine in one [`EventQueue::pop_batch`] call, amortising find-min
+    /// and bucket bookkeeping across the frontier. Events an in-flight
+    /// frontier *schedules* at the same timestamp land in the next batch —
+    /// exactly where the scalar loop would pop them, since their sequence
+    /// numbers are larger than the whole current frontier's.
+    fn run_batched(&mut self, monitors: &mut Option<&mut MonitorSet<SimProbe>>) {
+        // One frontier buffer for the whole run, recycled across batches.
+        let mut frontier: Vec<h2_sim_core::Scheduled<Ev>> = Vec::with_capacity(64);
+        while let Some(t) = self.q.peek_time() {
+            if t > self.end {
+                // Mirror the scalar loop byte-for-byte: it pops the first
+                // beyond-horizon event (counting it as processed) and stops.
+                self.q.pop();
+                break;
+            }
+            self.q.pop_batch(&mut frontier);
+            for ev in frontier.drain(..) {
+                self.dispatch(ev.time, ev.payload, monitors);
+            }
+        }
+    }
+
+    /// Channel-parallel conservative-lookahead loop (see `parallel.rs`).
+    ///
+    /// DRAM channels run on worker threads; the main loop logs deferred
+    /// device ops and flushes their results (completion events, trace
+    /// records) back whenever simulated time is about to reach the
+    /// lookahead window of the oldest outstanding op. Epoch, faucet, and
+    /// warm-up events are hard barriers: every shard is re-attached so the
+    /// probes and telemetry read whole devices, exactly as the sequential
+    /// kernels would.
+    fn run_parallel(&mut self, monitors: &mut Option<&mut MonitorSet<SimProbe>>) {
+        self.par = Some(ParallelMem::new(&mut self.fast, &mut self.slow));
+        loop {
+            if let Some(deadline) = self.par.as_ref().expect("parallel kernel active").deadline() {
+                // Results are outstanding. If the next event is at or past
+                // the oldest op's lookahead horizon — or the queue ran dry,
+                // meaning the only future events ARE those results — flush
+                // and re-peek: a flushed completion may now be earliest.
+                let must_flush = match self.q.peek_time() {
+                    Some(t) => t >= deadline,
+                    None => true,
+                };
+                if must_flush {
+                    self.flush_par();
+                    continue;
+                }
+            }
+            let Some(ev) = self.q.pop() else { break };
+            if ev.time > self.end {
+                break;
+            }
+            if matches!(ev.payload, Ev::Epoch | Ev::Faucet | Ev::WarmupEnd) {
+                self.barrier_par();
+                self.dispatch(ev.time, ev.payload, monitors);
+                self.resume_par();
+            } else {
+                self.dispatch(ev.time, ev.payload, monitors);
+            }
+        }
+        // Teardown: collect stragglers, re-attach every shard permanently,
+        // and join the workers. `run`'s final monitor check and the report
+        // builder read the whole devices afterwards.
+        self.barrier_par();
+        self.par.take().expect("parallel kernel active").shutdown();
+    }
+
+    /// Collect all outstanding worker results: absorb trace decompositions
+    /// and schedule completion events at their reserved sequence numbers.
+    fn flush_par(&mut self) {
+        let mut par = self.par.take().expect("parallel kernel active");
+        self.sink_batches(&mut par, false);
+        self.par = Some(par);
+    }
+
+    /// Flush, then re-attach every shard (hard barrier).
+    fn barrier_par(&mut self) {
+        let mut par = self.par.take().expect("parallel kernel active");
+        self.sink_batches(&mut par, true);
+        self.par = Some(par);
+    }
+
+    /// Detach every shard again after [`Self::barrier_par`].
+    fn resume_par(&mut self) {
+        let mut par = self.par.take().expect("parallel kernel active");
+        par.resume(&mut self.fast, &mut self.slow);
+        self.par = Some(par);
+    }
+
+    fn sink_batches(&mut self, par: &mut ParallelMem, barrier: bool) {
+        let q = &mut self.q;
+        let tracer = &mut self.tracer;
+        let sink = |tier: Tier, started: Vec<h2_mem::SeqStarted>, traces: Vec<CmdTrace>| {
+            for rec in &traces {
+                tracer.absorb_intervals(rec.span, &rec.intervals);
+            }
+            for s in started {
+                q.schedule_at_seq(
+                    s.cmd.done_at,
+                    s.seq,
+                    Ev::MemDone {
+                        tier,
+                        channel: s.cmd.channel,
+                        token: s.cmd.token,
+                    },
+                );
+            }
+        };
+        if barrier {
+            par.barrier(&mut self.fast, &mut self.slow, sink);
+        } else {
+            par.flush(sink);
+        }
+    }
+
+    /// Process one event. Shared by every dispatch kernel.
+    fn dispatch(
+        &mut self,
+        time: Cycles,
+        payload: Ev,
+        monitors: &mut Option<&mut MonitorSet<SimProbe>>,
+    ) {
+        {
+            let ev_time = time;
+            match payload {
                 Ev::CoreWake(i) => {
                     if self.cores[i].blocked == CoreBlock::None {
-                        self.core_step(i, ev.time);
+                        self.core_step(i, ev_time);
                     }
                 }
                 Ev::CtxWake(j) => {
                     if !self.ctxs[j].blocked {
-                        self.ctx_step(j, ev.time);
+                        self.ctx_step(j, ev_time);
                     }
                 }
                 Ev::HmcStart {
@@ -883,7 +1096,7 @@ impl Sim {
                     span,
                 } => {
                     if let Some(sid) = span {
-                        self.tracer.open(sid, class.idx() as u8, ev.time);
+                        self.tracer.open(sid, class.idx() as u8, ev_time);
                     }
                     let mut out = std::mem::take(&mut self.out_buf);
                     self.hmc
@@ -902,6 +1115,10 @@ impl Sim {
                     channel,
                     token,
                 } => {
+                    if self.par.is_some() {
+                        self.mem_done_par(tier, channel, token);
+                        return;
+                    }
                     let traced = self.tracer.enabled();
                     // The span (if any) owning this demand completion must
                     // be read *before* `handle` retires the transaction.
@@ -954,11 +1171,6 @@ impl Sim {
                 }
                 Ev::WarmupEnd => self.snapshot_warm(),
             }
-        }
-        // Final check once the queue drains (or the horizon passes): the
-        // end-of-run state must satisfy every invariant too.
-        if let Some(m) = monitors {
-            m.check_all(self.q.now(), &self.probe());
         }
     }
 }
@@ -1147,6 +1359,7 @@ pub fn run_workloads_monitored(
         out_buf: Vec::new(),
         started_buf: Vec::new(),
         trace_scratch: Vec::new(),
+        par: None,
     };
     if cfg.telemetry && !cfg.string_metrics {
         sim.init_metrics_layout();
@@ -1316,6 +1529,42 @@ mod tests {
         assert_eq!(a.clamped_events, b.clamped_events);
         assert_eq!(a.fast_channel_bytes, b.fast_channel_bytes);
         assert_eq!(a.slow_channel_bytes, b.slow_channel_bytes);
+    }
+
+    /// Every dispatch kernel must reproduce the scalar reference run
+    /// byte-for-byte, on both event engines, with full observation on
+    /// (telemetry + tracing) so the comparison covers the observational
+    /// state too.
+    #[test]
+    fn dispatch_kernels_are_bit_identical() {
+        let mut cfg = tiny();
+        cfg.telemetry = true;
+        cfg.trace_sample = Some(64);
+        let mix = Mix::by_name("C1").unwrap();
+        for engine in [h2_sim_core::EngineKind::Calendar, h2_sim_core::EngineKind::Heap] {
+            cfg.engine = engine;
+            cfg.kernel = h2_sim_core::SimKernel::Scalar;
+            let a = run_sim(&cfg, &mix, PolicyKind::HydrogenFull);
+            for kernel in [h2_sim_core::SimKernel::Batched, h2_sim_core::SimKernel::Parallel] {
+                cfg.kernel = kernel;
+                let b = run_sim(&cfg, &mix, PolicyKind::HydrogenFull);
+                assert_eq!(a.cpu_instr, b.cpu_instr, "{engine:?}/{kernel:?}");
+                assert_eq!(a.gpu_instr, b.gpu_instr, "{engine:?}/{kernel:?}");
+                assert_eq!(a.hmc, b.hmc, "{engine:?}/{kernel:?}");
+                assert_eq!(a.fast, b.fast, "{engine:?}/{kernel:?}");
+                assert_eq!(a.slow, b.slow, "{engine:?}/{kernel:?}");
+                assert_eq!(a.epoch_trace, b.epoch_trace, "{engine:?}/{kernel:?}");
+                assert_eq!(a.events_processed, b.events_processed, "{engine:?}/{kernel:?}");
+                assert_eq!(a.clamped_events, b.clamped_events, "{engine:?}/{kernel:?}");
+                assert_eq!(a.fast_channel_bytes, b.fast_channel_bytes, "{engine:?}/{kernel:?}");
+                assert_eq!(a.slow_channel_bytes, b.slow_channel_bytes, "{engine:?}/{kernel:?}");
+                let ta = a.telemetry_json_string().unwrap();
+                let tb = b.telemetry_json_string().unwrap();
+                assert!(!ta.is_empty());
+                assert_eq!(ta, tb, "telemetry must match: {engine:?}/{kernel:?}");
+                assert_eq!(a.trace, b.trace, "trace must match: {engine:?}/{kernel:?}");
+            }
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! offsets within the workload's footprint; the spec layer aligns them,
 //! assigns read/write, and spaces them with compute gaps.
 
-use h2_sim_core::SeededRng;
+use h2_sim_core::{SeededRng, ZipfDraw};
 
 /// One memory reference emitted by a trace generator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +75,10 @@ pub(crate) struct PatternState {
     cursors: Vec<u64>,
     next_stream: usize,
     phase: u64,
+    /// Hot-pattern terms that depend only on `(footprint, hot_frac,
+    /// zipf_s)`: the hot-region line count and the cached Zipf inverse-CDF
+    /// constants. Hoisted out of [`Self::next`], which runs per reference.
+    hot: Option<(u64, ZipfDraw)>,
 }
 
 impl PatternState {
@@ -85,11 +89,20 @@ impl PatternState {
                 .collect(),
             _ => vec![0],
         };
+        let hot = match &pattern {
+            Pattern::Hot { hot_frac, zipf_s, .. } => {
+                let hot_bytes = ((footprint as f64 * hot_frac) as u64).max(4096);
+                let lines = hot_bytes / 64;
+                Some((lines, ZipfDraw::new(lines, *zipf_s)))
+            }
+            _ => None,
+        };
         Self {
             pattern,
             cursors,
             next_stream: 0,
             phase: 0,
+            hot,
         }
     }
 
@@ -105,15 +118,10 @@ impl PatternState {
                 self.cursors[i] = (at + stride) % footprint;
                 (at, false)
             }
-            Pattern::Hot {
-                hot_frac,
-                hot_prob,
-                zipf_s,
-            } => {
-                let hot_bytes = ((footprint as f64 * hot_frac) as u64).max(4096);
+            Pattern::Hot { hot_prob, .. } => {
                 if rng.chance(*hot_prob) {
-                    let lines = hot_bytes / 64;
-                    let rank = rng.zipf(lines, *zipf_s);
+                    let (lines, zd) = self.hot.as_ref().expect("Hot state");
+                    let rank = zd.draw(rng);
                     // Spread ranks over the hot region so hot lines are not
                     // physically clustered (defeats pure spatial locality).
                     let line = rank.wrapping_mul(0x9e37_79b9_7f4a_7c15) % lines;

@@ -16,7 +16,7 @@
 //! and commit the updated files alongside the change that caused them.
 
 use hydrogen_repro::prelude::*;
-use hydrogen_repro::sim::EngineKind;
+use hydrogen_repro::sim::{EngineKind, SimKernel};
 use std::fs;
 use std::path::PathBuf;
 
@@ -41,6 +41,21 @@ fn check(name: &str, cfg: &SystemConfig, mix_name: &str, kind: PolicyKind) {
         .telemetry_json_string()
         .expect("telemetry must be enabled for golden runs");
     assert_eq!(got, via_heap, "{name}: engines must produce identical telemetry");
+
+    // The dispatch kernels must also reproduce the snapshot byte-for-byte:
+    // batching is a pure loop transformation and the channel-parallel
+    // kernel lands every completion at its sequential `(time, seq)` slot.
+    for kernel in [SimKernel::Batched, SimKernel::Parallel] {
+        let mut kcfg = cal.clone();
+        kcfg.kernel = kernel;
+        let via_kernel = run_sim(&kcfg, &mix, kind)
+            .telemetry_json_string()
+            .expect("telemetry must be enabled for golden runs");
+        assert_eq!(
+            got, via_kernel,
+            "{name}: {kernel:?} kernel must produce identical telemetry"
+        );
+    }
 
     let path = golden_path(name);
     if std::env::var_os("H2_BLESS").is_some() {
