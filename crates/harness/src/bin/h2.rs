@@ -11,6 +11,9 @@
 //! h2 fuzz --replay repro.json       # replay a committed reproducer
 //! h2 bench [--gate|--baseline]      # per-kernel hot-path bench / regression gate
 //! h2 bench --kernel batched         # bench one dispatch kernel only
+//! h2 sweep spec.json [--jobs 4]     # run a sweep campaign (see DESIGN.md §16)
+//! h2 cache stats                    # inspect the persistent run store
+//! h2 cache gc --max-bytes 512M      # LRU-evict the store down to a budget
 //! ```
 //!
 //! Scale with `H2_PROFILE=quick|default|full`; `H2_VERBOSE=1` for progress.
@@ -112,9 +115,15 @@ fn main() {
         Some("bench") => {
             std::process::exit(h2_harness::hotbench::cmd_bench(&args[1..]));
         }
+        Some("sweep") => {
+            std::process::exit(h2_harness::sweep::cmd_sweep(&args[1..], jobs));
+        }
+        Some("cache") => {
+            std::process::exit(h2_harness::sweep::cmd_cache(&args[1..]));
+        }
         _ => {
             eprintln!(
-                "usage: h2 list | h2 [--telemetry <dir>] [--trace <dir> [--trace-sample N]] [--jobs N] run <experiment>.. | h2 all | h2 fuzz [--seeds N] [--time-budget SECS] [--jobs N] [--replay FILE] | h2 bench [--gate|--baseline] [--iters N] [--kernel scalar|batched|parallel]"
+                "usage: h2 list | h2 [--telemetry <dir>] [--trace <dir> [--trace-sample N]] [--jobs N] run <experiment>.. | h2 all | h2 fuzz [--seeds N] [--time-budget SECS] [--jobs N] [--replay FILE] | h2 bench [--gate|--baseline] [--iters N] [--kernel scalar|batched|parallel] | h2 sweep <spec.json> [--out FILE] [--jobs N] | h2 cache stats|gc [--max-bytes N[K|M|G]] [--dir D]"
             );
             eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
             std::process::exit(2);

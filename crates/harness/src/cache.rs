@@ -58,7 +58,7 @@ impl Job {
 /// nearest ancestor that already has a `results/` dir or is a repo root —
 /// so `cargo bench` targets (whose CWD is the package dir) share one cache
 /// with the `h2` CLI (run from the workspace root).
-fn default_cache_dir() -> std::path::PathBuf {
+pub(crate) fn default_cache_dir() -> std::path::PathBuf {
     let cwd = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
     let mut at = cwd.as_path();
     loop {
@@ -69,6 +69,20 @@ fn default_cache_dir() -> std::path::PathBuf {
             Some(p) => at = p,
             None => return cwd.join("results/.runcache"),
         }
+    }
+}
+
+/// Resolve the persistent-cache directory the way [`RunCache::persistent`]
+/// does: `H2_RUNCACHE` set to `off`/`0` disables the tier (`None`), any
+/// other value overrides the directory, unset falls back to the default
+/// workspace-root `results/.runcache`. The `h2 sweep` / `h2 cache`
+/// subcommands use this so they always target the same store the
+/// experiment harness populates.
+pub fn resolve_cache_dir() -> Option<PathBuf> {
+    match std::env::var("H2_RUNCACHE") {
+        Ok(v) if v == "off" || v == "0" => None,
+        Ok(v) => Some(PathBuf::from(v)),
+        Err(_) => Some(default_cache_dir()),
     }
 }
 
@@ -151,11 +165,7 @@ impl RunCache {
     /// Falls back to memory-only if the directory cannot be created.
     pub fn persistent() -> Self {
         let mut c = Self::new();
-        let dir = match std::env::var("H2_RUNCACHE") {
-            Ok(v) if v == "off" || v == "0" => return c,
-            Ok(v) => std::path::PathBuf::from(v),
-            Err(_) => default_cache_dir(),
-        };
+        let Some(dir) = resolve_cache_dir() else { return c };
         match DiskTier::open(&dir) {
             Ok(t) => c.disk = Some(t),
             Err(e) => eprintln!("[h2] run cache disabled ({}: {e})", dir.display()),
@@ -173,6 +183,13 @@ impl RunCache {
     /// Whether a persistent tier is attached.
     pub fn is_persistent(&self) -> bool {
         self.disk.is_some()
+    }
+
+    /// The sharded store behind the persistent tier, if any. The
+    /// crash-consistency suite uses this to inject commit faults and read
+    /// quarantine counters on the exact handle the cache writes through.
+    pub fn disk_store(&self) -> Option<&crate::sweep::store::ShardedStore> {
+        self.disk.as_ref().map(DiskTier::sharded)
     }
 
     /// Cap the `run_batch` worker pool at `n` threads (`n = 1` forces

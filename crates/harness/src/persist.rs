@@ -1,10 +1,13 @@
 //! The persistent on-disk tier of the run cache.
 //!
 //! Layout: one file per cached run under the cache directory (default
-//! `results/.runcache/`), named `<032x-key>.h2r`, plus a `VERSION` file
-//! holding the cache tag. Entries are a small hand-rolled little-endian
-//! binary encoding of [`RunReport`] behind a `H2RC` magic + tag header (no
-//! serde — the workspace builds with zero external dependencies).
+//! `results/.runcache/`), named `<shard>/<032x-key>.h2r` where `<shard>`
+//! is the top byte of the key in hex (256 shards; see
+//! [`crate::sweep::store`] for the concurrency and crash-safety design),
+//! plus a `VERSION` file holding the cache tag. Entries are a small
+//! hand-rolled little-endian binary encoding of [`RunReport`] behind a
+//! `H2RC` magic + tag header (no serde — the workspace builds with zero
+//! external dependencies).
 //!
 //! Invalidation rule: the tag couples a hand-bumped schema number with the
 //! crate version. When the directory's `VERSION` (or an entry's header)
@@ -12,12 +15,12 @@
 //! wholesale and the cache restarts cold. Bump [`SCHEMA_VERSION`] whenever
 //! simulator behaviour or this encoding changes.
 
+use crate::sweep::store::ShardedStore;
 use h2_sim_core::trace_span::{BlameCause, Span, SpanInterval, MAX_SPANS};
 use h2_sim_core::{LogHistogram, MetricsRegistry};
 use h2_system::report::{EpochFrame, EpochRecord, RunReport, RunTelemetry, RunTrace};
-use std::fs;
 use std::io;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
 /// Entry-file magic.
 const MAGIC: [u8; 4] = *b"H2RC";
@@ -224,7 +227,7 @@ pub fn codec_roundtrip(report: &RunReport) -> Result<RunReport, String> {
     })
 }
 
-fn encode_report(r: &RunReport, tag: &str) -> Vec<u8> {
+pub(crate) fn encode_report(r: &RunReport, tag: &str) -> Vec<u8> {
     let mut e = Enc::default();
     e.buf.extend_from_slice(&MAGIC);
     e.u32(SCHEMA_VERSION);
@@ -353,7 +356,7 @@ fn decode_trace(d: &mut Dec) -> Option<RunTrace> {
     Some(RunTrace { sample, dropped, spans })
 }
 
-fn decode_report(bytes: &[u8], tag: &str) -> Option<RunReport> {
+pub(crate) fn decode_report(bytes: &[u8], tag: &str) -> Option<RunReport> {
     let mut d = Dec::new(bytes);
     if d.take(4)? != MAGIC || d.u32()? != SCHEMA_VERSION || d.str()? != tag {
         return None;
@@ -496,10 +499,16 @@ fn decode_report(bytes: &[u8], tag: &str) -> Option<RunReport> {
 // --- the disk tier --------------------------------------------------------
 
 /// A directory of persisted runs, validated against [`cache_tag`].
+///
+/// Since the sweep-service work this is a thin wrapper over the sharded,
+/// concurrent-safe store ([`crate::sweep::store::ShardedStore`]): entries
+/// live in 256 key-prefix shard directories, publishes are atomic with
+/// thread-unique temp names, damaged entries are quarantined as `*.bad`,
+/// and a per-shard index feeds the LRU evictor (`h2 cache gc`). The flat
+/// single-directory layout written by older revisions is migrated on open.
 #[derive(Debug)]
 pub struct DiskTier {
-    dir: PathBuf,
-    tag: String,
+    inner: ShardedStore,
 }
 
 impl DiskTier {
@@ -507,57 +516,35 @@ impl DiskTier {
     /// stale entries so the cache restarts cold instead of serving results
     /// from an older simulator revision.
     pub fn open(dir: &Path) -> io::Result<Self> {
-        fs::create_dir_all(dir)?;
-        let tag = cache_tag();
-        let version_file = dir.join("VERSION");
-        let on_disk = fs::read_to_string(&version_file).unwrap_or_default();
-        if on_disk != tag {
-            for entry in fs::read_dir(dir)?.flatten() {
-                let p = entry.path();
-                if p.extension().is_some_and(|e| e == "h2r") {
-                    let _ = fs::remove_file(p);
-                }
-            }
-            fs::write(&version_file, &tag)?;
-        }
-        Ok(Self { dir: dir.to_path_buf(), tag })
+        Ok(Self { inner: ShardedStore::open(dir)? })
     }
 
     /// The directory this tier lives in.
     pub fn dir(&self) -> &Path {
-        &self.dir
+        self.inner.dir()
     }
 
-    fn entry_path(&self, key: u128) -> PathBuf {
-        self.dir.join(format!("{key:032x}.h2r"))
-    }
-
-    /// Load a persisted run, if present and valid.
+    /// Load a persisted run, if present and valid. Damaged entries are
+    /// quarantined and read as misses.
     pub fn load(&self, key: u128) -> Option<RunReport> {
-        let bytes = fs::read(self.entry_path(key)).ok()?;
-        decode_report(&bytes, &self.tag)
+        self.inner.load(key)
     }
 
-    /// Persist a run (atomically: write temp, then rename, so a concurrent
-    /// reader or a crash never sees a half-written entry).
+    /// Persist a run (atomically: write a uniquely named temp file, then
+    /// rename, so a concurrent reader or a crash never sees a
+    /// half-written entry).
     pub fn store(&self, key: u128, report: &RunReport) -> io::Result<()> {
-        let bytes = encode_report(report, &self.tag);
-        let tmp = self
-            .dir
-            .join(format!("{key:032x}.h2r.tmp{}", std::process::id()));
-        fs::write(&tmp, &bytes)?;
-        fs::rename(&tmp, self.entry_path(key))
+        self.inner.store(key, report)
     }
 
     /// Number of entries currently on disk.
     pub fn entries(&self) -> usize {
-        fs::read_dir(&self.dir)
-            .map(|rd| {
-                rd.flatten()
-                    .filter(|e| e.path().extension().is_some_and(|x| x == "h2r"))
-                    .count()
-            })
-            .unwrap_or(0)
+        self.inner.entries()
+    }
+
+    /// The underlying sharded store (stats, gc, fault injection).
+    pub fn sharded(&self) -> &ShardedStore {
+        &self.inner
     }
 }
 
@@ -566,6 +553,8 @@ mod tests {
     use super::*;
     use h2_system::{run_sim, PolicyKind, SystemConfig};
     use h2_trace::Mix;
+    use std::fs;
+    use std::path::PathBuf;
 
     fn tmp_dir(name: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!(

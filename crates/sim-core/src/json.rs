@@ -62,6 +62,56 @@ impl Json {
         }
     }
 
+    /// The value as an unsigned integer ([`Json::U64`] only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float; integers widen losslessly where possible.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::F64(v) => Some(*v),
+            Json::U64(v) => Some(*v as f64),
+            Json::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// The fields of an object, in insertion order.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
     /// Serialise compactly (no whitespace).
     pub fn to_string_compact(&self) -> String {
         let mut s = String::new();
@@ -483,6 +533,26 @@ mod tests {
         s.clear();
         write_f64(&mut s, 0.30000000000000004);
         assert_eq!(s.parse::<f64>().unwrap(), 0.30000000000000004);
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let j = Json::obj()
+            .field("u", 7u64)
+            .field("f", 2.5f64)
+            .field("s", "hi")
+            .field("b", true)
+            .field("a", Json::Arr(vec![Json::U64(1), Json::U64(2)]));
+        assert_eq!(j.get("u").and_then(Json::as_u64), Some(7));
+        assert_eq!(j.get("u").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(j.get("f").and_then(Json::as_f64), Some(2.5));
+        assert_eq!(j.get("f").and_then(Json::as_u64), None);
+        assert_eq!(j.get("s").and_then(Json::as_str), Some("hi"));
+        assert_eq!(j.get("b").and_then(Json::as_bool), Some(true));
+        assert_eq!(j.get("a").and_then(Json::as_array).map(|a| a.len()), Some(2));
+        assert_eq!(j.as_object().map(|f| f.len()), Some(5));
+        assert_eq!(Json::Null.as_object(), None);
+        assert_eq!(Json::Null.as_u64(), None);
     }
 
     #[test]

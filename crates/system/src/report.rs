@@ -167,7 +167,47 @@ impl RunReport {
     pub fn slow_traffic(&self) -> u64 {
         self.slow.bytes
     }
+
+    /// Look a scalar metric up by its stable name (see [`METRIC_NAMES`]).
+    /// This is the lookup the sweep engine's hill-climb search and summary
+    /// tables use, so the names are part of the sweep-spec schema.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        Some(match name {
+            "weighted_ipc" => self.weighted_ipc(),
+            "cpu_ipc" => self.cpu_ipc(),
+            "gpu_ipc" => self.gpu_ipc(),
+            "energy_j" => self.energy_j(),
+            "slow_traffic_bytes" => self.slow_traffic() as f64,
+            "remap_hit_rate" => self.remap_hit_rate,
+            "avg_cpu_read_latency" => self.avg_cpu_read_latency,
+            "avg_gpu_read_latency" => self.avg_gpu_read_latency,
+            "measured_cycles" => self.measured_cycles as f64,
+            "cpu_instr" => self.cpu_instr as f64,
+            "gpu_instr" => self.gpu_instr as f64,
+            "migrations" => (self.hmc.migrations[0] + self.hmc.migrations[1]) as f64,
+            "row_conflicts" => (self.fast.row_conflicts + self.slow.row_conflicts) as f64,
+            _ => return None,
+        })
+    }
 }
+
+/// Every name [`RunReport::metric`] resolves, for validation and error
+/// messages. Keep the two lists in sync (pinned by a unit test).
+pub const METRIC_NAMES: &[&str] = &[
+    "weighted_ipc",
+    "cpu_ipc",
+    "gpu_ipc",
+    "energy_j",
+    "slow_traffic_bytes",
+    "remap_hit_rate",
+    "avg_cpu_read_latency",
+    "avg_gpu_read_latency",
+    "measured_cycles",
+    "cpu_instr",
+    "gpu_instr",
+    "migrations",
+    "row_conflicts",
+];
 
 #[cfg(test)]
 mod tests {
@@ -225,6 +265,17 @@ mod tests {
         assert!((sg - 1.0).abs() < 1e-9);
         let ws = fast.weighted_speedup(&base);
         assert!((ws - (12.0 / 13.0 * 1.5 + 1.0 / 13.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metric_lookup_covers_every_listed_name() {
+        let r = report(2000, 13_000);
+        for name in METRIC_NAMES {
+            assert!(r.metric(name).is_some(), "METRIC_NAMES entry '{name}' must resolve");
+        }
+        assert!((r.metric("weighted_ipc").unwrap() - r.weighted_ipc()).abs() < 1e-12);
+        assert!((r.metric("cpu_instr").unwrap() - 2000.0).abs() < 1e-12);
+        assert_eq!(r.metric("no_such_metric"), None);
     }
 
     #[test]

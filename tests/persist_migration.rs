@@ -25,14 +25,31 @@ fn tiny_job() -> Job {
     Job::new(&cfg, &Mix::by_name("C1").unwrap(), PolicyKind::NoPart)
 }
 
-/// The single `.h2r` entry file in `dir`.
+/// All files under `dir` (one level of shard subdirectories deep) whose
+/// extension is `ext`.
+fn files_with_ext(dir: &Path, ext: &str) -> Vec<PathBuf> {
+    let mut found = Vec::new();
+    for entry in fs::read_dir(dir).unwrap().flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            found.extend(
+                fs::read_dir(&p)
+                    .unwrap()
+                    .flatten()
+                    .map(|e| e.path())
+                    .filter(|p| p.extension().is_some_and(|x| x == ext)),
+            );
+        } else if p.extension().is_some_and(|x| x == ext) {
+            found.push(p);
+        }
+    }
+    found
+}
+
+/// The single `.h2r` entry file in `dir` (the store shards entries into
+/// key-prefix subdirectories).
 fn entry_file(dir: &Path) -> PathBuf {
-    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
-        .unwrap()
-        .flatten()
-        .map(|e| e.path())
-        .filter(|p| p.extension().is_some_and(|x| x == "h2r"))
-        .collect();
+    let mut entries = files_with_ext(dir, "h2r");
     assert_eq!(entries.len(), 1, "expected exactly one cache entry in {dir:?}");
     entries.pop().unwrap()
 }
@@ -128,6 +145,107 @@ fn version_file_mismatch_wipes_stale_entries() {
     let report = cache.run(&tiny_job());
     assert_eq!((cache.disk_hits, cache.executed), (0, 1));
     assert_eq!(report.cpu_instr, fingerprint);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn writer_death_before_rename_publishes_nothing() {
+    // Crash-consistency: a writer that dies after writing its temp file
+    // but before the rename must leave no visible entry — only an
+    // abandoned temp — and the next run re-executes and publishes a good
+    // entry alongside it.
+    use h2_harness::sweep::store::{CommitFault, ShardedStore, STALE_TMP};
+    let dir = scratch("die-before-rename");
+    let job = tiny_job();
+    let fingerprint = {
+        let mut cache = RunCache::with_disk_dir(&dir).unwrap();
+        cache.disk_store().unwrap().set_commit_fault(CommitFault::DieBeforeRename);
+        cache.run(&job).cpu_instr
+    };
+    assert!(files_with_ext(&dir, "h2r").is_empty(), "no entry may be visible");
+    assert_eq!(files_with_ext(&dir, "tmp").len(), 1, "the orphaned temp remains");
+
+    let mut cache = RunCache::with_disk_dir(&dir).unwrap();
+    let report = cache.run(&tiny_job());
+    assert_eq!((cache.disk_hits, cache.executed), (0, 1), "abandoned commit reads as a miss");
+    assert_eq!(report.cpu_instr, fingerprint);
+    assert_eq!(files_with_ext(&dir, "h2r").len(), 1, "healthy commit published");
+
+    // gc with a zero TTL sweeps the orphan.
+    let store = ShardedStore::open(&dir).unwrap();
+    let gc = store.gc(u64::MAX, std::time::Duration::ZERO).unwrap();
+    assert_eq!(gc.tmp_removed, 1);
+    assert_eq!(gc.evicted, 0);
+    let _ = STALE_TMP; // the production TTL exists and is non-zero
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_rename_target_is_quarantined_and_reexecuted() {
+    // Crash-consistency: simulate a torn entry *after* the rename (e.g. a
+    // kernel crash before data blocks hit disk). The store must detect
+    // the damage on load, quarantine the file as `*.bad`, re-execute, and
+    // publish a fresh entry over it.
+    use h2_harness::sweep::store::CommitFault;
+    for cut in [0u64, 8, 40] {
+        let dir = scratch("truncate-target");
+        let job = tiny_job();
+        let fingerprint = {
+            let mut cache = RunCache::with_disk_dir(&dir).unwrap();
+            cache.disk_store().unwrap().set_commit_fault(CommitFault::TruncateTarget(cut));
+            cache.run(&job).cpu_instr
+        };
+        let entry = entry_file(&dir);
+        assert_eq!(fs::metadata(&entry).unwrap().len(), cut, "entry is torn");
+
+        let mut cache = RunCache::with_disk_dir(&dir).unwrap();
+        let report = cache.run(&tiny_job());
+        assert_eq!((cache.disk_hits, cache.executed), (0, 1), "cut={cut}: torn entry is a miss");
+        assert_eq!(report.cpu_instr, fingerprint);
+        assert_eq!(cache.disk_store().unwrap().quarantined(), 1, "cut={cut}: quarantined");
+        assert_eq!(files_with_ext(&dir, "bad").len(), 1);
+        assert_eq!(files_with_ext(&dir, "h2r").len(), 1, "good entry re-published");
+
+        // The re-published entry serves the next cache cold.
+        let mut warm = RunCache::with_disk_dir(&dir).unwrap();
+        warm.run(&tiny_job());
+        assert_eq!((warm.disk_hits, warm.executed), (1, 0));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn same_key_concurrent_stores_never_tear() {
+    // Regression for the flat-layout race: the old temp-file name was
+    // `<key>.h2r.tmp<pid>`, identical for every thread of one process, so
+    // two same-key writers interleaved `fs::write` calls and could rename
+    // a torn file into place. Unique temp names make the race benign:
+    // whatever rename lands last, the visible entry is complete.
+    use h2_harness::sweep::store::ShardedStore;
+    use std::sync::Arc;
+    let dir = scratch("same-key-race");
+    let store = Arc::new(ShardedStore::open(&dir).unwrap());
+    let report = {
+        let mut cache = RunCache::new();
+        cache.run(&tiny_job())
+    };
+    let key = tiny_job().key();
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let store = Arc::clone(&store);
+            let report = report.clone();
+            s.spawn(move || {
+                for _ in 0..25 {
+                    store.store(key, &report).unwrap();
+                }
+            });
+        }
+    });
+    assert_eq!(store.entries(), 1);
+    assert_eq!(files_with_ext(&dir, "tmp").len(), 0, "no abandoned temps");
+    let loaded = ShardedStore::open(&dir).unwrap().load(key).expect("entry intact");
+    assert_eq!(loaded.cpu_instr, report.cpu_instr);
+    assert_eq!(store.quarantined(), 0, "nothing was ever torn");
     let _ = fs::remove_dir_all(&dir);
 }
 
