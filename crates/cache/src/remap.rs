@@ -8,6 +8,7 @@
 //! layer), and evicting a dirty entry costs a metadata write-back.
 
 use crate::sram::{AccessOutcome, CacheConfig, SetAssocCache};
+use h2_sim_core::prof;
 use h2_sim_core::units::{Cycles, KIB};
 
 /// Result of a remap-cache lookup.
@@ -61,6 +62,9 @@ impl RemapCache {
     /// recency and filling on miss. `dirty` marks the entry as modified
     /// (metadata will change, e.g. a fill or LRU update that must persist).
     pub fn lookup(&mut self, set_id: u64, dirty: bool) -> RemapLookup {
+        // Host-time attribution: the SRAM walk proper, distinct from the
+        // miss handling the hybrid layer performs around this call.
+        let _prof = prof::scope("cache.remap_probe");
         match self.inner.access(set_id * ENTRY_BYTES, dirty) {
             AccessOutcome::Hit => RemapLookup::Hit,
             AccessOutcome::Miss { victim } => RemapLookup::Miss {

@@ -5,6 +5,7 @@
 //! h2 run fig5 [fig6 ...]            # run selected experiments
 //! h2 run --telemetry <dir> fig9     # also dump per-run telemetry JSON
 //! h2 run --trace <dir> fig9         # also dump Perfetto request traces
+//! h2 run --profile <dir> fig9       # also dump a host-time self-profile
 //! h2 all                            # run everything (Tables I-II, Figs 2, 5-11)
 //! h2 run --jobs 4 fig8              # cap the simulation worker pool
 //! h2 fuzz --seeds 500               # deterministic simulation fuzzer (h2-check)
@@ -30,8 +31,15 @@
 //! loadable at <https://ui.perfetto.dev>. `--trace-sample N` sets the
 //! sampling rate (every `N`-th demand read; default 64). Cached runs that
 //! were executed without tracing are transparently re-executed with it.
+//!
+//! `--profile <dir>` arms the host-side self-profiler (`h2_sim_core::prof`)
+//! for the whole invocation and writes `profile.txt` / `profile.json` /
+//! `profile.folded` into the directory (see DESIGN.md §17). The profile
+//! covers *executed* simulations only — cache replays spend no simulator
+//! time, so a fully warm run produces a near-empty profile.
 
 use h2_harness::{run_experiment, validate_run_ids, Profile, RunCache, ALL_EXPERIMENTS};
+use h2_sim_core::prof;
 use std::path::{Path, PathBuf};
 
 // With the `alloc-count` feature, every allocation in the process goes
@@ -63,6 +71,14 @@ fn main() {
 
     let telemetry_dir = take_flag(&mut args, "--telemetry").map(PathBuf::from);
     let trace_dir = take_flag(&mut args, "--trace").map(PathBuf::from);
+    // `--profile` is value-taking here (`h2 run --profile <dir>`) but a
+    // plain boolean for `h2 bench --profile`; leave it for cmd_bench to
+    // parse when the bench subcommand is present.
+    let profile_dir = if args.iter().any(|a| a == "bench") {
+        None
+    } else {
+        take_flag(&mut args, "--profile").map(PathBuf::from)
+    };
     let trace_sample = match take_flag(&mut args, "--trace-sample") {
         Some(v) => match v.parse::<u64>() {
             Ok(n) => Some(n),
@@ -99,7 +115,14 @@ fn main() {
             println!("profile: {profile:?} (H2_PROFILE=quick|default|full)");
         }
         Some("all") => {
-            run_ids(&ALL_EXPERIMENTS, &profile, telemetry_dir.as_deref(), trace.as_ref(), jobs);
+            run_ids(
+                &ALL_EXPERIMENTS,
+                &profile,
+                telemetry_dir.as_deref(),
+                trace.as_ref(),
+                profile_dir.as_deref(),
+                jobs,
+            );
         }
         Some("run") if args.len() > 1 => {
             let ids: Vec<&str> = args[1..].iter().map(|s| s.as_str()).collect();
@@ -107,7 +130,14 @@ fn main() {
                 eprintln!("{e}");
                 std::process::exit(2);
             }
-            run_ids(&ids, &profile, telemetry_dir.as_deref(), trace.as_ref(), jobs);
+            run_ids(
+                &ids,
+                &profile,
+                telemetry_dir.as_deref(),
+                trace.as_ref(),
+                profile_dir.as_deref(),
+                jobs,
+            );
         }
         Some("fuzz") => {
             std::process::exit(h2_harness::fuzz_cli::cmd_fuzz(&args[1..]));
@@ -123,7 +153,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: h2 list | h2 [--telemetry <dir>] [--trace <dir> [--trace-sample N]] [--jobs N] run <experiment>.. | h2 all | h2 fuzz [--seeds N] [--time-budget SECS] [--jobs N] [--replay FILE] | h2 bench [--gate|--baseline] [--iters N] [--kernel scalar|batched|parallel] | h2 sweep <spec.json> [--out FILE] [--jobs N] | h2 cache stats|gc [--max-bytes N[K|M|G]] [--dir D]"
+                "usage: h2 list | h2 [--telemetry <dir>] [--trace <dir> [--trace-sample N]] [--profile <dir>] [--jobs N] run <experiment>.. | h2 all | h2 fuzz [--seeds N] [--time-budget SECS] [--jobs N] [--replay FILE] | h2 bench [--gate|--baseline] [--iters N] [--kernel scalar|batched|parallel] [--preset tiny|multichan] [--profile] | h2 sweep <spec.json> [--out FILE] [--jobs N] | h2 cache stats|gc [--max-bytes N[K|M|G]] [--dir D]"
             );
             eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
             std::process::exit(2);
@@ -136,8 +166,14 @@ fn run_ids(
     profile: &Profile,
     telemetry_dir: Option<&Path>,
     trace: Option<&(PathBuf, u64)>,
+    profile_dir: Option<&Path>,
     jobs: Option<usize>,
 ) {
+    if profile_dir.is_some() {
+        prof::set_alloc_probe(h2_harness::alloc_count::allocs);
+        prof::reset();
+        prof::arm();
+    }
     let mut cache = RunCache::persistent();
     if let Some(n) = jobs {
         cache.set_jobs(n);
@@ -179,4 +215,20 @@ fn run_ids(
         t0.elapsed().as_secs_f64(),
         cache.summary()
     );
+    if let Some(dir) = profile_dir {
+        prof::disarm();
+        let report = prof::take_report();
+        match h2_harness::profout::write_profile(dir, &report) {
+            Ok(paths) => {
+                print!("{}", report.render_text());
+                for p in &paths {
+                    eprintln!("profile: {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot write profile to {}: {e}", dir.display());
+                std::process::exit(2);
+            }
+        }
+    }
 }

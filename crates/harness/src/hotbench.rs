@@ -49,13 +49,25 @@
 //! parallel kernel is exempt — cross-thread batches allocate by design.
 
 use crate::alloc_count;
-use h2_sim_core::{Json, SimKernel};
+use h2_sim_core::{prof, Json, SimKernel};
 use h2_system::{run_sim, PolicyKind, SystemConfig};
 use h2_trace::Mix;
 use std::path::PathBuf;
 
 /// Machine-readable results file, written at the repo root.
 pub const RESULTS_FILE: &str = "BENCH_hotpath.json";
+
+/// Results file for the multi-channel preset. Kept separate from
+/// [`RESULTS_FILE`] so the committed tiny baseline and its gate are
+/// untouched by preset runs.
+pub const RESULTS_FILE_MULTICHAN: &str = "BENCH_hotpath_multichan.json";
+
+/// The known bench presets. `tiny` is the gated configuration; `multichan`
+/// doubles cores/EUs and channels (16 shards) so the parallel kernel's
+/// conservative-lookahead window is wide enough to be measured fairly
+/// (ROADMAP item 2a) — its numbers feed the nightly candidate artifact,
+/// never the committed baseline.
+pub const PRESETS: &[&str] = &["tiny", "multichan"];
 
 /// Committed baseline path, relative to the repo root.
 pub const BASELINE_FILE: &str = "tests/bench/hotpath_baseline.json";
@@ -97,11 +109,24 @@ pub struct BenchArgs {
     pub iters: u64,
     /// Kernels to measure (names from [`KERNELS`]); empty means all.
     pub kernels: Vec<&'static str>,
+    /// Bench preset (name from [`PRESETS`]).
+    pub preset: &'static str,
+    /// After timing each kernel, run once with the self-profiler armed and
+    /// print the host-time attribution tree (the timed iterations stay
+    /// unprofiled so the recorded numbers are undistorted).
+    pub profile: bool,
 }
 
 impl Default for BenchArgs {
     fn default() -> Self {
-        BenchArgs { gate: false, baseline: false, iters: 20, kernels: Vec::new() }
+        BenchArgs {
+            gate: false,
+            baseline: false,
+            iters: 20,
+            kernels: Vec::new(),
+            preset: "tiny",
+            profile: false,
+        }
     }
 }
 
@@ -150,9 +175,22 @@ impl BenchArgs {
                         }
                     }
                 }
+                "--preset" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| "--preset needs an argument".to_string())?;
+                    out.preset = PRESETS
+                        .iter()
+                        .find(|p| **p == v.as_str())
+                        .copied()
+                        .ok_or_else(|| {
+                            format!("unknown preset '{v}' (choose from: {})", PRESETS.join(", "))
+                        })?;
+                }
+                "--profile" => out.profile = true,
                 other => {
                     return Err(format!(
-                        "unknown argument '{other}' (usage: h2 bench [--gate] [--baseline] [--iters N] [--kernel scalar|batched|parallel])"
+                        "unknown argument '{other}' (usage: h2 bench [--gate] [--baseline] [--iters N] [--kernel scalar|batched|parallel] [--preset tiny|multichan] [--profile])"
                     ))
                 }
             }
@@ -162,6 +200,12 @@ impl BenchArgs {
                 "--gate and --baseline are mutually exclusive (a gate compares, a baseline overwrites)"
                     .into(),
             );
+        }
+        if out.preset != "tiny" && (out.gate || out.baseline) {
+            return Err(format!(
+                "--preset {} cannot be gated or baselined (the committed baseline records the tiny preset only)",
+                out.preset
+            ));
         }
         Ok(out)
     }
@@ -176,11 +220,19 @@ impl BenchArgs {
     }
 }
 
-/// The benchmark configuration: the tiny system, fully observed. Matches
-/// the `full_system_tiny_c1_150k_traced` microbench, the workload the
-/// ≥1.5x hot-path acceptance bar is stated against.
-fn bench_cfg(measure_cycles: u64, kernel: SimKernel) -> SystemConfig {
+/// The benchmark configuration: the preset system, fully observed. The
+/// `tiny` preset matches the `full_system_tiny_c1_150k_traced` microbench,
+/// the workload the ≥1.5x hot-path acceptance bar is stated against. The
+/// `multichan` preset widens the machine to 8+8 channels (16 shards) with
+/// twice the cores/EUs to keep them fed.
+fn bench_cfg(preset: &str, measure_cycles: u64, kernel: SimKernel) -> SystemConfig {
     let mut cfg = SystemConfig::tiny();
+    if preset == "multichan" {
+        cfg.cpu_cores = 4;
+        cfg.gpu_eus = 32;
+        cfg.fast_channels = 8;
+        cfg.slow_channels = 8;
+    }
     cfg.warmup_cycles = 50_000;
     cfg.measure_cycles = measure_cycles;
     cfg.telemetry = true;
@@ -189,14 +241,30 @@ fn bench_cfg(measure_cycles: u64, kernel: SimKernel) -> SystemConfig {
     cfg
 }
 
+/// The stable bench identifier recorded in the results document.
+fn bench_name(preset: &str) -> &'static str {
+    match preset {
+        "multichan" => "full_system_multichan_c1_150k_traced",
+        _ => "full_system_tiny_c1_150k_traced",
+    }
+}
+
+/// Results file for a preset (at the repo root).
+fn results_file(preset: &str) -> &'static str {
+    match preset {
+        "multichan" => RESULTS_FILE_MULTICHAN,
+        _ => RESULTS_FILE,
+    }
+}
+
 /// One timed measurement of the traced full-system run.
 struct Measured {
     ns: Vec<u64>,
     events_per_iter: u64,
 }
 
-fn measure(iters: u64, kernel: SimKernel) -> Measured {
-    let cfg = bench_cfg(100_000, kernel);
+fn measure(preset: &str, iters: u64, kernel: SimKernel) -> Measured {
+    let cfg = bench_cfg(preset, 100_000, kernel);
     let mix = Mix::by_name("C1").unwrap();
     // Warm the page cache, branch predictors, and the lazy workload tables.
     let warm = run_sim(&cfg, &mix, PolicyKind::HydrogenFull);
@@ -220,13 +288,13 @@ fn measure(iters: u64, kernel: SimKernel) -> Measured {
 /// that differ only in measure-window length, so constructor and warm-up
 /// allocations cancel and only the per-event steady state remains.
 /// `None` when the counting allocator is not compiled in.
-fn allocs_per_event(kernel: SimKernel) -> Option<f64> {
+fn allocs_per_event(preset: &str, kernel: SimKernel) -> Option<f64> {
     if !alloc_count::enabled() {
         return None;
     }
     let mix = Mix::by_name("C1").unwrap();
-    let short = bench_cfg(100_000, kernel);
-    let long = bench_cfg(300_000, kernel);
+    let short = bench_cfg(preset, 100_000, kernel);
+    let long = bench_cfg(preset, 300_000, kernel);
     let a0 = alloc_count::allocs();
     let r_short = run_sim(&short, &mix, PolicyKind::HydrogenFull);
     let a1 = alloc_count::allocs();
@@ -268,14 +336,14 @@ impl KernelSection {
     }
 }
 
-fn results_json(iters: u64, sections: &[KernelSection]) -> Json {
+fn results_json(preset: &str, iters: u64, sections: &[KernelSection]) -> Json {
     let mut kernels = Json::obj();
     for s in sections {
         kernels = kernels.field(s.name, s.json());
     }
     Json::obj()
         .field("schema", 2u64)
-        .field("bench", "full_system_tiny_c1_150k_traced")
+        .field("bench", bench_name(preset))
         .field("iters", iters)
         .field("events_per_iter", sections.first().map(|s| s.m.events_per_iter).unwrap_or(0))
         .field("kernels", kernels)
@@ -402,14 +470,15 @@ pub fn cmd_bench(args: &[String]) -> i32 {
     let mut sections = Vec::new();
     for (name, kernel) in parsed.selected() {
         eprintln!(
-            "[h2 bench] timing the traced full-system run, {name} kernel ({} iters, telemetry on, trace 1/64)...",
-            parsed.iters
+            "[h2 bench] timing the traced full-system run, {} preset, {name} kernel ({} iters, telemetry on, trace 1/64)...",
+            parsed.preset, parsed.iters
         );
-        let m = measure(parsed.iters, kernel);
-        let allocs = allocs_per_event(kernel);
+        let m = measure(parsed.preset, parsed.iters, kernel);
+        let allocs = allocs_per_event(parsed.preset, kernel);
         let s = KernelSection { name, m, allocs };
         println!(
-            "full_system_tiny_c1_150k_traced [{name}]  best {} ns/iter  p50 {} ns  p99 {} ns  ({:.2} Mev/s)",
+            "{} [{name}]  best {} ns/iter  p50 {} ns  p99 {} ns  ({:.2} Mev/s)",
+            bench_name(parsed.preset),
             s.m.ns[0],
             percentile(&s.m.ns, 0.50),
             percentile(&s.m.ns, 0.99),
@@ -419,12 +488,27 @@ pub fn cmd_bench(args: &[String]) -> i32 {
             Some(a) => println!("  steady-state allocations: {a:.4} per event"),
             None => println!("  steady-state allocations: not measured (build with --features alloc-count)"),
         }
+        if parsed.profile {
+            // One extra run with the profiler armed, after the timed
+            // iterations — armed probes cost real time, so they never
+            // touch the recorded numbers.
+            prof::set_alloc_probe(alloc_count::allocs);
+            prof::reset();
+            prof::arm();
+            let cfg = bench_cfg(parsed.preset, 100_000, kernel);
+            let _ = run_sim(&cfg, &Mix::by_name("C1").unwrap(), PolicyKind::HydrogenFull);
+            prof::disarm();
+            let report = prof::take_report();
+            println!("\nhost-time profile [{name}] (one armed run, not the timed iterations):");
+            print!("{}", report.render_text());
+            println!();
+        }
         sections.push(s);
     }
-    let doc = results_json(parsed.iters, &sections);
+    let doc = results_json(parsed.preset, parsed.iters, &sections);
 
     let root = repo_root();
-    let out = root.join(RESULTS_FILE);
+    let out = root.join(results_file(parsed.preset));
     if let Err(e) = std::fs::write(&out, doc.to_string_pretty()) {
         eprintln!("[h2 bench] cannot write {}: {e}", out.display());
         return 2;
@@ -546,6 +630,26 @@ mod tests {
     }
 
     #[test]
+    fn preset_and_profile_flags() {
+        let a = parse(&["--preset", "multichan", "--profile"]).unwrap();
+        assert_eq!(a.preset, "multichan");
+        assert!(a.profile);
+        assert_eq!(parse(&[]).unwrap().preset, "tiny");
+        assert!(parse(&["--preset", "huge"]).unwrap_err().contains("unknown preset"));
+        assert_eq!(parse(&["--preset"]).unwrap_err(), "--preset needs an argument");
+        // The committed baseline records the tiny preset only.
+        assert!(parse(&["--preset", "multichan", "--gate"])
+            .unwrap_err()
+            .contains("cannot be gated"));
+        assert!(parse(&["--preset", "multichan", "--baseline"])
+            .unwrap_err()
+            .contains("cannot be gated"));
+        assert_eq!(results_file("tiny"), RESULTS_FILE);
+        assert_eq!(results_file("multichan"), RESULTS_FILE_MULTICHAN);
+        assert_eq!(bench_name("multichan"), "full_system_multichan_c1_150k_traced");
+    }
+
+    #[test]
     fn rejects_bad_arguments() {
         assert_eq!(
             parse(&["--iters", "0"]).unwrap_err(),
@@ -636,7 +740,7 @@ mod tests {
                 allocs: None,
             },
         ];
-        let j = results_json(3, &sections);
+        let j = results_json("tiny", 3, &sections);
         let s = j.to_string_compact();
         assert!(s.contains(r#""schema":2"#), "{s}");
         assert!(s.contains(r#""scalar":{"ns_best":100"#), "{s}");

@@ -18,6 +18,7 @@ pub mod hotbench;
 pub mod key;
 pub mod persist;
 pub mod profile;
+pub mod profout;
 pub mod sweep;
 pub mod table;
 

@@ -12,7 +12,8 @@
 //! policy, key, metrics) in expansion order, so a warm re-run — any worker
 //! count, any steal order, any cache state — renders byte-identically.
 //! Wall-clock and hit/miss provenance live only in the JSONL progress
-//! stream, which is allowed to differ between runs.
+//! stream and the *timing* table (`sweep_<name>_timing.csv`, completion
+//! order), both of which are allowed to differ between runs.
 
 pub mod scheduler;
 pub mod spec;
@@ -33,6 +34,9 @@ use std::path::{Path, PathBuf};
 pub struct SweepOutcome {
     /// The summary table (deterministic; see module docs).
     pub table: Table,
+    /// Per-job wall-clock and cache provenance, in completion order
+    /// (non-deterministic by design; never compare bytes across runs).
+    pub timing: Table,
     /// Points visited, in expansion order.
     pub points: usize,
     /// Total jobs implied by the spec (points × mixes × policies).
@@ -74,6 +78,10 @@ struct Engine<'a> {
     jobs: usize,
     deduped: usize,
     progress: &'a mut dyn Write,
+    /// Rows for the timing table, appended in completion order.
+    timing_rows: Vec<Vec<String>>,
+    /// Worker-side wall seconds summed over executed jobs.
+    exec_wall_s: f64,
 }
 
 impl Engine<'_> {
@@ -100,8 +108,20 @@ impl Engine<'_> {
             .field("params", params)
             .field("source", source)
             .field("weighted_ipc", done.report.weighted_ipc())
-            .field("wall_s", done.wall_s);
+            .field("wall_s", done.wall_s)
+            .field("events", done.report.events_processed)
+            .field("events_per_sec", done.report.events_per_sec);
         self.emit(&event.to_string_compact());
+        self.exec_wall_s += done.wall_s;
+        self.timing_rows.push(vec![
+            format!("{key:032x}"),
+            done.report.mix.clone(),
+            done.report.policy.clone(),
+            source.to_string(),
+            format!("{:.6}", done.wall_s),
+            done.report.events_processed.to_string(),
+            format!("{:.0}", done.report.events_per_sec),
+        ]);
     }
 
     /// Run every job of `points` that is not already in `results`, one
@@ -198,7 +218,10 @@ pub fn run_sweep(
         jobs: 0,
         deduped: 0,
         progress,
+        timing_rows: Vec::new(),
+        exec_wall_s: 0.0,
     };
+    let t0 = std::time::Instant::now();
     let header = h2_sim_core::Json::obj()
         .field("event", "spec")
         .field("name", spec.name.as_str())
@@ -252,8 +275,19 @@ pub fn run_sweep(
         }
     }
 
+    // Per-job provenance table: completion order, never deterministic.
+    let mut timing = Table::new(
+        &format!("sweep_{}_timing", spec.name),
+        &format!("Sweep '{}' per-job timing and provenance", spec.name),
+        &["key", "mix", "policy", "source", "wall_s", "events", "events_per_sec"],
+    );
+    for row in std::mem::take(&mut engine.timing_rows) {
+        timing.row(row);
+    }
+
     let outcome = SweepOutcome {
         table,
+        timing,
         points: points.len(),
         jobs: engine.jobs,
         unique: unique.len(),
@@ -268,7 +302,9 @@ pub fn run_sweep(
         .field("deduped", outcome.deduped as u64)
         .field("executed", outcome.stats.executed as u64)
         .field("disk_hits", outcome.stats.disk_hits as u64)
-        .field("steals", outcome.stats.steals);
+        .field("steals", outcome.stats.steals)
+        .field("wall_s", t0.elapsed().as_secs_f64())
+        .field("exec_wall_s", engine.exec_wall_s);
     engine.emit(&trailer.to_string_compact());
     Ok(outcome)
 }
@@ -292,7 +328,8 @@ pub fn parse_bytes(s: &str) -> Result<u64, String> {
 ///
 /// Progress streams as JSONL to `--out` (default
 /// `results/sweeps/<name>.jsonl`); the summary table prints to stdout and
-/// lands in `results/sweeps/sweep_<name>.csv`.
+/// lands in `results/sweeps/sweep_<name>.csv`, with per-job wall-clock and
+/// cache provenance beside it in `results/sweeps/sweep_<name>_timing.csv`.
 pub fn cmd_sweep(args: &[String], jobs: Option<usize>) -> i32 {
     let mut args: Vec<String> = args.to_vec();
     let out = args
@@ -365,6 +402,10 @@ pub fn cmd_sweep(args: &[String], jobs: Option<usize>) -> i32 {
     match outcome.table.write_csv(sweeps_dir) {
         Ok(p) => println!("csv: {}", p.display()),
         Err(e) => eprintln!("csv write failed: {e}"),
+    }
+    match outcome.timing.write_csv(sweeps_dir) {
+        Ok(p) => println!("timing: {}", p.display()),
+        Err(e) => eprintln!("timing csv write failed: {e}"),
     }
     println!("progress: {}", out.display());
     eprintln!(
@@ -494,6 +535,31 @@ mod tests {
     }
 
     #[test]
+    fn timing_table_carries_wall_clock_and_provenance() {
+        let spec = grid_spec("timing");
+        let mut jsonl = Vec::new();
+        let out = run_sweep(&spec, None, 2, &mut jsonl).unwrap();
+        assert_eq!(out.timing.rows.len(), 6, "one timing row per unique job");
+        assert_eq!(
+            out.timing.header,
+            ["key", "mix", "policy", "source", "wall_s", "events", "events_per_sec"]
+        );
+        for row in &out.timing.rows {
+            assert_eq!(row[3], "executed", "no cache tier in this run");
+            assert!(row[4].parse::<f64>().unwrap() >= 0.0);
+            assert!(row[5].parse::<u64>().unwrap() > 0, "events: {row:?}");
+        }
+        // Job events and the trailer carry the same provenance fields.
+        let text = String::from_utf8(jsonl).unwrap();
+        let job = text.lines().nth(1).unwrap();
+        assert!(job.contains("\"events\":"), "job event: {job}");
+        assert!(job.contains("\"events_per_sec\":"), "job event: {job}");
+        let trailer = text.lines().last().unwrap();
+        assert!(trailer.contains("\"wall_s\":"), "trailer: {trailer}");
+        assert!(trailer.contains("\"exec_wall_s\":"), "trailer: {trailer}");
+    }
+
+    #[test]
     fn warm_rerun_is_fully_cached_and_byte_identical() {
         let dir = std::env::temp_dir().join(format!("h2-sweep-warm-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -505,6 +571,10 @@ mod tests {
             let warm = run_sweep(&spec, Some(&tier), workers, &mut Vec::new()).unwrap();
             assert_eq!(warm.stats.executed, 0, "workers={workers}");
             assert_eq!(warm.stats.disk_hits, 6);
+            assert!(
+                warm.timing.rows.iter().all(|r| r[3] == "disk"),
+                "warm timing rows carry disk provenance"
+            );
             assert_eq!(warm.table.render(), cold.table.render(), "byte-identical summary");
             assert_eq!(warm.table.to_csv(), cold.table.to_csv());
         }

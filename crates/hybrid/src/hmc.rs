@@ -18,6 +18,7 @@ use crate::remap::RemapTable;
 use crate::types::{HybridConfig, Mode, ReqClass, Tier};
 use h2_cache::remap::{RemapCache, RemapLookup};
 use h2_mem::MemCmd;
+use h2_sim_core::prof;
 use h2_sim_core::trace_span::{BlameClass, SpanId, TraceTag};
 use h2_sim_core::units::Cycles;
 use h2_sim_core::{CounterId, GaugeId, MetricsRegistry, SeededRng};
@@ -352,6 +353,7 @@ impl Hmc {
         span: Option<SpanId>,
         out: &mut Vec<HmcOutput>,
     ) {
+        let _prof = prof::scope("hmc.access");
         let block = self.cfg.block_of(addr);
         let set = self.policy.home_set(block, class, self.cfg.num_sets());
 
@@ -373,6 +375,7 @@ impl Hmc {
 
         // Metadata probe: remap cache first. Entries are marked dirty
         // because LRU/fill updates must eventually persist to the table.
+        let _prof_remap = prof::scope("hmc.remap");
         let mut probes = [set / META_SETS_PER_LINE, 0];
         let mut nprobes = 1;
         if self.cfg.chaining {
@@ -509,6 +512,7 @@ impl Hmc {
 
     /// Feed a completion event back into the controller.
     pub fn handle(&mut self, ev: HmcEvent, out: &mut Vec<HmcOutput>) {
+        let _prof = prof::scope("hmc.handle");
         let token = match ev {
             HmcEvent::MemDone(t) | HmcEvent::SramDone(t) => t,
         };
@@ -534,6 +538,7 @@ impl Hmc {
 
     /// Metadata available: resolve hit/miss and issue the demand access.
     fn proceed_meta(&mut self, idx: u32, out: &mut Vec<HmcOutput>) {
+        let _prof = prof::scope("hmc.meta");
         let txn = self.txns[idx as usize].clone().expect("live txn");
         // Counted here (not at `access`) so `hits + misses == accesses`
         // holds exactly at any sampling boundary.
@@ -556,6 +561,7 @@ impl Hmc {
     }
 
     fn fast_hit(&mut self, idx: u32, set: u64, way: usize, out: &mut Vec<HmcOutput>) {
+        let _prof = prof::scope("hmc.hit");
         let txn = self.txns[idx as usize].clone().expect("live txn");
         self.stats.fast_hits[txn.class.idx()] += 1;
         self.table.touch(set, way, txn.is_write);
@@ -578,6 +584,7 @@ impl Hmc {
         }
 
         // Post-hit bookkeeping: lazy reconfiguration, then fast swap.
+        let _prof_policy = prof::scope("hmc.policy");
         let meta = self.table.set_view(set)[way];
         let mask = self.policy.alloc_mask(set, meta.owner);
         let misplaced = mask & (1 << way) == 0;
@@ -659,11 +666,15 @@ impl Hmc {
     }
 
     fn fast_miss(&mut self, idx: u32, set: u64, block: u64, out: &mut Vec<HmcOutput>) {
+        let _prof = prof::scope("hmc.miss");
         let txn = self.txns[idx as usize].clone().expect("live txn");
         self.stats.fast_misses[txn.class.idx()] += 1;
 
         // Candidate placement: policy mask in the home set; with chaining a
-        // fallback slot in the chained set.
+        // fallback slot in the chained set. (Policy scoring + victim walk
+        // attribute to `hmc.policy`, the migration/demand issue below to
+        // the enclosing `hmc.miss`.)
+        let prof_policy = prof::scope("hmc.policy");
         let mask = self.policy.alloc_mask(set, txn.class);
         let mut place: Option<(u64, u64, usize)> = self
             .table
@@ -718,6 +729,7 @@ impl Hmc {
                 t.token_denied = true;
             }
         }
+        drop(prof_policy);
 
         // Demand 64 B from the slow tier (critical path) in all cases.
         out.push(HmcOutput::Mem {

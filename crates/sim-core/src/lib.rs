@@ -9,6 +9,7 @@ pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod monitor;
+pub mod prof;
 pub mod rng;
 pub mod stats;
 pub mod trace_span;

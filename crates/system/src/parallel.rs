@@ -46,6 +46,7 @@
 use h2_hybrid::types::Tier;
 use h2_mem::device::PIPELINE_DEPTH;
 use h2_mem::{ChanOp, ChannelShard, MemCmd, MemDevice, SeqStarted};
+use h2_sim_core::prof;
 use h2_sim_core::trace_span::{BlameClass, CmdTrace, TraceTag};
 use h2_sim_core::units::Cycles;
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -72,11 +73,30 @@ enum FromWorker {
 
 /// One channel worker: applies ops against its shard as they arrive,
 /// accumulating results until the controller flushes or yields.
-fn worker_loop(rx: Receiver<ToWorker>, tx: Sender<FromWorker>) {
+///
+/// When the self-profiler is armed, the worker's whole lifetime sits under
+/// a `shard[id]` scope whose children tile its wall time: `busy` (applying
+/// ops / flushing / yielding), `lookahead_stall` (blocked on `recv` while
+/// *holding* the shard — starved inside the lookahead window), and
+/// `barrier_wait` (blocked on `recv` after yielding the shard at a hard
+/// barrier, waiting for `Resume`).
+fn worker_loop(id: u32, rx: Receiver<ToWorker>, tx: Sender<FromWorker>) {
+    let _prof = prof::scope_idx("shard", id);
     let mut shard: Option<Box<ChannelShard>> = None;
     let mut started: Vec<SeqStarted> = Vec::new();
     let mut traces: Vec<CmdTrace> = Vec::new();
-    while let Ok(msg) = rx.recv() {
+    loop {
+        let t0 = if prof::armed() { Some(prof::clock_raw()) } else { None };
+        let Ok(msg) = rx.recv() else { break };
+        if let Some(t0) = t0 {
+            let dt = prof::clock_raw().saturating_sub(t0);
+            if shard.is_some() {
+                prof::record("lookahead_stall", dt);
+            } else {
+                prof::record("barrier_wait", dt);
+            }
+        }
+        let _busy = prof::scope("busy");
         match msg {
             ToWorker::Op(op) => {
                 let s = shard.as_mut().expect("device op before shard handoff");
@@ -103,6 +123,9 @@ fn worker_loop(rx: Receiver<ToWorker>, tx: Sender<FromWorker>) {
             ToWorker::Resume(s) => shard = Some(s),
         }
     }
+    // Thread exit flushes this worker's profile tree into the global
+    // report via the thread-local destructor; `shutdown` joins workers
+    // before any report is taken.
 }
 
 /// Occupancy mirror of one detached channel — enough to predict pump
@@ -158,9 +181,10 @@ impl ParallelMem {
             for ch in 0..n {
                 let (tx, worker_rx) = channel();
                 let (worker_tx, rx) = channel();
+                let id = workers.len() as u32;
                 let join = std::thread::Builder::new()
-                    .name(format!("h2-chan-{}", workers.len()))
-                    .spawn(move || worker_loop(worker_rx, worker_tx))
+                    .name(format!("h2-chan-{id}"))
+                    .spawn(move || worker_loop(id, worker_rx, worker_tx))
                     .expect("spawn channel worker");
                 let shard = dev.detach_shard(ch);
                 let w = Worker {
@@ -212,6 +236,9 @@ impl ParallelMem {
         self.dev_seq[ti] += 1;
         let w = self.widx(tier, ch);
         self.workers[w].mirror.queue_len += 1;
+        // Deferred-op queue-depth accounting: sample the mirrored channel
+        // queue depth at every deferred enqueue.
+        prof::count_idx("shard.queue_depth", w as u32, self.workers[w].mirror.queue_len as u64);
         self.workers[w]
             .tx
             .send(ToWorker::Op(ChanOp::Enqueue { cmd, now, class, tag, seq }))

@@ -18,6 +18,7 @@ use h2_mem::device::{MemMetricHandles, MemStats, StartedCmd};
 use h2_mem::{EnergyBreakdown, MemDevice, TimingPreset};
 use h2_hybrid::TokenFlows;
 use crate::parallel::ParallelMem;
+use h2_sim_core::prof;
 use h2_sim_core::trace_span::{BlameCause, BlameClass, CmdTrace, SpanCollector, SpanId};
 use h2_sim_core::units::{Cycles, MIB};
 use h2_sim_core::{
@@ -403,6 +404,7 @@ impl Sim {
         if self.par.is_some() {
             return self.issue_mem_par(tier, channel, cmd);
         }
+        let _prof = prof::scope("mem.schedule");
         let now = self.q.now();
         let traced = self.tracer.enabled();
         let mut started = std::mem::take(&mut self.started_buf);
@@ -435,6 +437,7 @@ impl Sim {
     /// this exact program point so the eventual `MemDone`s land where the
     /// sequential kernels would have scheduled them.
     fn issue_mem_par(&mut self, tier: Tier, channel: usize, cmd: h2_mem::MemCmd) {
+        let _prof = prof::scope("mem.schedule");
         let now = self.q.now();
         let (class, tag) = if self.tracer.enabled() {
             self.hmc.cmd_trace_ctx(cmd.token)
@@ -464,23 +467,29 @@ impl Sim {
         } else {
             None
         };
-        self.par
-            .as_mut()
-            .expect("parallel kernel active")
-            .complete(tier, channel, token);
+        {
+            let _prof = prof::scope("mem.schedule");
+            self.par
+                .as_mut()
+                .expect("parallel kernel active")
+                .complete(tier, channel, token);
+        }
         let mut out = std::mem::take(&mut self.out_buf);
         self.hmc.handle(HmcEvent::MemDone(token), &mut out);
         self.process_outputs(&mut out);
         self.out_buf = out;
         let now = self.q.now();
-        let par = self.par.as_mut().expect("parallel kernel active");
-        let k = par.pump_count(tier, channel);
-        if k > 0 {
-            let seq_base = self.q.reserve_seqs(k as u64);
-            self.par
-                .as_mut()
-                .expect("parallel kernel active")
-                .send_pump(tier, channel, now, seq_base, k);
+        {
+            let _prof = prof::scope("mem.schedule");
+            let par = self.par.as_mut().expect("parallel kernel active");
+            let k = par.pump_count(tier, channel);
+            if k > 0 {
+                let seq_base = self.q.reserve_seqs(k as u64);
+                self.par
+                    .as_mut()
+                    .expect("parallel kernel active")
+                    .send_pump(tier, channel, now, seq_base, k);
+            }
         }
         if let Some(sid) = done_span {
             self.tracer.close(sid, now);
@@ -656,6 +665,10 @@ impl Sim {
             match self.l1s[i].access(r.addr, r.write) {
                 AccessOutcome::Hit => {}
                 AccessOutcome::Miss { victim } => {
+                    // Host-time attribution for the L2→LLC walk. Scoped to
+                    // the miss path so the (hit-dominated) L1 probe above
+                    // stays probe-free.
+                    let _prof = prof::scope("cache.walk");
                     if let Some((vaddr, true)) = victim {
                         self.wb_into_l2(i, vaddr, t);
                     }
@@ -767,6 +780,7 @@ impl Sim {
             match self.gpu_l1s[l1_idx].access(r.addr, r.write) {
                 AccessOutcome::Hit => {}
                 AccessOutcome::Miss { victim } => {
+                    let _prof = prof::scope("cache.walk");
                     if let Some((vaddr, true)) = victim {
                         self.wb_into_llc(vaddr, t);
                     }
@@ -929,6 +943,11 @@ impl Sim {
     /// changes the simulation — only how the loop is driven (see
     /// [`SimKernel`]).
     fn run(&mut self, mut monitors: Option<&mut MonitorSet<SimProbe>>) {
+        let _prof = prof::scope(match self.cfg.kernel {
+            SimKernel::Scalar => "run.scalar",
+            SimKernel::Batched => "run.batched",
+            SimKernel::Parallel => "run.parallel",
+        });
         match self.cfg.kernel {
             SimKernel::Scalar => self.run_scalar(&mut monitors),
             SimKernel::Batched => self.run_batched(&mut monitors),
@@ -942,13 +961,23 @@ impl Sim {
     }
 
     /// The reference loop: one pop per event.
+    ///
+    /// The `queue.pop` scope covers the whole next-event machinery — the
+    /// pop itself plus the drained/horizon checks — and the loop *hands
+    /// off* between it and the `dispatch.*` arm scopes on a single clock
+    /// reading per boundary, so the `run.*` root's exclusive bucket stays
+    /// empty: every instant of the loop belongs to some child.
     fn run_scalar(&mut self, monitors: &mut Option<&mut MonitorSet<SimProbe>>) {
+        let mut cur = prof::scope("queue.pop");
         while let Some(ev) = self.q.pop() {
             if ev.time > self.end {
                 break;
             }
+            cur = prof::handoff(cur, arm_name(&ev.payload));
             self.dispatch(ev.time, ev.payload, monitors);
+            cur = prof::handoff(cur, "queue.pop");
         }
+        drop(cur);
     }
 
     /// Batched loop: each same-timestamp frontier is drained from the
@@ -960,6 +989,7 @@ impl Sim {
     fn run_batched(&mut self, monitors: &mut Option<&mut MonitorSet<SimProbe>>) {
         // One frontier buffer for the whole run, recycled across batches.
         let mut frontier: Vec<h2_sim_core::Scheduled<Ev>> = Vec::with_capacity(64);
+        let mut cur = prof::scope("queue.pop");
         while let Some(t) = self.q.peek_time() {
             if t > self.end {
                 // Mirror the scalar loop byte-for-byte: it pops the first
@@ -969,9 +999,12 @@ impl Sim {
             }
             self.q.pop_batch(&mut frontier);
             for ev in frontier.drain(..) {
+                cur = prof::handoff(cur, arm_name(&ev.payload));
                 self.dispatch(ev.time, ev.payload, monitors);
+                cur = prof::handoff(cur, "queue.pop");
             }
         }
+        drop(cur);
     }
 
     /// Channel-parallel conservative-lookahead loop (see `parallel.rs`).
@@ -985,6 +1018,10 @@ impl Sim {
     /// kernels would.
     fn run_parallel(&mut self, monitors: &mut Option<&mut MonitorSet<SimProbe>>) {
         self.par = Some(ParallelMem::new(&mut self.fast, &mut self.slow));
+        // The `queue.pop` scope also covers the lookahead-deadline peek
+        // (it is part of deciding what the next event is); the loop hands
+        // off between it and the dispatch arms on shared clock readings.
+        let mut cur = prof::scope("queue.pop");
         loop {
             if let Some(deadline) = self.par.as_ref().expect("parallel kernel active").deadline() {
                 // Results are outstanding. If the next event is at or past
@@ -996,7 +1033,9 @@ impl Sim {
                     None => true,
                 };
                 if must_flush {
+                    drop(cur);
                     self.flush_par();
+                    cur = prof::scope("queue.pop");
                     continue;
                 }
             }
@@ -1005,13 +1044,24 @@ impl Sim {
                 break;
             }
             if matches!(ev.payload, Ev::Epoch | Ev::Faucet | Ev::WarmupEnd) {
+                // Barrier events re-attach every shard; `parallel.barrier`
+                // and `parallel.resume` are root-level siblings, so close
+                // the loop scope around them instead of handing off.
+                drop(cur);
                 self.barrier_par();
-                self.dispatch(ev.time, ev.payload, monitors);
+                {
+                    let _prof = prof::scope(arm_name(&ev.payload));
+                    self.dispatch(ev.time, ev.payload, monitors);
+                }
                 self.resume_par();
+                cur = prof::scope("queue.pop");
             } else {
+                cur = prof::handoff(cur, arm_name(&ev.payload));
                 self.dispatch(ev.time, ev.payload, monitors);
+                cur = prof::handoff(cur, "queue.pop");
             }
         }
+        drop(cur);
         // Teardown: collect stragglers, re-attach every shard permanently,
         // and join the workers. `run`'s final monitor check and the report
         // builder read the whole devices afterwards.
@@ -1022,6 +1072,7 @@ impl Sim {
     /// Collect all outstanding worker results: absorb trace decompositions
     /// and schedule completion events at their reserved sequence numbers.
     fn flush_par(&mut self) {
+        let _prof = prof::scope("parallel.flush");
         let mut par = self.par.take().expect("parallel kernel active");
         self.sink_batches(&mut par, false);
         self.par = Some(par);
@@ -1029,6 +1080,7 @@ impl Sim {
 
     /// Flush, then re-attach every shard (hard barrier).
     fn barrier_par(&mut self) {
+        let _prof = prof::scope("parallel.barrier");
         let mut par = self.par.take().expect("parallel kernel active");
         self.sink_batches(&mut par, true);
         self.par = Some(par);
@@ -1036,6 +1088,7 @@ impl Sim {
 
     /// Detach every shard again after [`Self::barrier_par`].
     fn resume_par(&mut self) {
+        let _prof = prof::scope("parallel.resume");
         let mut par = self.par.take().expect("parallel kernel active");
         par.resume(&mut self.fast, &mut self.slow);
         self.par = Some(par);
@@ -1067,7 +1120,11 @@ impl Sim {
         }
     }
 
-    /// Process one event. Shared by every dispatch kernel.
+    /// Process one event. Shared by every dispatch kernel. Host-time
+    /// attribution (one `dispatch.*` node per arm, see [`arm_name`]) is
+    /// the *caller's* job: the kernel loops hand off from their
+    /// `queue.pop` scope into the arm scope with a single clock reading
+    /// so no instant between phases goes unattributed.
     fn dispatch(
         &mut self,
         time: Cycles,
@@ -1134,6 +1191,7 @@ impl Sim {
                     self.process_outputs(&mut out);
                     self.out_buf = out;
                     // Start queued successors.
+                    let _prof = prof::scope("mem.schedule");
                     let now = self.q.now();
                     let mut started = std::mem::take(&mut self.started_buf);
                     self.dev(tier).pump(channel, now, &mut started);
@@ -1172,6 +1230,22 @@ impl Sim {
                 Ev::WarmupEnd => self.snapshot_warm(),
             }
         }
+    }
+}
+
+/// Profiler label for the dispatch arm that will handle `payload` — one
+/// `dispatch.*` node per event variant, nested under the kernel's
+/// `run.*` root.
+fn arm_name(payload: &Ev) -> &'static str {
+    match payload {
+        Ev::CoreWake(_) => "dispatch.core_wake",
+        Ev::CtxWake(_) => "dispatch.ctx_wake",
+        Ev::HmcStart { .. } => "dispatch.hmc_start",
+        Ev::HmcSram(_) => "dispatch.hmc_sram",
+        Ev::MemDone { .. } => "dispatch.mem_done",
+        Ev::Epoch => "dispatch.epoch",
+        Ev::Faucet => "dispatch.faucet",
+        Ev::WarmupEnd => "dispatch.warmup_end",
     }
 }
 
@@ -1378,6 +1452,10 @@ pub fn run_workloads_monitored(
 
     sim.run(monitors);
     let wall_s = t_start.elapsed().as_secs_f64();
+    // Fold this thread's profiler tree into the global report now, so runs
+    // executed on short-lived pool workers are visible without waiting for
+    // thread exit. No-op when the profiler never recorded anything.
+    prof::flush_thread();
 
     let telemetry = if sim.telemetry {
         Some(RunTelemetry {

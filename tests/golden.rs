@@ -108,6 +108,27 @@ fn golden_fig2_with_tracing_armed_is_byte_identical() {
     check("fig2_nopart_c1", &cfg, "C1", PolicyKind::NoPart);
 }
 
+/// Zero-perturbation guard for the host-side self-profiler: running the
+/// same golden case with every probe armed must reproduce the committed
+/// snapshot byte-for-byte — the profiler reads the monotonic clock and the
+/// allocation counter, never simulator state, so arming it can never move
+/// simulated time (DESIGN.md §17).
+#[test]
+fn golden_fig2_with_profiler_armed_is_byte_identical() {
+    use hydrogen_repro::sim::prof;
+    let _lock = prof::test_lock();
+    prof::reset();
+    prof::arm();
+    check("fig2_nopart_c1", &SystemConfig::tiny(), "C1", PolicyKind::NoPart);
+    prof::disarm();
+    // `check` ran all three dispatch kernels; the profile must have seen
+    // each of them, proving the probes were really live during the runs.
+    let report = prof::take_report();
+    for root in ["run.scalar", "run.batched", "run.parallel"] {
+        assert!(report.root(root).is_some(), "armed profile lacks {root}");
+    }
+}
+
 /// Blessing must be able to round-trip: the written snapshot re-reads as
 /// exactly what the comparison path would produce (guards against e.g. a
 /// missing trailing newline in the writer).
