@@ -56,6 +56,7 @@ pub fn diff_reports_except(a: &RunReport, b: &RunReport, skip: &[&str]) -> Optio
     cmp!(fast_channel_bytes);
     cmp!(slow_channel_bytes);
     cmp!(trace, "trace");
+    cmp!(tenants, "tenants");
     // wall_s / events_per_sec deliberately skipped: host wall clock.
     if !skip.contains(&"telemetry") && !skip.contains(&"epochs") {
         let (ta, tb) = (a.telemetry_json_string(), b.telemetry_json_string());

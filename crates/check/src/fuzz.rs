@@ -163,6 +163,15 @@ fn battery_inner(case: &FuzzCase, hooks: &OracleHooks) -> Result<(), Failure> {
     relations::check(rel, case, FUZZ_LABEL, &report)
         .map_err(|e| Failure::new(format!("relation:{}", rel.name()), e))?;
 
+    // 7. Multi-tenant scenario battery (partition law, engine diff, blame
+    //    tiling, tenant-permutation relation). Scenarios are a separate
+    //    front-end family with their own sampled generator, so one case
+    //    in eight suffices to keep campaign throughput.
+    if case.case_seed.is_multiple_of(8) {
+        crate::tenancy::scenario_battery(case.case_seed, case.sim_seed)
+            .map_err(|e| Failure::new("relation:tenant-scenario", e))?;
+    }
+
     Ok(())
 }
 

@@ -29,6 +29,7 @@ pub mod diff;
 pub mod fuzz;
 pub mod monitors;
 pub mod relations;
+pub mod tenancy;
 
 pub use case::{policy_by_name, FuzzCase, POLICIES};
 pub use diff::{diff_reports, diff_reports_except};
@@ -38,3 +39,4 @@ pub use fuzz::{
 };
 pub use monitors::standard_monitors;
 pub use relations::{applicable, check as check_relation, Relation};
+pub use tenancy::{check_partition, permute_tenants, sample_scenario, scenario_battery};

@@ -6,6 +6,9 @@
 //! h2 run --telemetry <dir> fig9     # also dump per-run telemetry JSON
 //! h2 run --trace <dir> fig9         # also dump Perfetto request traces
 //! h2 run --profile <dir> fig9       # also dump a host-time self-profile
+//! h2 run --scenario spec.json       # multi-tenant scenario run (DESIGN.md §18)
+//! h2 run --mix C1 --capture t.h2trace  # capture a mix run's demand stream
+//! h2 run --replay t.h2trace         # bit-identical replay from the capture
 //! h2 all                            # run everything (Tables I-II, Figs 2, 5-11)
 //! h2 run --jobs 4 fig8              # cap the simulation worker pool
 //! h2 fuzz --seeds 500               # deterministic simulation fuzzer (h2-check)
@@ -123,6 +126,16 @@ fn main() {
                 profile_dir.as_deref(),
                 jobs,
             );
+        }
+        // Trace mode: `h2 run --scenario/--capture/--replay` (DESIGN.md
+        // §18). Gated on the `run` subcommand so `h2 fuzz --replay` keeps
+        // its repro flag.
+        Some("run") if h2_harness::trace_cli::is_trace_mode(&args[1..]) => {
+            std::process::exit(h2_harness::trace_cli::cmd_run_trace(
+                &args[1..],
+                telemetry_dir.as_deref(),
+                profile_dir.as_deref(),
+            ));
         }
         Some("run") if args.len() > 1 => {
             let ids: Vec<&str> = args[1..].iter().map(|s| s.as_str()).collect();

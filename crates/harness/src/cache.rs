@@ -15,8 +15,8 @@
 
 use crate::key::job_key;
 use crate::persist::DiskTier;
-use h2_system::{run_sim_parts, Participants, PolicyKind, RunReport, SystemConfig};
-use h2_trace::Mix;
+use h2_system::{run_scenario, run_sim_parts, Participants, PolicyKind, RunReport, SystemConfig};
+use h2_trace::{Mix, TenantScenario};
 use std::collections::{HashMap, HashSet};
 use std::fs;
 use std::io;
@@ -29,12 +29,15 @@ use std::sync::mpsc;
 pub struct Job {
     /// System configuration.
     pub cfg: SystemConfig,
-    /// Workload mix.
+    /// Workload mix (a placeholder for scenario jobs — see `scenario`).
     pub mix: Mix,
     /// Policy to run.
     pub kind: PolicyKind,
     /// Which sides run.
     pub parts: Participants,
+    /// When set, the job runs this multi-tenant scenario instead of the
+    /// mix; the scenario JSON is part of the cache key.
+    pub scenario: Option<TenantScenario>,
 }
 
 impl Job {
@@ -45,12 +48,34 @@ impl Job {
             mix: mix.clone(),
             kind,
             parts: Participants::Both,
+            scenario: None,
+        }
+    }
+
+    /// A multi-tenant scenario job. The mix slot is filled with a fixed
+    /// placeholder (C1) so report plumbing that expects a mix keeps
+    /// working; the key distinguishes scenario jobs by their JSON.
+    pub fn scenario(cfg: &SystemConfig, sc: &TenantScenario, kind: PolicyKind) -> Self {
+        Self {
+            cfg: cfg.clone(),
+            mix: Mix::by_name("C1").expect("placeholder mix"),
+            kind,
+            parts: Participants::Both,
+            scenario: Some(sc.clone()),
         }
     }
 
     /// Canonical cache key (stable across processes).
     pub fn key(&self) -> u128 {
-        job_key(&self.cfg, &self.mix, self.kind, self.parts)
+        job_key(&self.cfg, &self.mix, self.kind, self.parts, self.scenario.as_ref())
+    }
+}
+
+/// Execute one job (scenario or mix) with the given effective config.
+fn execute(cfg: &SystemConfig, job: &Job) -> RunReport {
+    match &job.scenario {
+        Some(sc) => run_scenario(cfg, sc, job.kind),
+        None => run_sim_parts(cfg, &job.mix, job.kind, job.parts),
     }
 }
 
@@ -308,7 +333,7 @@ impl RunCache {
             eprintln!("[h2] running {} / {:?} / {:?}", job.mix.name, job.kind, job.parts);
         }
         let cfg = self.effective_cfg(job);
-        let report = run_sim_parts(&cfg, &job.mix, job.kind, job.parts);
+        let report = execute(&cfg, job);
         if self.verbose {
             eprintln!(
                 "[h2]   done in {:.1}s ({} events, {:.2} Mev/s)",
@@ -366,7 +391,7 @@ impl RunCache {
                     eprintln!("[h2] running {} / {:?} / {:?}", job.mix.name, job.kind, job.parts);
                 }
                 let cfg = self.effective_cfg(job);
-                let r = run_sim_parts(&cfg, &job.mix, job.kind, job.parts);
+                let r = execute(&cfg, job);
                 self.admit(*key, &r);
             }
         } else {
@@ -385,7 +410,7 @@ impl RunCache {
                         if trace_sample.is_some() {
                             cfg.trace_sample = trace_sample;
                         }
-                        let r = run_sim_parts(&cfg, &job.mix, job.kind, job.parts);
+                        let r = execute(&cfg, job);
                         if tx.send((i, r)).is_err() {
                             break;
                         }

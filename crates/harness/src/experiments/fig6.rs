@@ -93,6 +93,7 @@ mod tests {
             slow_channel_bytes: vec![],
             telemetry: None,
             trace: None,
+            tenants: vec![],
         };
         let slow = mk(100);
         let fast = mk(200);

@@ -148,6 +148,7 @@ fn cached_replay(case: &FuzzCase) -> Result<Option<String>, String> {
         mix,
         kind: case.policy_kind()?,
         parts: Participants::Both,
+        scenario: None,
     };
 
     let dir = std::env::temp_dir().join(format!(

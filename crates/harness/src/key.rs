@@ -22,7 +22,7 @@
 //! paths are byte-identical by construction and by the equivalence suite).
 
 use h2_system::{Participants, PolicyKind, SystemConfig};
-use h2_trace::Mix;
+use h2_trace::{Mix, TenantScenario};
 
 /// Bump whenever the key encoding below changes shape, so persisted cache
 /// entries keyed under the old scheme can never alias new ones.
@@ -149,12 +149,17 @@ fn encode_config(e: &mut KeyEncoder, c: &SystemConfig) {
     // `c.string_metrics` intentionally excluded — see module docs.
 }
 
-/// The canonical key of one (config, mix, policy, participants) job.
+/// The canonical key of one (config, mix, policy, participants, scenario)
+/// job. A scenario job keeps its mix as key material too (the harness uses
+/// a fixed placeholder mix for scenarios, so the scenario JSON is the
+/// distinguishing part): the scenario's canonical compact JSON covers
+/// every arrival/priority/churn knob in one stable byte stream.
 pub fn job_key(
     cfg: &SystemConfig,
     mix: &Mix,
     kind: PolicyKind,
     parts: Participants,
+    scenario: Option<&TenantScenario>,
 ) -> u128 {
     let mut e = KeyEncoder::new();
     encode_mix(&mut e, mix);
@@ -163,6 +168,13 @@ pub fn job_key(
     e.str(&kind.label());
     e.u8(participants_tag(parts));
     encode_config(&mut e, cfg);
+    match scenario {
+        Some(sc) => {
+            e.u8(1);
+            e.str(&sc.to_json().to_string_compact());
+        }
+        None => e.u8(0),
+    }
     e.finish()
 }
 
@@ -184,7 +196,7 @@ mod tests {
     fn every_config_field_changes_the_key() {
         let mix = Mix::by_name("C1").unwrap();
         let base = SystemConfig::tiny();
-        let key = |c: &SystemConfig| job_key(c, &mix, PolicyKind::NoPart, Participants::Both);
+        let key = |c: &SystemConfig| job_key(c, &mix, PolicyKind::NoPart, Participants::Both, None);
         let k0 = key(&base);
 
         let mut c = base.clone();
@@ -208,19 +220,19 @@ mod tests {
     fn engine_choice_does_not_change_the_key() {
         let mix = Mix::by_name("C1").unwrap();
         let mut c = SystemConfig::tiny();
-        let k0 = job_key(&c, &mix, PolicyKind::NoPart, Participants::Both);
+        let k0 = job_key(&c, &mix, PolicyKind::NoPart, Participants::Both, None);
         c.engine = h2_sim_core::EngineKind::Heap;
-        assert_eq!(job_key(&c, &mix, PolicyKind::NoPart, Participants::Both), k0);
+        assert_eq!(job_key(&c, &mix, PolicyKind::NoPart, Participants::Both, None), k0);
     }
 
     #[test]
     fn kernel_choice_does_not_change_the_key() {
         let mix = Mix::by_name("C1").unwrap();
         let mut c = SystemConfig::tiny();
-        let k0 = job_key(&c, &mix, PolicyKind::NoPart, Participants::Both);
+        let k0 = job_key(&c, &mix, PolicyKind::NoPart, Participants::Both, None);
         for kernel in [h2_sim_core::SimKernel::Batched, h2_sim_core::SimKernel::Parallel] {
             c.kernel = kernel;
-            assert_eq!(job_key(&c, &mix, PolicyKind::NoPart, Participants::Both), k0);
+            assert_eq!(job_key(&c, &mix, PolicyKind::NoPart, Participants::Both, None), k0);
         }
     }
 
@@ -228,35 +240,64 @@ mod tests {
     fn telemetry_flag_does_not_change_the_key() {
         let mix = Mix::by_name("C1").unwrap();
         let mut c = SystemConfig::tiny();
-        let k0 = job_key(&c, &mix, PolicyKind::NoPart, Participants::Both);
+        let k0 = job_key(&c, &mix, PolicyKind::NoPart, Participants::Both, None);
         c.telemetry = !c.telemetry;
-        assert_eq!(job_key(&c, &mix, PolicyKind::NoPart, Participants::Both), k0);
+        assert_eq!(job_key(&c, &mix, PolicyKind::NoPart, Participants::Both, None), k0);
     }
 
     #[test]
     fn trace_sample_does_not_change_the_key() {
         let mix = Mix::by_name("C1").unwrap();
         let mut c = SystemConfig::tiny();
-        let k0 = job_key(&c, &mix, PolicyKind::NoPart, Participants::Both);
+        let k0 = job_key(&c, &mix, PolicyKind::NoPart, Participants::Both, None);
         c.trace_sample = Some(64);
-        assert_eq!(job_key(&c, &mix, PolicyKind::NoPart, Participants::Both), k0);
+        assert_eq!(job_key(&c, &mix, PolicyKind::NoPart, Participants::Both, None), k0);
     }
 
     #[test]
     fn string_metrics_flag_does_not_change_the_key() {
         let mix = Mix::by_name("C1").unwrap();
         let mut c = SystemConfig::tiny();
-        let k0 = job_key(&c, &mix, PolicyKind::NoPart, Participants::Both);
+        let k0 = job_key(&c, &mix, PolicyKind::NoPart, Participants::Both, None);
         c.string_metrics = true;
-        assert_eq!(job_key(&c, &mix, PolicyKind::NoPart, Participants::Both), k0);
+        assert_eq!(job_key(&c, &mix, PolicyKind::NoPart, Participants::Both, None), k0);
+    }
+
+    #[test]
+    fn scenario_changes_the_key() {
+        let mix = Mix::by_name("C1").unwrap();
+        let c = SystemConfig::tiny();
+        let sc = TenantScenario {
+            name: "s".into(),
+            seed: 1,
+            tenants: vec![h2_trace::TenantSpec {
+                name: "a".into(),
+                priority: 0,
+                cores: 1,
+                ctxs: 0,
+                cpu: vec!["gcc".into()],
+                gpu: vec![],
+                arrival: h2_trace::Arrival::Steady,
+                start: 0,
+                stop: None,
+                phase_cycles: None,
+            }],
+        };
+        let k0 = job_key(&c, &mix, PolicyKind::NoPart, Participants::Both, None);
+        let k1 = job_key(&c, &mix, PolicyKind::NoPart, Participants::Both, Some(&sc));
+        assert_ne!(k0, k1);
+        let mut sc2 = sc.clone();
+        sc2.seed = 2;
+        let k2 = job_key(&c, &mix, PolicyKind::NoPart, Participants::Both, Some(&sc2));
+        assert_ne!(k1, k2);
     }
 
     #[test]
     fn static_policy_points_get_distinct_keys() {
         let mix = Mix::by_name("C1").unwrap();
         let c = SystemConfig::tiny();
-        let a = job_key(&c, &mix, PolicyKind::HydrogenStatic { bw: 1, cap: 2, tok: 3 }, Participants::Both);
-        let b = job_key(&c, &mix, PolicyKind::HydrogenStatic { bw: 1, cap: 3, tok: 2 }, Participants::Both);
+        let a = job_key(&c, &mix, PolicyKind::HydrogenStatic { bw: 1, cap: 2, tok: 3 }, Participants::Both, None);
+        let b = job_key(&c, &mix, PolicyKind::HydrogenStatic { bw: 1, cap: 3, tok: 2 }, Participants::Both, None);
         assert_ne!(a, b);
     }
 }

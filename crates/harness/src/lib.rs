@@ -21,6 +21,7 @@ pub mod profile;
 pub mod profout;
 pub mod sweep;
 pub mod table;
+pub mod trace_cli;
 
 pub use cache::RunCache;
 pub use profile::Profile;

@@ -18,7 +18,7 @@
 use crate::sweep::store::ShardedStore;
 use h2_sim_core::trace_span::{BlameCause, Span, SpanInterval, MAX_SPANS};
 use h2_sim_core::{LogHistogram, MetricsRegistry};
-use h2_system::report::{EpochFrame, EpochRecord, RunReport, RunTelemetry, RunTrace};
+use h2_system::report::{EpochFrame, EpochRecord, RunReport, RunTelemetry, RunTrace, TenantSlo};
 use std::io;
 use std::path::Path;
 
@@ -27,7 +27,8 @@ const MAGIC: [u8; 4] = *b"H2RC";
 
 /// Bump on any change to simulator results or to the encoding below.
 /// v3: the optional request-span trace section (`RunTrace`).
-pub const SCHEMA_VERSION: u32 = 3;
+/// v4: the per-tenant SLO section (`RunReport::tenants`).
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// The full cache tag: schema + code revision (crate version).
 pub fn cache_tag() -> String {
@@ -325,7 +326,39 @@ pub(crate) fn encode_report(r: &RunReport, tag: &str) -> Vec<u8> {
             }
         }
     }
+
+    // v4: per-tenant SLO section (empty for classic untagged runs).
+    e.u32(r.tenants.len() as u32);
+    for t in &r.tenants {
+        e.str(&t.name);
+        e.u8(t.priority);
+        for h in [&t.cpu_lat, &t.gpu_lat] {
+            e.u64(h.count());
+            e.u64(h.sum());
+            let nz: Vec<_> = h.nonzero_buckets().collect();
+            e.u32(nz.len() as u32);
+            for (b, c) in nz {
+                e.u8(b as u8);
+                e.u64(c);
+            }
+        }
+    }
     e.buf
+}
+
+fn decode_hist(d: &mut Dec) -> Option<LogHistogram> {
+    let count = d.u64()?;
+    let sum = d.u64()?;
+    let nb = d.u32()? as usize;
+    if nb > h2_sim_core::metrics::HIST_BUCKETS {
+        return None;
+    }
+    let mut buckets = Vec::with_capacity(nb);
+    for _ in 0..nb {
+        let b = d.u8()? as usize;
+        buckets.push((b, d.u64()?));
+    }
+    Some(LogHistogram::from_parts(count, sum, &buckets))
 }
 
 fn decode_trace(d: &mut Dec) -> Option<RunTrace> {
@@ -464,6 +497,19 @@ pub(crate) fn decode_report(bytes: &[u8], tag: &str) -> Option<RunReport> {
         1 => Some(decode_trace(&mut d)?),
         _ => return None,
     };
+
+    let nt = d.u32()? as usize;
+    if nt > bytes.len() {
+        return None;
+    }
+    let mut tenants = Vec::with_capacity(nt);
+    for _ in 0..nt {
+        let name = d.str()?;
+        let priority = d.u8()?;
+        let cpu_lat = decode_hist(&mut d)?;
+        let gpu_lat = decode_hist(&mut d)?;
+        tenants.push(TenantSlo { name, priority, cpu_lat, gpu_lat });
+    }
     if !d.done() {
         return None;
     }
@@ -493,6 +539,7 @@ pub(crate) fn decode_report(bytes: &[u8], tag: &str) -> Option<RunReport> {
         slow_channel_bytes,
         telemetry,
         trace,
+        tenants,
     })
 }
 
@@ -594,6 +641,33 @@ mod tests {
         assert_eq!(a.telemetry.is_some(), b.telemetry.is_some());
         assert_eq!(a.telemetry_json_string(), b.telemetry_json_string());
         assert_eq!(a.trace, b.trace);
+        assert_eq!(a.tenants, b.tenants);
+    }
+
+    #[test]
+    fn tenant_section_roundtrips() {
+        let mut r = sample_report();
+        let mut h = LogHistogram::new();
+        for v in [3, 90, 4000] {
+            h.record(v);
+        }
+        r.tenants = vec![
+            TenantSlo {
+                name: "inference".into(),
+                priority: 0,
+                cpu_lat: h.clone(),
+                gpu_lat: LogHistogram::new(),
+            },
+            TenantSlo {
+                name: "batch".into(),
+                priority: 2,
+                cpu_lat: LogHistogram::new(),
+                gpu_lat: h,
+            },
+        ];
+        let bytes = encode_report(&r, "tagX");
+        let back = decode_report(&bytes, "tagX").expect("decodes");
+        assert_reports_equal(&r, &back);
     }
 
     #[test]

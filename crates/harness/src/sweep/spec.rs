@@ -39,7 +39,7 @@ use h2_check::policy_by_name;
 use h2_sim_core::{Json, SeededRng};
 use h2_system::report::METRIC_NAMES;
 use h2_system::SystemConfig;
-use h2_trace::Mix;
+use h2_trace::{Mix, TenantScenario};
 
 /// Every sweepable [`SystemConfig`] parameter, by stable name.
 pub const PARAM_NAMES: &[&str] = &[
@@ -63,6 +63,11 @@ pub const PARAM_NAMES: &[&str] = &[
     "fast_capacity_override",
     "flat",
 ];
+
+/// The one axis name that does *not* set a [`SystemConfig`] field: it
+/// overrides the scenario seed of a scenario sweep (a spec with a
+/// `"scenario"` object), re-instantiating the tenant streams per point.
+pub const SCENARIO_SEED_PARAM: &str = "scenario_seed";
 
 /// Apply one named parameter to a config. `flat` is 0/1 and selects the
 /// hybrid organisation; everything else sets the field of the same name.
@@ -246,6 +251,10 @@ pub struct SweepSpec {
     pub policies: Vec<String>,
     /// Fixed parameter overrides applied before every point.
     pub base: Vec<(String, u64)>,
+    /// Multi-tenant scenario (DESIGN.md §18). When present, jobs come from
+    /// scenario × policies (the `mixes` list is ignored and may be empty),
+    /// and the [`SCENARIO_SEED_PARAM`] axis becomes available.
+    pub scenario: Option<TenantScenario>,
     /// The search strategy.
     pub search: Search,
 }
@@ -333,7 +342,17 @@ impl SweepSpec {
             Some(v) => Scale::parse(v.as_str().ok_or("'scale' must be a string")?)?,
             None => Scale::Tiny,
         };
-        let mixes = str_list(j, "mixes")?;
+        let scenario = match j.get("scenario") {
+            None => None,
+            Some(s) => Some(TenantScenario::from_json(s).map_err(|e| format!("scenario: {e}"))?),
+        };
+        // A scenario spec draws its workloads from the scenario, so the
+        // mixes list is optional there (and ignored when present).
+        let mixes = if scenario.is_some() && j.get("mixes").is_none() {
+            Vec::new()
+        } else {
+            str_list(j, "mixes")?
+        };
         let policies = str_list(j, "policies")?;
         let base = match j.get("base") {
             None => Vec::new(),
@@ -383,7 +402,7 @@ impl SweepSpec {
             },
             _ => return Err(format!("unknown search kind '{kind}' (grid | random | hillclimb)")),
         };
-        Ok(SweepSpec { name, scale, mixes, policies, base, search })
+        Ok(SweepSpec { name, scale, mixes, policies, base, scenario, search })
     }
 
     /// Serialise canonically (axis ranges come back as explicit lists).
@@ -427,13 +446,16 @@ impl SweepSpec {
                 .field("max_steps", *max_steps)
                 .field("params", axes(params)),
         };
-        Json::obj()
+        let mut out = Json::obj()
             .field("name", self.name.as_str())
             .field("scale", self.scale.as_str())
             .field("mixes", strs(&self.mixes))
             .field("policies", strs(&self.policies))
-            .field("base", base)
-            .field("search", search)
+            .field("base", base);
+        if let Some(sc) = &self.scenario {
+            out = out.field("scenario", sc.to_json());
+        }
+        out.field("search", search)
     }
 
     /// Semantic validation: resolvable mixes/policies/metric, known
@@ -447,8 +469,8 @@ impl SweepSpec {
                 self.name
             ));
         }
-        if self.mixes.is_empty() {
-            return Err("spec needs at least one mix".into());
+        if self.mixes.is_empty() && self.scenario.is_none() {
+            return Err("spec needs at least one mix (or a 'scenario' object)".into());
         }
         for m in &self.mixes {
             Mix::by_name(m).ok_or_else(|| format!("unknown mix '{m}' (Table II: C1..C12)"))?;
@@ -475,7 +497,15 @@ impl SweepSpec {
             if sorted.len() != ax.values.len() {
                 return Err(format!("axis '{}' has duplicate values", ax.name));
             }
-            apply_param(&mut probe.clone(), &ax.name, ax.values[0])?;
+            if ax.name == SCENARIO_SEED_PARAM {
+                if self.scenario.is_none() {
+                    return Err(format!(
+                        "axis '{SCENARIO_SEED_PARAM}' needs a 'scenario' object in the spec"
+                    ));
+                }
+            } else {
+                apply_param(&mut probe.clone(), &ax.name, ax.values[0])?;
+            }
         }
         match &self.search {
             Search::Grid { .. } => {}
@@ -513,10 +543,34 @@ impl SweepSpec {
     /// its label rather than tripping simulator assertions.
     pub fn jobs_for_point(&self, point: &SweepPoint) -> Result<Vec<Job>, String> {
         let mut cfg = self.base_config()?;
+        let mut scenario_seed = None;
         for (n, v) in &point.params {
+            if n == SCENARIO_SEED_PARAM {
+                scenario_seed = Some(*v);
+                continue;
+            }
             apply_param(&mut cfg, n, *v)?;
         }
         cfg.validate().map_err(|e| format!("point [{}]: {e}", point.label()))?;
+        if let Some(sc) = &self.scenario {
+            let mut sc = sc.clone();
+            if let Some(s) = scenario_seed {
+                sc.seed = s;
+            }
+            let mut jobs = Vec::with_capacity(self.policies.len());
+            for policy in &self.policies {
+                let kind = policy_by_name(policy)
+                    .ok_or_else(|| format!("unknown policy '{policy}'"))?;
+                jobs.push(Job::scenario(&cfg, &sc, kind));
+            }
+            return Ok(jobs);
+        }
+        if scenario_seed.is_some() {
+            return Err(format!(
+                "point [{}]: '{SCENARIO_SEED_PARAM}' needs a 'scenario' object in the spec",
+                point.label()
+            ));
+        }
         let mut jobs = Vec::with_capacity(self.mixes.len() * self.policies.len());
         for mix_name in &self.mixes {
             let mix = Mix::by_name(mix_name).ok_or_else(|| format!("unknown mix '{mix_name}'"))?;
@@ -795,6 +849,79 @@ mod tests {
         )
         .unwrap_err()
         .contains("unknown search kind"));
+    }
+
+    fn scenario_spec() -> SweepSpec {
+        SweepSpec::parse(
+            r#"{
+              "name": "sc",
+              "scale": "tiny",
+              "policies": ["NoPart", "HydrogenFull"],
+              "scenario": {
+                "name": "pair",
+                "seed": 3,
+                "tenants": [
+                  {"name": "svc", "priority": 0, "cores": 1, "ctxs": 0,
+                   "cpu": ["gcc"], "gpu": [],
+                   "arrival": {"kind": "steady"}, "start": 0,
+                   "stop": null, "phase_cycles": null},
+                  {"name": "ml", "priority": 1, "cores": 0, "ctxs": 1,
+                   "cpu": [], "gpu": ["backprop"],
+                   "arrival": {"kind": "bursty", "on": 2000, "off": 1000},
+                   "start": 0, "stop": null, "phase_cycles": null}
+                ]
+              },
+              "search": {"kind": "grid", "params": {"scenario_seed": [1, 2, 3]}}
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn scenario_specs_validate_roundtrip_and_build_scenario_jobs() {
+        let spec = scenario_spec();
+        spec.validate().unwrap();
+        let j = spec.to_json();
+        let back = SweepSpec::parse(&j.to_string_compact()).unwrap();
+        assert_eq!(back, spec);
+
+        let points = spec.expand(&mut |_| unreachable!()).unwrap();
+        assert_eq!(points.len(), 3);
+        let jobs = spec.jobs_for_point(&points[1]).unwrap();
+        assert_eq!(jobs.len(), 2, "one job per policy");
+        let sc = jobs[0].scenario.as_ref().expect("scenario job");
+        assert_eq!(sc.seed, 2, "scenario_seed axis overrides the seed");
+        assert_eq!(sc.tenants.len(), 2);
+        // Distinct seeds and policies hash to distinct cache keys.
+        let mut keys = std::collections::HashSet::new();
+        for p in &points {
+            for job in spec.jobs_for_point(p).unwrap() {
+                keys.insert(job.key());
+            }
+        }
+        assert_eq!(keys.len(), 6);
+    }
+
+    #[test]
+    fn scenario_seed_axis_requires_a_scenario() {
+        let mut s = grid_spec();
+        s.search = Search::Grid {
+            params: vec![Axis { name: SCENARIO_SEED_PARAM.into(), values: vec![1, 2] }],
+        };
+        assert!(s.validate().unwrap_err().contains("needs a 'scenario' object"));
+
+        let mut s = grid_spec();
+        s.mixes.clear();
+        assert!(s.validate().unwrap_err().contains("at least one mix"));
+
+        // Bad scenarios fail at parse time with the codec's diagnostic.
+        let err = SweepSpec::parse(
+            r#"{"name":"x","policies":["NoPart"],
+                "scenario":{"name":"b","seed":1,"tenants":[]},
+                "search":{"kind":"grid","params":{"seed":[1]}}}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("scenario"), "{err}");
     }
 
     #[test]

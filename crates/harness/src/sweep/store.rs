@@ -310,11 +310,15 @@ impl ShardedStore {
     /// Publish an entry atomically: encode into a uniquely named temp
     /// file in the target shard, then rename into place. Concurrent
     /// writers of the same key race benignly — both publish complete,
-    /// identical entries and the last rename wins.
+    /// identical entries and the last rename wins. The shard lock is held
+    /// across write+rename so a concurrent `gc` (which sweeps temp files
+    /// under the same lock) can never delete an in-flight temp between
+    /// the write and the rename.
     pub fn store(&self, key: u128, report: &RunReport) -> io::Result<()> {
         let bytes = encode_report(report, &self.tag);
         let shard = self.shard_dir(key);
         fs::create_dir_all(&shard)?;
+        let _lock = acquire_lock(&shard.join(".lock"))?;
         let tmp = shard.join(format!(
             ".{key:032x}.{}.{}.tmp",
             std::process::id(),
@@ -330,7 +334,7 @@ impl ShardedStore {
             let f = fs::OpenOptions::new().write(true).open(self.entry_path(key))?;
             f.set_len(n)?;
         }
-        self.index_update(key, bytes.len() as u64);
+        Self::index_upsert_locked(&shard, key, bytes.len() as u64, now_secs());
         Ok(())
     }
 
@@ -405,26 +409,25 @@ impl ShardedStore {
         fs::rename(&tmp, Self::index_path(shard))
     }
 
-    /// Upsert one index line under the shard lock. Best-effort: on lock
-    /// timeout or I/O error the index is simply left stale — `gc` rebuilds
-    /// recency from file mtimes, so nothing is lost but precision.
-    fn index_upsert(&self, key: u128, size: u64, used: u64) {
-        let shard = self.shard_dir(key);
-        let Ok(_lock) = acquire_lock(&shard.join(".lock")) else { return };
-        let mut entries = Self::read_index(&shard);
+    /// Upsert one index line; the caller must hold the shard lock.
+    /// Best-effort: on I/O error the index is simply left stale — `gc`
+    /// rebuilds recency from file mtimes, so nothing is lost but
+    /// precision.
+    fn index_upsert_locked(shard: &Path, key: u128, size: u64, used: u64) {
+        let mut entries = Self::read_index(shard);
         match entries.iter_mut().find(|(k, _, _)| *k == key) {
             Some(e) => *e = (key, size, used),
             None => entries.push((key, size, used)),
         }
-        let _ = Self::write_index(&shard, &entries);
+        let _ = Self::write_index(shard, &entries);
     }
 
-    fn index_update(&self, key: u128, size: u64) {
-        self.index_upsert(key, size, now_secs());
-    }
-
+    /// Upsert one index line, acquiring the shard lock first. On lock
+    /// timeout the index is left stale (same best-effort contract).
     fn index_touch(&self, key: u128, size: u64) {
-        self.index_upsert(key, size, now_secs());
+        let shard = self.shard_dir(key);
+        let Ok(_lock) = acquire_lock(&shard.join(".lock")) else { return };
+        Self::index_upsert_locked(&shard, key, size, now_secs());
     }
 
     // --- eviction ---------------------------------------------------------
@@ -610,8 +613,11 @@ mod tests {
         store.store(3, &r).unwrap();
         // Backdate entries 1 and 2 in the index so 3 is the most recent.
         let shard = store.shard_dir(1);
-        store.index_upsert(1, encode_len(&store, &r), 100);
-        store.index_upsert(2, encode_len(&store, &r), 200);
+        {
+            let _lock = acquire_lock(&shard.join(".lock")).unwrap();
+            ShardedStore::index_upsert_locked(&shard, 1, encode_len(&store, &r), 100);
+            ShardedStore::index_upsert_locked(&shard, 2, encode_len(&store, &r), 200);
+        }
         let one = encode_len(&store, &r);
         let rep = store.gc(one + one / 2, Duration::from_secs(3600)).unwrap();
         assert_eq!(rep.examined, 3);

@@ -9,11 +9,11 @@
 //! 4:1, LLC ≪ fast capacity ≪ footprint). `SystemConfig::paper()` holds the
 //! verbatim Table I values for reference and for the Table I dump.
 
-use h2_cache::HierarchyConfig;
+use h2_cache::{CacheConfig, HierarchyConfig};
 use h2_hybrid::types::Mode;
 use h2_mem::TimingPreset;
 use h2_sim_core::units::{Cycles, KIB, MIB};
-use h2_sim_core::{EngineKind, SimKernel};
+use h2_sim_core::{EngineKind, Json, SimKernel};
 use h2_trace::Mix;
 
 /// Which sides of the processor run (solo runs feed Fig 2a / Fig 10a).
@@ -258,6 +258,155 @@ impl SystemConfig {
         }
         Ok(())
     }
+
+    /// Canonical JSON encoding of the full configuration. Used by trace
+    /// capture (`.h2trace` headers embed the config so `--replay` can
+    /// rebuild the exact run) and byte-stable: encode→decode→encode is
+    /// identical.
+    pub fn to_json(&self) -> Json {
+        fn cache(c: &CacheConfig) -> Json {
+            Json::obj()
+                .field("name", c.name.as_str())
+                .field("size_bytes", c.size_bytes)
+                .field("ways", c.ways as u64)
+                .field("line_bytes", c.line_bytes)
+                .field("latency", c.latency)
+        }
+        Json::obj()
+            .field("cpu_cores", self.cpu_cores as u64)
+            .field("gpu_eus", self.gpu_eus as u64)
+            .field("gpu_ctx_slots", self.gpu_ctx_slots as u64)
+            .field("store_buffer", self.store_buffer as u64)
+            .field("cpu_mlp", self.cpu_mlp as u64)
+            .field("weight_cpu", self.weights.0)
+            .field("weight_gpu", self.weights.1)
+            .field(
+                "hierarchy",
+                Json::obj()
+                    .field("cpu_l1", cache(&self.hierarchy.cpu_l1))
+                    .field("cpu_l2", cache(&self.hierarchy.cpu_l2))
+                    .field("gpu_l1", cache(&self.hierarchy.gpu_l1))
+                    .field("llc", cache(&self.hierarchy.llc))
+                    .field("eus_per_gpu_l1", self.hierarchy.eus_per_gpu_l1 as u64),
+            )
+            .field("block_bytes", self.block_bytes)
+            .field("assoc", self.assoc as u64)
+            .field(
+                "fast_preset",
+                match self.fast_preset {
+                    TimingPreset::Hbm2eSuper => "hbm2e",
+                    TimingPreset::Hbm3Super => "hbm3",
+                    TimingPreset::Ddr4 => "ddr4",
+                },
+            )
+            .field("fast_channels", self.fast_channels as u64)
+            .field("slow_channels", self.slow_channels as u64)
+            .field("mode", match self.mode {
+                Mode::Cache => "cache",
+                Mode::Flat => "flat",
+            })
+            .field(
+                "fast_capacity_override",
+                match self.fast_capacity_override {
+                    Some(c) => Json::from(c),
+                    None => Json::Null,
+                },
+            )
+            .field("footprint_scale", self.footprint_scale)
+            .field("remap_cache_bytes", self.remap_cache_bytes)
+            .field("epoch_cycles", self.epoch_cycles)
+            .field("faucet_cycles", self.faucet_cycles)
+            .field("epochs_per_phase", self.epochs_per_phase)
+            .field("warmup_cycles", self.warmup_cycles)
+            .field("measure_cycles", self.measure_cycles)
+            .field("seed", self.seed)
+    }
+
+    /// Decode a configuration from [`SystemConfig::to_json`] output.
+    /// Observation-only knobs (`engine`, `kernel`, `telemetry`,
+    /// `trace_sample`, `string_metrics`) are deliberately *not* part of the
+    /// encoding — they never change simulation results, so a replayed run
+    /// starts from their defaults and the caller sets whatever it wants.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        fn u64f(j: &Json, name: &str) -> Result<u64, String> {
+            j.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("config missing u64 field '{name}'"))
+        }
+        fn f64f(j: &Json, name: &str) -> Result<f64, String> {
+            j.get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("config missing number field '{name}'"))
+        }
+        fn strf<'a>(j: &'a Json, name: &str) -> Result<&'a str, String> {
+            j.get(name)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("config missing string field '{name}'"))
+        }
+        fn cache(j: &Json, name: &str) -> Result<CacheConfig, String> {
+            let c = j.get(name).ok_or_else(|| format!("config missing cache level '{name}'"))?;
+            Ok(CacheConfig {
+                name: strf(c, "name")?.to_string(),
+                size_bytes: u64f(c, "size_bytes")?,
+                ways: u64f(c, "ways")? as usize,
+                line_bytes: u64f(c, "line_bytes")?,
+                latency: u64f(c, "latency")?,
+            })
+        }
+        let h = j.get("hierarchy").ok_or("config missing field 'hierarchy'")?;
+        let cfg = SystemConfig {
+            cpu_cores: u64f(j, "cpu_cores")? as usize,
+            gpu_eus: u64f(j, "gpu_eus")? as usize,
+            gpu_ctx_slots: u64f(j, "gpu_ctx_slots")? as u32,
+            store_buffer: u64f(j, "store_buffer")? as u32,
+            cpu_mlp: u64f(j, "cpu_mlp")? as u32,
+            weights: (f64f(j, "weight_cpu")?, f64f(j, "weight_gpu")?),
+            hierarchy: HierarchyConfig {
+                cpu_l1: cache(h, "cpu_l1")?,
+                cpu_l2: cache(h, "cpu_l2")?,
+                gpu_l1: cache(h, "gpu_l1")?,
+                llc: cache(h, "llc")?,
+                eus_per_gpu_l1: u64f(h, "eus_per_gpu_l1")? as usize,
+            },
+            block_bytes: u64f(j, "block_bytes")?,
+            assoc: u64f(j, "assoc")? as usize,
+            fast_preset: match strf(j, "fast_preset")? {
+                "hbm2e" => TimingPreset::Hbm2eSuper,
+                "hbm3" => TimingPreset::Hbm3Super,
+                "ddr4" => TimingPreset::Ddr4,
+                other => return Err(format!("unknown fast_preset '{other}'")),
+            },
+            fast_channels: u64f(j, "fast_channels")? as usize,
+            slow_channels: u64f(j, "slow_channels")? as usize,
+            mode: match strf(j, "mode")? {
+                "cache" => Mode::Cache,
+                "flat" => Mode::Flat,
+                other => return Err(format!("unknown mode '{other}'")),
+            },
+            fast_capacity_override: match j.get("fast_capacity_override") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(
+                    v.as_u64()
+                        .ok_or("config 'fast_capacity_override' must be u64 or null")?,
+                ),
+            },
+            footprint_scale: u64f(j, "footprint_scale")?,
+            remap_cache_bytes: u64f(j, "remap_cache_bytes")?,
+            epoch_cycles: u64f(j, "epoch_cycles")?,
+            faucet_cycles: u64f(j, "faucet_cycles")?,
+            epochs_per_phase: u64f(j, "epochs_per_phase")?,
+            warmup_cycles: u64f(j, "warmup_cycles")?,
+            measure_cycles: u64f(j, "measure_cycles")?,
+            seed: u64f(j, "seed")?,
+            engine: EngineKind::default(),
+            kernel: SimKernel::default(),
+            telemetry: true,
+            trace_sample: None,
+            string_metrics: false,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
 }
 
 #[cfg(test)]
@@ -343,6 +492,27 @@ mod tests {
         let mut c = SystemConfig::tiny();
         c.fast_capacity_override = Some(64);
         assert!(c.validate().unwrap_err().contains("complete set"));
+    }
+
+    #[test]
+    fn json_codec_roundtrips_shipped_configs() {
+        for mut c in [SystemConfig::paper(), SystemConfig::scaled(), SystemConfig::tiny()] {
+            c.fast_capacity_override = Some(8 * MIB);
+            let j1 = c.to_json().to_string_compact();
+            let back = SystemConfig::from_json(&Json::parse(&j1).unwrap()).unwrap();
+            assert_eq!(j1, back.to_json().to_string_compact());
+            assert_eq!(back.cpu_cores, c.cpu_cores);
+            assert_eq!(back.seed, c.seed);
+            assert_eq!(back.fast_capacity_override, c.fast_capacity_override);
+        }
+    }
+
+    #[test]
+    fn json_codec_rejects_malformed() {
+        assert!(SystemConfig::from_json(&Json::parse("{}").unwrap()).is_err());
+        let mut c = SystemConfig::tiny();
+        c.epoch_cycles = 0; // invalid per validate()
+        assert!(SystemConfig::from_json(&c.to_json()).is_err());
     }
 
     #[test]

@@ -9,9 +9,12 @@
 //! throughput is bandwidth-bound rather than latency-bound — the asymmetry
 //! at the heart of the paper's Insights 1–3.
 //!
-//! The stepping logic lives in [`crate::runner`]; these structs hold state.
+//! A unit's references come from a [`RefSource`]: the classic synthetic
+//! generator, a `.h2trace` replay cursor, or a multi-tenant scenario
+//! stream (see `h2_trace::source`). The stepping logic lives in
+//! [`crate::runner`]; these structs hold state.
 
-use h2_trace::{MemRef, TraceGen};
+use h2_trace::{MemRef, RefSource};
 
 /// Why a CPU core is not currently scheduled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,8 +32,8 @@ pub enum CoreBlock {
 /// One CPU core.
 #[derive(Debug)]
 pub struct CpuCore {
-    /// The core's trace stream.
-    pub gen: TraceGen,
+    /// The core's reference source.
+    pub src: RefSource,
     /// Instructions retired (cumulative).
     pub retired: u64,
     /// Outstanding stores in the buffer.
@@ -44,10 +47,10 @@ pub struct CpuCore {
 }
 
 impl CpuCore {
-    /// Wrap a trace stream.
-    pub fn new(gen: TraceGen) -> Self {
+    /// Wrap a reference source (a bare `TraceGen` converts implicitly).
+    pub fn new(src: impl Into<RefSource>) -> Self {
         Self {
-            gen,
+            src: src.into(),
             retired: 0,
             stores_outstanding: 0,
             reads_outstanding: 0,
@@ -60,8 +63,8 @@ impl CpuCore {
 /// One GPU execution-unit context.
 #[derive(Debug)]
 pub struct GpuCtx {
-    /// The context's trace stream.
-    pub gen: TraceGen,
+    /// The context's reference source.
+    pub src: RefSource,
     /// Instructions retired (cumulative, counted at issue).
     pub retired: u64,
     /// Memory requests currently in flight.
@@ -73,10 +76,10 @@ pub struct GpuCtx {
 }
 
 impl GpuCtx {
-    /// Wrap a trace stream.
-    pub fn new(gen: TraceGen) -> Self {
+    /// Wrap a reference source (a bare `TraceGen` converts implicitly).
+    pub fn new(src: impl Into<RefSource>) -> Self {
         Self {
-            gen,
+            src: src.into(),
             retired: 0,
             inflight: 0,
             blocked: false,

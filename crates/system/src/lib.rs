@@ -15,10 +15,18 @@ mod parallel;
 pub mod policies;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod telemetry;
 pub mod trace_export;
 
 pub use config::{Participants, SystemConfig};
 pub use policies::PolicyKind;
-pub use report::{RunReport, RunTelemetry, RunTrace};
-pub use runner::{run_sim, run_sim_parts, run_workloads, run_workloads_monitored, SimProbe};
+pub use report::{RunReport, RunTelemetry, RunTrace, TenantSlo};
+pub use runner::{
+    plan_from_workloads, run_plan_monitored, run_sim, run_sim_parts, run_workloads,
+    run_workloads_monitored, FrontendPlan, SimProbe,
+};
+pub use scenario::{
+    replay_config, replay_plan, run_scenario, run_scenario_monitored, scenario_config,
+    scenario_plan,
+};

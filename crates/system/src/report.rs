@@ -5,7 +5,7 @@ use h2_hybrid::HmcStats;
 use h2_mem::device::MemStats;
 use h2_mem::EnergyBreakdown;
 use h2_sim_core::trace_span::Span;
-use h2_sim_core::MetricsRegistry;
+use h2_sim_core::{LogHistogram, MetricsRegistry};
 
 /// One epoch's record in the adaptation trace (Hydrogen's search path).
 #[derive(Debug, Clone, PartialEq)]
@@ -58,6 +58,45 @@ pub struct RunTrace {
     /// Completed spans, sorted by id; each one's blamed intervals exactly
     /// tile its `[start, end)` lifetime.
     pub spans: Vec<Span>,
+}
+
+/// Per-tenant SLO summary for one run: measured-window demand-latency
+/// histograms per side, from which the p50/p99 tenant metrics derive.
+/// Present only on runs with tenant-tagged frontends (scenarios, tenant
+/// traces); classic preset runs leave [`RunReport::tenants`] empty.
+#[derive(Debug, Clone)]
+pub struct TenantSlo {
+    /// Tenant name (unique within the run).
+    pub name: String,
+    /// Priority class (0 = highest).
+    pub priority: u8,
+    /// CPU demand-read latency over the measured window.
+    pub cpu_lat: LogHistogram,
+    /// GPU demand latency over the measured window.
+    pub gpu_lat: LogHistogram,
+}
+
+impl TenantSlo {
+    /// Both sides' latencies merged into one histogram.
+    pub fn demand_lat(&self) -> LogHistogram {
+        let mut h = self.cpu_lat.clone();
+        h.merge(&self.gpu_lat);
+        h
+    }
+}
+
+impl PartialEq for TenantSlo {
+    fn eq(&self, other: &Self) -> bool {
+        fn hist_eq(a: &LogHistogram, b: &LogHistogram) -> bool {
+            a.count() == b.count()
+                && a.sum() == b.sum()
+                && a.nonzero_buckets().eq(b.nonzero_buckets())
+        }
+        self.name == other.name
+            && self.priority == other.priority
+            && hist_eq(&self.cpu_lat, &other.cpu_lat)
+            && hist_eq(&self.gpu_lat, &other.gpu_lat)
+    }
 }
 
 /// The result of one simulation run (measured window only).
@@ -115,6 +154,8 @@ pub struct RunReport {
     pub telemetry: Option<RunTelemetry>,
     /// Sampled request spans (None when tracing is disabled).
     pub trace: Option<RunTrace>,
+    /// Per-tenant SLO summaries (empty on untagged runs).
+    pub tenants: Vec<TenantSlo>,
 }
 
 impl RunReport {
@@ -186,8 +227,20 @@ impl RunReport {
             "gpu_instr" => self.gpu_instr as f64,
             "migrations" => (self.hmc.migrations[0] + self.hmc.migrations[1]) as f64,
             "row_conflicts" => (self.fast.row_conflicts + self.slow.row_conflicts) as f64,
+            "tenant_p50_demand_latency" => self.worst_tenant_quantile(0.5),
+            "tenant_p99_demand_latency" => self.worst_tenant_quantile(0.99),
             _ => return None,
         })
+    }
+
+    /// Worst (max) per-tenant demand-latency quantile — the SLO objective
+    /// hill-climb sweeps minimise. `0.0` when the run has no tenants.
+    fn worst_tenant_quantile(&self, q: f64) -> f64 {
+        self.tenants
+            .iter()
+            .map(|t| t.demand_lat().quantile(q))
+            .max()
+            .unwrap_or(0) as f64
     }
 }
 
@@ -207,6 +260,8 @@ pub const METRIC_NAMES: &[&str] = &[
     "gpu_instr",
     "migrations",
     "row_conflicts",
+    "tenant_p50_demand_latency",
+    "tenant_p99_demand_latency",
 ];
 
 #[cfg(test)]
@@ -244,6 +299,7 @@ mod tests {
             slow_channel_bytes: vec![],
             telemetry: None,
             trace: None,
+            tenants: vec![],
         }
     }
 
@@ -276,6 +332,40 @@ mod tests {
         assert!((r.metric("weighted_ipc").unwrap() - r.weighted_ipc()).abs() < 1e-12);
         assert!((r.metric("cpu_instr").unwrap() - 2000.0).abs() < 1e-12);
         assert_eq!(r.metric("no_such_metric"), None);
+    }
+
+    #[test]
+    fn tenant_quantile_metrics() {
+        let mut r = report(2000, 13_000);
+        assert_eq!(r.metric("tenant_p99_demand_latency"), Some(0.0));
+        let mut fast = LogHistogram::new();
+        for v in [10, 12, 14] {
+            fast.record(v);
+        }
+        let mut slow = LogHistogram::new();
+        for v in [100, 400, 900] {
+            slow.record(v);
+        }
+        r.tenants = vec![
+            TenantSlo {
+                name: "a".into(),
+                priority: 0,
+                cpu_lat: fast,
+                gpu_lat: LogHistogram::new(),
+            },
+            TenantSlo {
+                name: "b".into(),
+                priority: 1,
+                cpu_lat: LogHistogram::new(),
+                gpu_lat: slow.clone(),
+            },
+        ];
+        // The worst tenant's p99 wins.
+        assert_eq!(
+            r.metric("tenant_p99_demand_latency"),
+            Some(slow.quantile(0.99) as f64)
+        );
+        assert!(r.metric("tenant_p50_demand_latency").unwrap() > 0.0);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use crate::config::{Participants, SystemConfig};
 use crate::frontend::{CoreBlock, CpuCore, GpuCtx};
 use crate::policies::PolicyKind;
-use crate::report::{EpochFrame, EpochRecord, RunReport, RunTelemetry, RunTrace};
+use crate::report::{EpochFrame, EpochRecord, RunReport, RunTelemetry, RunTrace, TenantSlo};
 use h2_cache::sram::{AccessOutcome, SetAssocCache};
 use h2_hybrid::hmc::{Hmc, HmcEvent, HmcMetricHandles, HmcOutput};
 use h2_hybrid::types::{HybridConfig, ReqClass, Tier};
@@ -24,7 +24,7 @@ use h2_sim_core::units::{Cycles, MIB};
 use h2_sim_core::{
     CounterId, EventQueue, GaugeId, HistId, LogHistogram, MetricsRegistry, MonitorSet, SimKernel,
 };
-use h2_trace::{Mix, WorkloadSpec};
+use h2_trace::{Mix, RefSource, TenantInfo, TraceCapture, TraceRecord, WorkloadSpec};
 
 /// Local batching horizon: a front-end processes private-cache hits for at
 /// most this many cycles before yielding an event.
@@ -118,6 +118,15 @@ struct CacheLevelHandles {
     writebacks: CounterId,
 }
 
+/// Interned per-tenant SLO handles (`tenant.<name>.*`), present only on
+/// tenant-tagged runs.
+#[derive(Debug, Clone, Copy)]
+struct TenantHandles {
+    priority: GaugeId,
+    lat_cpu: HistId,
+    lat_gpu: HistId,
+}
+
 /// Interned `trace.*` counters, created lazily at the first collection
 /// where a span has closed (mirroring the string path, which emits the
 /// trace scope only once `spans_closed() > 0`).
@@ -146,6 +155,8 @@ struct MetricsLayout {
     mem_fast: MemMetricHandles,
     mem_slow: MemMetricHandles,
     hmc: HmcMetricHandles,
+    /// One entry per tenant (empty on untagged runs).
+    tenant: Vec<TenantHandles>,
     trace: Option<TraceHandles>,
 }
 
@@ -216,6 +227,24 @@ struct Sim {
     /// Channel-worker controller — `Some` only while the `Parallel` kernel
     /// drives the loop. Device calls divert to deferred ops when set.
     par: Option<ParallelMem>,
+    /// Trace capture (`h2 run --capture`): every fresh front-end pull is
+    /// recorded at its generation point. Pure observation — recording
+    /// never touches event timing, so captured runs are bit-identical to
+    /// uncaptured ones.
+    capture: Option<TraceCapture>,
+    /// Tenant table for tagged runs (empty on classic preset runs).
+    tenants: Vec<TenantInfo>,
+    /// Tenant index of each CPU core (empty when untagged).
+    cpu_tenant: Vec<usize>,
+    /// Tenant index of each GPU context.
+    gpu_tenant: Vec<usize>,
+    /// Per-tenant demand-latency histograms, recorded beside the aggregate
+    /// histograms on the same samples — so they partition them exactly —
+    /// plus their WarmupEnd snapshots for measured-window deltas.
+    tenant_cpu_hists: Vec<LogHistogram>,
+    tenant_gpu_hists: Vec<LogHistogram>,
+    warm_tenant_cpu: Vec<LogHistogram>,
+    warm_tenant_gpu: Vec<LogHistogram>,
 }
 
 impl Sim {
@@ -254,6 +283,18 @@ impl Sim {
         self.fast.collect_metrics(&mut reg.scoped("mem.fast"), per_bank);
         self.slow.collect_metrics(&mut reg.scoped("mem.slow"), per_bank);
         self.hmc.collect_metrics(&mut reg.scoped("hmc"));
+        // Per-tenant SLO scope — emitted only on tenant-tagged runs, so
+        // classic preset runs (and their golden snapshots) serialise
+        // byte-identically to before tenants existed.
+        if !self.tenants.is_empty() {
+            let mut tn = reg.scoped("tenant");
+            for (ti, t) in self.tenants.iter().enumerate() {
+                let mut s = tn.scoped(&t.name);
+                s.set_gauge("priority", t.priority as f64);
+                s.merge_hist("lat.cpu", &self.tenant_cpu_hists[ti]);
+                s.merge_hist("lat.gpu", &self.tenant_gpu_hists[ti]);
+            }
+        }
         // The per-epoch CPU↔GPU interference matrix: cumulative cycles each
         // victim class spent blamed on each cause, over all closed spans.
         // Emitted only once at least one span has closed so that runs with
@@ -303,6 +344,18 @@ impl Sim {
             let mut pol = reg.scoped_set("hmc.policy");
             self.hmc.collect_policy_metrics(&mut pol);
         }
+        // Tenant names are dynamic but fixed at system build, so their
+        // handles intern eagerly — right where the string path emits the
+        // `tenant` scope (after `hmc`, before any lazy `trace` names).
+        let tenant = self
+            .tenants
+            .iter()
+            .map(|t| TenantHandles {
+                priority: reg.intern_gauge(&format!("tenant.{}.priority", t.name)),
+                lat_cpu: reg.intern_hist(&format!("tenant.{}.lat.cpu", t.name)),
+                lat_gpu: reg.intern_hist(&format!("tenant.{}.lat.gpu", t.name)),
+            })
+            .collect();
         self.prev_reg = reg.clone();
         self.cum_reg = reg;
         self.layout = Some(MetricsLayout {
@@ -315,6 +368,7 @@ impl Sim {
             mem_fast,
             mem_slow,
             hmc,
+            tenant,
             trace: None,
         });
     }
@@ -366,6 +420,11 @@ impl Sim {
         {
             let mut pol = reg.scoped_set("hmc.policy");
             self.hmc.collect_policy_metrics(&mut pol);
+        }
+        for (ti, h) in layout.tenant.iter().enumerate() {
+            reg.set_gauge_id(h.priority, self.tenants[ti].priority as f64);
+            reg.set_hist(h.lat_cpu, &self.tenant_cpu_hists[ti]);
+            reg.set_hist(h.lat_gpu, &self.tenant_gpu_hists[ti]);
         }
         if self.tracer.spans_closed() > 0 {
             if layout.trace.is_none() {
@@ -552,6 +611,9 @@ impl Sim {
                     if self.telemetry {
                         self.cpu_lat_hist.record(lat);
                     }
+                    if !self.tenant_cpu_hists.is_empty() {
+                        self.tenant_cpu_hists[self.cpu_tenant[unit]].record(lat);
+                    }
                 }
                 let c = &mut self.cores[unit];
                 c.reads_outstanding = c.reads_outstanding.saturating_sub(1);
@@ -580,6 +642,9 @@ impl Sim {
                     self.gpu_lat_cnt += 1;
                     if self.telemetry {
                         self.gpu_lat_hist.record(lat);
+                    }
+                    if !self.tenant_gpu_hists.is_empty() {
+                        self.tenant_gpu_hists[self.gpu_tenant[unit]].record(lat);
                     }
                 }
                 let c = &mut self.ctxs[unit];
@@ -654,10 +719,26 @@ impl Sim {
             let r = match self.cores[i].stash.take() {
                 Some(r) => r,
                 None => {
-                    let r = self.cores[i].gen.next_ref();
-                    t += r.gap as Cycles;
-                    self.cores[i].retired += r.gap as u64 + 1;
-                    r
+                    let p = self.cores[i].src.next_pull();
+                    // Idle cycles (bursty tenants, replay gaps) advance the
+                    // core's clock but retire nothing; only fresh pulls are
+                    // captured, so stash re-issues never duplicate records.
+                    t += p.idle as Cycles + p.r.gap as Cycles;
+                    self.cores[i].retired += p.r.gap as u64 + 1;
+                    if let Some(cap) = self.capture.as_mut() {
+                        cap.record_cpu(
+                            i,
+                            TraceRecord {
+                                ts: t,
+                                addr: p.r.addr,
+                                gap: p.r.gap,
+                                idle: p.idle,
+                                write: p.r.write,
+                                dependent: p.r.dependent,
+                            },
+                        );
+                    }
+                    p.r
                 }
             };
 
@@ -770,10 +851,23 @@ impl Sim {
             let r = match self.ctxs[j].stash.take() {
                 Some(r) => r,
                 None => {
-                    let r = self.ctxs[j].gen.next_ref();
-                    t += r.gap as Cycles;
-                    self.ctxs[j].retired += r.gap as u64 + 1;
-                    r
+                    let p = self.ctxs[j].src.next_pull();
+                    t += p.idle as Cycles + p.r.gap as Cycles;
+                    self.ctxs[j].retired += p.r.gap as u64 + 1;
+                    if let Some(cap) = self.capture.as_mut() {
+                        cap.record_gpu(
+                            j,
+                            TraceRecord {
+                                ts: t,
+                                addr: p.r.addr,
+                                gap: p.r.gap,
+                                idle: p.idle,
+                                write: p.r.write,
+                                dependent: p.r.dependent,
+                            },
+                        );
+                    }
+                    p.r
                 }
             };
 
@@ -904,6 +998,8 @@ impl Sim {
                 self.prev_reg = self.collect_registry(false);
             }
         }
+        self.warm_tenant_cpu = self.tenant_cpu_hists.clone();
+        self.warm_tenant_gpu = self.tenant_gpu_hists.clone();
         self.in_measurement = true;
     }
 
@@ -1334,6 +1430,84 @@ pub fn run_workloads_monitored(
     fast_capacity: u64,
     monitors: Option<&mut MonitorSet<SimProbe>>,
 ) -> RunReport {
+    let plan = plan_from_workloads(cfg, cpu_specs, gpu_spec);
+    run_plan_monitored(cfg, label, kind, fast_capacity, plan, None, monitors)
+}
+
+/// A fully laid-out set of front-end reference sources, ready to simulate.
+///
+/// Produced by [`plan_from_workloads`] (classic synthetic presets), by
+/// [`crate::scenario`] (multi-tenant scenarios), or from a `.h2trace`
+/// replay file. Unit order is load-bearing: core/ctx indices map 1:1 onto
+/// trace-capture units and `cpu_tenant`/`gpu_tenant` entries.
+pub struct FrontendPlan {
+    /// One reference source per CPU core (may be empty).
+    pub cpu: Vec<RefSource>,
+    /// One reference source per GPU EU context (may be empty).
+    pub gpu: Vec<RefSource>,
+    /// First GPU-owned address (`u64::MAX` when no GPU side).
+    pub gpu_base: u64,
+    /// Tenant table; empty for classic untagged runs.
+    pub tenants: Vec<TenantInfo>,
+    /// Per-core tenant index into `tenants` (empty iff `tenants` is).
+    pub cpu_tenant: Vec<usize>,
+    /// Per-ctx tenant index into `tenants` (empty iff `tenants` is).
+    pub gpu_tenant: Vec<usize>,
+}
+
+/// Lay out the classic (untagged) synthetic workloads: CPU copies first,
+/// then GPU contexts (all GPU contexts share one window — EUs partition one
+/// kernel's data).
+pub fn plan_from_workloads(
+    cfg: &SystemConfig,
+    cpu_specs: &[WorkloadSpec],
+    gpu_spec: Option<&WorkloadSpec>,
+) -> FrontendPlan {
+    let mut base = 0u64;
+    let mut cpu: Vec<RefSource> = Vec::new();
+    if !cpu_specs.is_empty() {
+        for i in 0..cfg.cpu_cores {
+            let spec = &cpu_specs[i % cpu_specs.len()];
+            let gen = spec.instantiate(cfg.seed, i as u32, base, cfg.footprint_scale);
+            base += gen.footprint() + GUARD;
+            cpu.push(gen.into());
+        }
+    }
+    let mut gpu: Vec<RefSource> = Vec::new();
+    let mut gpu_window_base = u64::MAX;
+    if let Some(spec) = gpu_spec {
+        gpu_window_base = base;
+        for j in 0..cfg.gpu_eus {
+            let gen = spec.instantiate(cfg.seed, 1000 + j as u32, base, cfg.footprint_scale);
+            gpu.push(gen.into());
+        }
+    }
+    FrontendPlan {
+        cpu,
+        gpu,
+        gpu_base: gpu_window_base,
+        tenants: Vec::new(),
+        cpu_tenant: Vec::new(),
+        gpu_tenant: Vec::new(),
+    }
+}
+
+/// Run a pre-built [`FrontendPlan`] under a policy. This is the single
+/// simulation entry point: classic runs, scenario runs, and trace replays
+/// all funnel through here so they share one code path bit-for-bit.
+///
+/// When `capture` is `Some`, every front-end pull is recorded and the
+/// resulting [`TraceCapture`] is stored into the slot after the run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_plan_monitored(
+    cfg: &SystemConfig,
+    label: &str,
+    kind: PolicyKind,
+    fast_capacity: u64,
+    plan: FrontendPlan,
+    capture: Option<&mut Option<TraceCapture>>,
+    monitors: Option<&mut MonitorSet<SimProbe>>,
+) -> RunReport {
     let mut hybrid = HybridConfig {
         block_bytes: cfg.block_bytes,
         assoc: cfg.assoc,
@@ -1350,37 +1524,24 @@ pub fn run_workloads_monitored(
     let policy = kind.build(cfg, &mut hybrid);
     let hmc = Hmc::new(hybrid, policy, cfg.seed);
 
-    // Address layout: CPU copies first, then GPU contexts (all GPU contexts
-    // share one window — EUs partition one kernel's data).
-    let mut base = 0u64;
     let mut cores = Vec::new();
     let mut l1s = Vec::new();
     let mut l2s = Vec::new();
-    if !cpu_specs.is_empty() {
-        for i in 0..cfg.cpu_cores {
-            let spec = &cpu_specs[i % cpu_specs.len()];
-            let gen = spec.instantiate(cfg.seed, i as u32, base, cfg.footprint_scale);
-            base += gen.footprint() + GUARD;
-            cores.push(CpuCore::new(gen));
-            l1s.push(SetAssocCache::new(cfg.hierarchy.cpu_l1.clone()));
-            l2s.push(SetAssocCache::new(cfg.hierarchy.cpu_l2.clone()));
-        }
+    for src in plan.cpu {
+        cores.push(CpuCore::new(src));
+        l1s.push(SetAssocCache::new(cfg.hierarchy.cpu_l1.clone()));
+        l2s.push(SetAssocCache::new(cfg.hierarchy.cpu_l2.clone()));
     }
-    let mut ctxs = Vec::new();
+    let ctxs: Vec<GpuCtx> = plan.gpu.into_iter().map(GpuCtx::new).collect();
     let mut gpu_l1s = Vec::new();
-    let mut gpu_window_base = u64::MAX;
-    if let Some(spec) = gpu_spec {
-        let gpu_base = base;
-        gpu_window_base = gpu_base;
-        for j in 0..cfg.gpu_eus {
-            let gen = spec.instantiate(cfg.seed, 1000 + j as u32, gpu_base, cfg.footprint_scale);
-            ctxs.push(GpuCtx::new(gen));
-        }
-        let n_l1 = cfg.gpu_eus.div_ceil(cfg.hierarchy.eus_per_gpu_l1);
+    if !ctxs.is_empty() {
+        let n_l1 = ctxs.len().div_ceil(cfg.hierarchy.eus_per_gpu_l1);
         for _ in 0..n_l1 {
             gpu_l1s.push(SetAssocCache::new(cfg.hierarchy.gpu_l1.clone()));
         }
     }
+    let gpu_window_base = plan.gpu_base;
+    let n_tenants = plan.tenants.len();
 
     let t_start = std::time::Instant::now();
     let n_ctx = ctxs.len();
@@ -1434,6 +1595,18 @@ pub fn run_workloads_monitored(
         started_buf: Vec::new(),
         trace_scratch: Vec::new(),
         par: None,
+        capture: if capture.is_some() {
+            Some(TraceCapture::new(n_core, n_ctx))
+        } else {
+            None
+        },
+        tenants: plan.tenants,
+        cpu_tenant: plan.cpu_tenant,
+        gpu_tenant: plan.gpu_tenant,
+        tenant_cpu_hists: vec![LogHistogram::new(); n_tenants],
+        tenant_gpu_hists: vec![LogHistogram::new(); n_tenants],
+        warm_tenant_cpu: vec![LogHistogram::new(); n_tenants],
+        warm_tenant_gpu: vec![LogHistogram::new(); n_tenants],
     };
     if cfg.telemetry && !cfg.string_metrics {
         sim.init_metrics_layout();
@@ -1452,6 +1625,9 @@ pub fn run_workloads_monitored(
 
     sim.run(monitors);
     let wall_s = t_start.elapsed().as_secs_f64();
+    if let Some(slot) = capture {
+        *slot = sim.capture.take();
+    }
     // Fold this thread's profiler tree into the global report now, so runs
     // executed on short-lived pool workers are visible without waiting for
     // thread exit. No-op when the profiler never recorded anything.
@@ -1523,6 +1699,17 @@ pub fn run_workloads_monitored(
         slow_channel_bytes: sim.slow.channel_bytes(),
         telemetry,
         trace,
+        tenants: sim
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(ti, t)| TenantSlo {
+                name: t.name.clone(),
+                priority: t.priority,
+                cpu_lat: sim.tenant_cpu_hists[ti].delta_from(&sim.warm_tenant_cpu[ti]),
+                gpu_lat: sim.tenant_gpu_hists[ti].delta_from(&sim.warm_tenant_gpu[ti]),
+            })
+            .collect(),
     }
 }
 

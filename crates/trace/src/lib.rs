@@ -9,13 +9,28 @@
 //! DESIGN.md §1 for the substitution argument).
 //!
 //! Generators are deterministic given an experiment seed and generate
-//! references lazily — no trace files.
+//! references lazily.
+//!
+//! Beyond the synthetic presets, the crate also provides the datacenter
+//! scenario pack (DESIGN.md §18): a versioned on-disk trace format with
+//! capture/replay ([`tracefile`]), seeded multi-tenant bursty/diurnal
+//! scenarios ([`scenario`]), and the [`source::RefSource`] abstraction the
+//! runner pulls every front-end reference through.
 
 pub mod mix;
 pub mod pattern;
+pub mod scenario;
+pub mod source;
 pub mod spec;
+pub mod tracefile;
 pub mod workloads;
 
 pub use mix::Mix;
 pub use pattern::{MemRef, Pattern};
+pub use scenario::{Arrival, ScenarioUnits, TenantScenario, TenantSpec, TenantStream};
+pub use source::{Pull, RefSource};
 pub use spec::{TraceGen, WorkloadClass, WorkloadSpec};
+pub use tracefile::{
+    ReplayCursor, TenantInfo, TraceCapture, TraceFile, TraceRecord, TraceUnit, UnitClass,
+    RECORD_BYTES, TRACE_MAGIC, TRACE_VERSION,
+};

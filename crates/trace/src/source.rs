@@ -1,0 +1,82 @@
+//! Unified demand-reference source for front-end units.
+//!
+//! A CPU core or GPU context historically owned a [`TraceGen`] and pulled
+//! synthetic references from it. Trace replay and multi-tenant scenarios
+//! introduce two more ways to produce the next reference, so the runner now
+//! pulls through [`RefSource`], which also carries an *idle* component:
+//! cycles the unit spends doing nothing before the reference (an
+//! arrival-process off-period, or a replay gap). Idle time advances the
+//! unit's clock but retires no instructions, keeping IPC accounting honest.
+
+use crate::pattern::MemRef;
+use crate::scenario::TenantStream;
+use crate::spec::TraceGen;
+use crate::tracefile::ReplayCursor;
+
+/// One pulled reference plus the idle cycles that precede it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pull {
+    /// The memory reference (gap, address, write/dependent flags).
+    pub r: MemRef,
+    /// Idle cycles before `r.gap` begins; retires nothing.
+    pub idle: u32,
+}
+
+/// Where a front-end unit's references come from.
+#[derive(Debug)]
+pub enum RefSource {
+    /// The classic synthetic generator (always idle-free).
+    Synth(TraceGen),
+    /// Deterministic replay of a captured `.h2trace` unit stream.
+    Replay(ReplayCursor),
+    /// A tenant-scenario stream (phase-shifting mixes × arrival process).
+    Tenant(TenantStream),
+}
+
+impl RefSource {
+    /// Produce the next reference. The `Synth` arm is byte-identical to the
+    /// historical direct `TraceGen::next_ref` path (idle is always zero).
+    pub fn next_pull(&mut self) -> Pull {
+        match self {
+            RefSource::Synth(g) => Pull { r: g.next_ref(), idle: 0 },
+            RefSource::Replay(c) => c.next_pull(),
+            RefSource::Tenant(t) => t.next_pull(),
+        }
+    }
+}
+
+impl From<TraceGen> for RefSource {
+    fn from(g: TraceGen) -> Self {
+        RefSource::Synth(g)
+    }
+}
+
+impl From<ReplayCursor> for RefSource {
+    fn from(c: ReplayCursor) -> Self {
+        RefSource::Replay(c)
+    }
+}
+
+impl From<TenantStream> for RefSource {
+    fn from(t: TenantStream) -> Self {
+        RefSource::Tenant(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    #[test]
+    fn synth_source_matches_direct_generator() {
+        let spec = workloads::by_name("gcc").unwrap();
+        let mut direct = spec.instantiate(7, 0, 0, 64);
+        let mut src: RefSource = spec.instantiate(7, 0, 0, 64).into();
+        for _ in 0..256 {
+            let p = src.next_pull();
+            assert_eq!(p.idle, 0);
+            assert_eq!(p.r, direct.next_ref());
+        }
+    }
+}

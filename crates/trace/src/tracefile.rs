@@ -1,0 +1,547 @@
+//! The versioned on-disk trace format (`.h2trace`).
+//!
+//! A trace file records the exact demand-request stream every front-end
+//! unit (CPU core or GPU context) pulled during a run, so an identical run
+//! can later be *replayed* without the synthetic generators — the bridge
+//! between captured workloads and the simulator (DESIGN.md §18).
+//!
+//! Layout:
+//!
+//! ```text
+//! magic  b"H2TR"                      4 bytes
+//! version u32 LE                      4 bytes
+//! header_len u32 LE                   4 bytes
+//! header  canonical compact JSON      header_len bytes
+//! records fixed-width 25-byte rows    per unit, in header unit order
+//! ```
+//!
+//! The header names the capture label, the GPU address-window base, an
+//! opaque `meta` object (the harness stores the full system config there),
+//! the tenant table, and one entry per unit (class, tenant index, record
+//! count). Each record row is `ts u64 | addr u64 | gap u32 | idle u32 |
+//! flags u8`, little-endian, where flags bit 0 = write and bit 1 =
+//! dependent. Records of one unit are timestamp-ordered; decoding rejects
+//! anything else with a positional diagnostic rather than panicking.
+
+use crate::pattern::MemRef;
+use crate::source::Pull;
+use h2_sim_core::Json;
+
+/// File magic.
+pub const TRACE_MAGIC: [u8; 4] = *b"H2TR";
+
+/// Format version. Bump on any change to the header schema or record
+/// layout; decoding rejects every other version.
+pub const TRACE_VERSION: u32 = 1;
+
+/// Bytes per record row.
+pub const RECORD_BYTES: usize = 25;
+
+/// One captured demand reference of one unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Unit-local cycle at which the reference issued.
+    pub ts: u64,
+    /// Byte address.
+    pub addr: u64,
+    /// Non-memory instructions before the reference (see [`MemRef::gap`]).
+    pub gap: u32,
+    /// Idle cycles before the gap (arrival-process off-time; retires no
+    /// instructions).
+    pub idle: u32,
+    /// Store (true) or load (false).
+    pub write: bool,
+    /// Dependent (pointer-chase) load.
+    pub dependent: bool,
+}
+
+impl TraceRecord {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.ts.to_le_bytes());
+        out.extend_from_slice(&self.addr.to_le_bytes());
+        out.extend_from_slice(&self.gap.to_le_bytes());
+        out.extend_from_slice(&self.idle.to_le_bytes());
+        out.push(self.write as u8 | (self.dependent as u8) << 1);
+    }
+
+    fn decode(row: &[u8]) -> Result<Self, String> {
+        debug_assert_eq!(row.len(), RECORD_BYTES);
+        let u64_at = |i: usize| u64::from_le_bytes(row[i..i + 8].try_into().unwrap());
+        let u32_at = |i: usize| u32::from_le_bytes(row[i..i + 4].try_into().unwrap());
+        let flags = row[24];
+        if flags > 0b11 {
+            return Err(format!("invalid flag bits 0x{flags:02x} (only write|dependent allowed)"));
+        }
+        Ok(Self {
+            ts: u64_at(0),
+            addr: u64_at(8),
+            gap: u32_at(16),
+            idle: u32_at(20),
+            write: flags & 1 != 0,
+            dependent: flags & 2 != 0,
+        })
+    }
+}
+
+/// One tenant named in the trace header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantInfo {
+    /// Tenant name (unique within the file).
+    pub name: String,
+    /// Priority class (0 = highest).
+    pub priority: u8,
+}
+
+/// Which side a traced unit drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitClass {
+    /// A CPU core.
+    Cpu,
+    /// A GPU execution-unit context.
+    Gpu,
+}
+
+/// One front-end unit in the trace: its class, owning tenant, and record
+/// stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceUnit {
+    /// CPU core or GPU context.
+    pub class: UnitClass,
+    /// Index into [`TraceFile::tenants`].
+    pub tenant: usize,
+    /// The unit's demand stream, timestamp-ordered.
+    pub records: Vec<TraceRecord>,
+}
+
+/// A decoded (or to-be-encoded) trace file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceFile {
+    /// Capture label (mix or scenario name).
+    pub label: String,
+    /// Start of the GPU address window (`u64::MAX` when no GPU units).
+    pub gpu_base: u64,
+    /// Opaque producer metadata (the harness stores the system config,
+    /// policy, and fast capacity here so `--replay` can rebuild the run).
+    pub meta: Json,
+    /// Tenant table (at least one entry; plain captures use one `default`
+    /// tenant).
+    pub tenants: Vec<TenantInfo>,
+    /// Per-unit record streams, CPU units first.
+    pub units: Vec<TraceUnit>,
+}
+
+impl TraceFile {
+    /// Serialise to the on-disk byte format. Canonical: equal values encode
+    /// to equal bytes, which is what makes capture→replay→capture a
+    /// byte-identical fixpoint.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut tenants = Json::arr();
+        for t in &self.tenants {
+            tenants.push(
+                Json::obj()
+                    .field("name", t.name.as_str())
+                    .field("priority", t.priority as u64),
+            );
+        }
+        let mut units = Json::arr();
+        for u in &self.units {
+            units.push(
+                Json::obj()
+                    .field("class", match u.class {
+                        UnitClass::Cpu => "cpu",
+                        UnitClass::Gpu => "gpu",
+                    })
+                    .field("tenant", u.tenant as u64)
+                    .field("records", u.records.len() as u64),
+            );
+        }
+        let header = Json::obj()
+            .field("schema", TRACE_VERSION as u64)
+            .field("label", self.label.as_str())
+            .field("gpu_base", self.gpu_base)
+            .field("meta", self.meta.clone())
+            .field("tenants", tenants)
+            .field("units", units)
+            .to_string_compact();
+        let n_records: usize = self.units.iter().map(|u| u.records.len()).sum();
+        let mut out =
+            Vec::with_capacity(12 + header.len() + n_records * RECORD_BYTES);
+        out.extend_from_slice(&TRACE_MAGIC);
+        out.extend_from_slice(&TRACE_VERSION.to_le_bytes());
+        out.extend_from_slice(&(header.len() as u32).to_le_bytes());
+        out.extend_from_slice(header.as_bytes());
+        for u in &self.units {
+            for r in &u.records {
+                r.encode_into(&mut out);
+            }
+        }
+        out
+    }
+
+    /// Decode and validate a trace file. Every malformation — bad magic or
+    /// version, truncated header or records, counts that disagree with the
+    /// body length, out-of-range tenant indices, invalid flag bits,
+    /// out-of-order timestamps — is rejected with a diagnostic naming the
+    /// offending position; this function never panics on hostile input.
+    pub fn decode(bytes: &[u8]) -> Result<TraceFile, String> {
+        if bytes.len() < 12 {
+            return Err(format!("truncated: {} bytes, need at least 12", bytes.len()));
+        }
+        if bytes[..4] != TRACE_MAGIC {
+            return Err(format!(
+                "bad magic {:02x?} (expected {:02x?} = \"H2TR\")",
+                &bytes[..4],
+                TRACE_MAGIC
+            ));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version != TRACE_VERSION {
+            return Err(format!("unsupported version {version} (this build reads {TRACE_VERSION})"));
+        }
+        let header_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let body_at = 12usize.checked_add(header_len).ok_or("header length overflows")?;
+        if bytes.len() < body_at {
+            return Err(format!(
+                "truncated header: declared {header_len} bytes, only {} present",
+                bytes.len() - 12
+            ));
+        }
+        let header_str = std::str::from_utf8(&bytes[12..body_at])
+            .map_err(|e| format!("header is not UTF-8: {e}"))?;
+        let header = Json::parse(header_str).map_err(|e| format!("header JSON: {e}"))?;
+        let schema = header
+            .get("schema")
+            .and_then(Json::as_u64)
+            .ok_or("header missing u64 field 'schema'")?;
+        if schema != TRACE_VERSION as u64 {
+            return Err(format!("header schema {schema} disagrees with file version {version}"));
+        }
+        let label = header
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or("header missing string field 'label'")?
+            .to_string();
+        let gpu_base = header
+            .get("gpu_base")
+            .and_then(Json::as_u64)
+            .ok_or("header missing u64 field 'gpu_base'")?;
+        let meta = header.get("meta").cloned().ok_or("header missing field 'meta'")?;
+        let mut tenants = Vec::new();
+        for (i, t) in header
+            .get("tenants")
+            .and_then(Json::as_array)
+            .ok_or("header missing array field 'tenants'")?
+            .iter()
+            .enumerate()
+        {
+            let name = t
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("tenant {i}: missing string field 'name'"))?;
+            let priority = t
+                .get("priority")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("tenant {i}: missing u64 field 'priority'"))?;
+            if priority > u8::MAX as u64 {
+                return Err(format!("tenant {i} ('{name}'): priority {priority} exceeds 255"));
+            }
+            if tenants.iter().any(|x: &TenantInfo| x.name == name) {
+                return Err(format!("tenant {i}: duplicate name '{name}'"));
+            }
+            tenants.push(TenantInfo { name: name.to_string(), priority: priority as u8 });
+        }
+        if tenants.is_empty() {
+            return Err("tenant table is empty (plain captures carry one 'default' tenant)".into());
+        }
+        let mut units: Vec<TraceUnit> = Vec::new();
+        let unit_hdrs = header
+            .get("units")
+            .and_then(Json::as_array)
+            .ok_or("header missing array field 'units'")?;
+        let mut total = 0usize;
+        for (i, u) in unit_hdrs.iter().enumerate() {
+            let class = match u.get("class").and_then(Json::as_str) {
+                Some("cpu") => UnitClass::Cpu,
+                Some("gpu") => UnitClass::Gpu,
+                Some(other) => {
+                    return Err(format!("unit {i}: unknown class '{other}' (want cpu|gpu)"))
+                }
+                None => return Err(format!("unit {i}: missing string field 'class'")),
+            };
+            let tenant = u
+                .get("tenant")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("unit {i}: missing u64 field 'tenant'"))?
+                as usize;
+            if tenant >= tenants.len() {
+                return Err(format!(
+                    "unit {i}: unknown tenant id {tenant} (table has {})",
+                    tenants.len()
+                ));
+            }
+            let records = u
+                .get("records")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("unit {i}: missing u64 field 'records'"))?
+                as usize;
+            total = total
+                .checked_add(records)
+                .ok_or_else(|| format!("unit {i}: record count overflows"))?;
+            units.push(TraceUnit { class, tenant, records: Vec::new() });
+        }
+        let want = total
+            .checked_mul(RECORD_BYTES)
+            .ok_or("total record bytes overflow")?;
+        let body = &bytes[body_at..];
+        if body.len() < want {
+            return Err(format!(
+                "truncated records: header declares {total} records ({want} bytes), body has {}",
+                body.len()
+            ));
+        }
+        if body.len() > want {
+            return Err(format!(
+                "{} trailing bytes after the last declared record",
+                body.len() - want
+            ));
+        }
+        let mut at = 0usize;
+        for (i, unit) in units.iter_mut().enumerate() {
+            let declared = unit_hdrs[i]
+                .get("records")
+                .and_then(Json::as_u64)
+                .unwrap_or(0) as usize;
+            unit.records.reserve_exact(declared);
+            let mut last_ts = 0u64;
+            for k in 0..declared {
+                let row = &body[at..at + RECORD_BYTES];
+                at += RECORD_BYTES;
+                let rec = TraceRecord::decode(row)
+                    .map_err(|e| format!("unit {i} record {k}: {e}"))?;
+                if rec.ts < last_ts {
+                    return Err(format!(
+                        "unit {i} record {k}: timestamp {} out of order (previous {})",
+                        rec.ts, last_ts
+                    ));
+                }
+                last_ts = rec.ts;
+                unit.records.push(rec);
+            }
+        }
+        Ok(TraceFile { label, gpu_base, meta, tenants, units })
+    }
+}
+
+/// Accumulates per-unit record streams during a captured run. The runner
+/// records each pull at its generation point; [`TraceCapture::into_file`]
+/// assembles the final [`TraceFile`].
+#[derive(Debug, Default)]
+pub struct TraceCapture {
+    cpu: Vec<Vec<TraceRecord>>,
+    gpu: Vec<Vec<TraceRecord>>,
+}
+
+impl TraceCapture {
+    /// Capture buffers for `n_cpu` cores and `n_gpu` contexts.
+    pub fn new(n_cpu: usize, n_gpu: usize) -> Self {
+        Self {
+            cpu: (0..n_cpu).map(|_| Vec::new()).collect(),
+            gpu: (0..n_gpu).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Clamp `rec.ts` so the unit's timestamps are non-decreasing, then
+    /// append. A blocked unit resumes at its wake-up time, which can be
+    /// *earlier* than the clock it had reached when the stalled pull was
+    /// generated — so raw generation times are not monotonic. `ts` is
+    /// advisory (replay consumes only `gap`/`idle`), so clamping keeps the
+    /// on-disk invariant without perturbing replay.
+    fn push_monotonic(unit: &mut Vec<TraceRecord>, mut rec: TraceRecord) {
+        if let Some(last) = unit.last() {
+            if rec.ts < last.ts {
+                rec.ts = last.ts;
+            }
+        }
+        unit.push(rec);
+    }
+
+    /// Record one CPU core pull.
+    pub fn record_cpu(&mut self, core: usize, rec: TraceRecord) {
+        Self::push_monotonic(&mut self.cpu[core], rec);
+    }
+
+    /// Record one GPU context pull.
+    pub fn record_gpu(&mut self, ctx: usize, rec: TraceRecord) {
+        Self::push_monotonic(&mut self.gpu[ctx], rec);
+    }
+
+    /// Total records captured so far.
+    pub fn records(&self) -> usize {
+        self.cpu.iter().chain(self.gpu.iter()).map(Vec::len).sum()
+    }
+
+    /// Assemble the trace file. `cpu_tenants` / `gpu_tenants` map each unit
+    /// to its tenant index (empty slices mean "everything belongs to one
+    /// `default` tenant", which is also the fallback when `tenants` is
+    /// empty).
+    pub fn into_file(
+        self,
+        label: &str,
+        gpu_base: u64,
+        meta: Json,
+        tenants: Vec<TenantInfo>,
+        cpu_tenants: &[usize],
+        gpu_tenants: &[usize],
+    ) -> TraceFile {
+        let tenants = if tenants.is_empty() {
+            vec![TenantInfo { name: "default".to_string(), priority: 0 }]
+        } else {
+            tenants
+        };
+        let mut units = Vec::with_capacity(self.cpu.len() + self.gpu.len());
+        for (i, records) in self.cpu.into_iter().enumerate() {
+            let tenant = cpu_tenants.get(i).copied().unwrap_or(0);
+            units.push(TraceUnit { class: UnitClass::Cpu, tenant, records });
+        }
+        for (j, records) in self.gpu.into_iter().enumerate() {
+            let tenant = gpu_tenants.get(j).copied().unwrap_or(0);
+            units.push(TraceUnit { class: UnitClass::Gpu, tenant, records });
+        }
+        TraceFile { label: label.to_string(), gpu_base, meta, tenants, units }
+    }
+}
+
+/// Replays one unit's record stream as a reference source. After the last
+/// record the cursor idles in huge steps at the last address, so a replay
+/// under a longer measurement window starves gracefully instead of
+/// generating traffic the capture never saw.
+#[derive(Debug)]
+pub struct ReplayCursor {
+    records: Vec<TraceRecord>,
+    at: usize,
+    last_addr: u64,
+}
+
+impl ReplayCursor {
+    /// Wrap one unit's records (already validated by [`TraceFile::decode`]).
+    pub fn new(records: Vec<TraceRecord>) -> Self {
+        Self { records, at: 0, last_addr: 0 }
+    }
+
+    /// The next recorded pull, or an idle filler after exhaustion.
+    pub fn next_pull(&mut self) -> Pull {
+        match self.records.get(self.at) {
+            Some(r) => {
+                self.at += 1;
+                self.last_addr = r.addr;
+                Pull {
+                    r: MemRef { gap: r.gap, addr: r.addr, write: r.write, dependent: r.dependent },
+                    idle: r.idle,
+                }
+            }
+            None => Pull {
+                r: MemRef { gap: 0, addr: self.last_addr, write: false, dependent: false },
+                idle: u32::MAX,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceFile {
+        TraceFile {
+            label: "t".into(),
+            gpu_base: 4096,
+            meta: Json::obj().field("k", 7u64),
+            tenants: vec![
+                TenantInfo { name: "a".into(), priority: 0 },
+                TenantInfo { name: "b".into(), priority: 2 },
+            ],
+            units: vec![
+                TraceUnit {
+                    class: UnitClass::Cpu,
+                    tenant: 0,
+                    records: vec![
+                        TraceRecord { ts: 3, addr: 64, gap: 2, idle: 0, write: false, dependent: false },
+                        TraceRecord { ts: 9, addr: 128, gap: 5, idle: 1, write: true, dependent: false },
+                    ],
+                },
+                TraceUnit {
+                    class: UnitClass::Gpu,
+                    tenant: 1,
+                    records: vec![TraceRecord {
+                        ts: 4, addr: 4096, gap: 1, idle: 0, write: false, dependent: true,
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_byte_identical() {
+        let f = sample();
+        let bytes = f.encode();
+        let g = TraceFile::decode(&bytes).unwrap();
+        assert_eq!(f, g);
+        assert_eq!(bytes, g.encode());
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut b = sample().encode();
+        b[0] = b'X';
+        assert!(TraceFile::decode(&b).unwrap_err().contains("magic"));
+        let mut b = sample().encode();
+        b[4] = 99;
+        assert!(TraceFile::decode(&b).unwrap_err().contains("version"));
+    }
+
+    #[test]
+    fn rejects_truncation_and_trailing_bytes() {
+        let b = sample().encode();
+        for cut in [3, 11, b.len() - 1, b.len() - RECORD_BYTES - 1] {
+            assert!(TraceFile::decode(&b[..cut]).is_err(), "cut at {cut} accepted");
+        }
+        let mut b2 = b.clone();
+        b2.push(0);
+        assert!(TraceFile::decode(&b2).unwrap_err().contains("trailing"));
+    }
+
+    #[test]
+    fn rejects_out_of_order_timestamps_and_bad_flags() {
+        let mut f = sample();
+        f.units[0].records[1].ts = 1;
+        assert!(TraceFile::decode(&f.encode()).unwrap_err().contains("out of order"));
+        let b = sample().encode();
+        let flags_at = b.len() - 1;
+        let mut b2 = b;
+        b2[flags_at] = 0xF0;
+        assert!(TraceFile::decode(&b2).unwrap_err().contains("flag"));
+    }
+
+    #[test]
+    fn rejects_unknown_tenant_ids() {
+        let mut f = sample();
+        f.units[1].tenant = 9;
+        assert!(TraceFile::decode(&f.encode()).unwrap_err().contains("unknown tenant"));
+    }
+
+    #[test]
+    fn replay_cursor_replays_then_idles() {
+        let recs = sample().units[0].records.clone();
+        let mut c = ReplayCursor::new(recs.clone());
+        for r in &recs {
+            let p = c.next_pull();
+            assert_eq!(p.r.addr, r.addr);
+            assert_eq!(p.r.gap, r.gap);
+            assert_eq!(p.idle, r.idle);
+        }
+        let p = c.next_pull();
+        assert_eq!(p.idle, u32::MAX);
+        assert_eq!(p.r.addr, recs.last().unwrap().addr);
+        assert_eq!(p.r.gap, 0);
+    }
+}

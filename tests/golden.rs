@@ -16,7 +16,9 @@
 //! and commit the updated files alongside the change that caused them.
 
 use hydrogen_repro::prelude::*;
-use hydrogen_repro::sim::{EngineKind, SimKernel};
+use hydrogen_repro::sim::{EngineKind, Json, SimKernel};
+use hydrogen_repro::system::run_scenario;
+use hydrogen_repro::trace::TenantScenario;
 use std::fs;
 use std::path::PathBuf;
 
@@ -49,6 +51,54 @@ fn check(name: &str, cfg: &SystemConfig, mix_name: &str, kind: PolicyKind) {
         let mut kcfg = cal.clone();
         kcfg.kernel = kernel;
         let via_kernel = run_sim(&kcfg, &mix, kind)
+            .telemetry_json_string()
+            .expect("telemetry must be enabled for golden runs");
+        assert_eq!(
+            got, via_kernel,
+            "{name}: {kernel:?} kernel must produce identical telemetry"
+        );
+    }
+
+    let path = golden_path(name);
+    if std::env::var_os("H2_BLESS").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate it with \
+             `H2_BLESS=1 cargo test --test golden` and commit the file",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "{name}: telemetry diverged from {}; if the change is intended, \
+         regenerate with `H2_BLESS=1 cargo test --test golden`",
+        path.display()
+    );
+}
+
+/// Run a multi-tenant scenario under both engines and the Batched/Parallel
+/// kernels; check the telemetry timeline (which carries the `tenant.*`
+/// metric schema) against a checked-in snapshot, exactly like [`check`].
+fn check_scenario(name: &str, cfg: &SystemConfig, sc: &TenantScenario, kind: PolicyKind) {
+    let mut cal = cfg.clone();
+    cal.engine = EngineKind::Calendar;
+    let mut heap = cfg.clone();
+    heap.engine = EngineKind::Heap;
+    let got = run_scenario(&cal, sc, kind)
+        .telemetry_json_string()
+        .expect("telemetry must be enabled for golden runs");
+    let via_heap = run_scenario(&heap, sc, kind)
+        .telemetry_json_string()
+        .expect("telemetry must be enabled for golden runs");
+    assert_eq!(got, via_heap, "{name}: engines must produce identical telemetry");
+    for kernel in [SimKernel::Batched, SimKernel::Parallel] {
+        let mut kcfg = cal.clone();
+        kcfg.kernel = kernel;
+        let via_kernel = run_scenario(&kcfg, sc, kind)
             .telemetry_json_string()
             .expect("telemetry must be enabled for golden runs");
         assert_eq!(
@@ -127,6 +177,26 @@ fn golden_fig2_with_profiler_armed_is_byte_identical() {
     for root in ["run.scalar", "run.batched", "run.parallel"] {
         assert!(report.root(root).is_some(), "armed profile lacks {root}");
     }
+}
+
+/// The datacenter scenario setting: the committed 3-tenant example
+/// (bursty inference + steady HPC + diurnal analytics) under the
+/// non-partitioned baseline, over short windows. Pins the per-tenant SLO
+/// schema (`tenant.<name>.priority` / `.lat.cpu` / `.lat.gpu`) alongside
+/// the aggregate timeline.
+#[test]
+fn golden_scenario_inference_hpc_analytics() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/scenarios/inference_hpc_analytics.json");
+    let text = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let sc = TenantScenario::from_json(&Json::parse(&text).unwrap()).unwrap();
+    let mut cfg = SystemConfig::tiny();
+    cfg.epoch_cycles = 20_000;
+    cfg.faucet_cycles = 5_000;
+    cfg.warmup_cycles = 40_000;
+    cfg.measure_cycles = 60_000;
+    check_scenario("scenario_inference_hpc_analytics", &cfg, &sc, PolicyKind::NoPart);
 }
 
 /// Blessing must be able to round-trip: the written snapshot re-reads as

@@ -72,6 +72,7 @@ fn gen_spec(rng: &mut SeededRng, tag: u64) -> SweepSpec {
         mixes,
         policies,
         base: vec![("warmup_cycles".into(), 50_000)],
+        scenario: None,
         search,
     }
 }

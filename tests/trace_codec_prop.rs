@@ -1,0 +1,301 @@
+//! Trace-codec property tests and hostile-input hardening (tier 2).
+//!
+//! Mirrors `persist_migration.rs` for the `.h2trace` format: seeded
+//! round-trips must be exact and byte-stable, and *every* malformation —
+//! truncation anywhere, bad magic/version, corrupt headers, record counts
+//! that disagree with the body, unknown tenant ids, invalid flags,
+//! out-of-order timestamps — must come back as a positional diagnostic,
+//! never a panic. The scenario JSON codec gets the same treatment.
+
+use h2_check::sample_scenario;
+use h2_sim_core::Json;
+use h2_trace::{TenantInfo, TenantScenario, TraceFile, TraceRecord, TraceUnit, UnitClass};
+
+fn lcg(s: &mut u64) -> u64 {
+    *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *s >> 33
+}
+
+/// Deterministically generate a structurally valid trace file from a seed:
+/// 1–3 tenants, 1–4 units of mixed class, 0–49 monotonic records each.
+fn gen_file(seed: u64) -> TraceFile {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let n_tenants = 1 + (lcg(&mut s) % 3) as usize;
+    let tenants = (0..n_tenants)
+        .map(|i| TenantInfo { name: format!("t{i}"), priority: (lcg(&mut s) % 4) as u8 })
+        .collect();
+    let n_units = 1 + (lcg(&mut s) % 4) as usize;
+    let mut units = Vec::new();
+    for _ in 0..n_units {
+        let class = if lcg(&mut s).is_multiple_of(2) { UnitClass::Cpu } else { UnitClass::Gpu };
+        let tenant = lcg(&mut s) as usize % n_tenants;
+        let mut ts = 0u64;
+        let records = (0..lcg(&mut s) % 50)
+            .map(|_| {
+                ts += lcg(&mut s) % 1000;
+                TraceRecord {
+                    ts,
+                    addr: lcg(&mut s) << 6,
+                    gap: (lcg(&mut s) % 100) as u32,
+                    idle: (lcg(&mut s) % 50) as u32,
+                    write: lcg(&mut s).is_multiple_of(2),
+                    dependent: lcg(&mut s).is_multiple_of(8),
+                }
+            })
+            .collect();
+        units.push(TraceUnit { class, tenant, records });
+    }
+    TraceFile {
+        label: format!("prop-{seed}"),
+        gpu_base: lcg(&mut s),
+        meta: Json::obj().field("seed", seed),
+        tenants,
+        units,
+    }
+}
+
+#[test]
+fn seeded_roundtrips_are_exact_and_byte_stable() {
+    for seed in 0..48 {
+        let f = gen_file(seed);
+        let bytes = f.encode();
+        let g = TraceFile::decode(&bytes).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(f, g, "seed {seed}: decode must reproduce the value");
+        assert_eq!(bytes, g.encode(), "seed {seed}: re-encode must be byte-identical");
+    }
+}
+
+#[test]
+fn scenario_json_roundtrips_for_seeded_scenarios() {
+    for seed in 0..48 {
+        let sc = sample_scenario(seed);
+        let compact = sc.to_json().to_string_compact();
+        let back = TenantScenario::from_json(&Json::parse(&compact).unwrap())
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(sc, back, "seed {seed}: scenario decode must reproduce the value");
+        assert_eq!(
+            compact,
+            back.to_json().to_string_compact(),
+            "seed {seed}: scenario JSON must be canonical"
+        );
+    }
+}
+
+#[test]
+fn every_truncation_is_rejected_without_panicking() {
+    let bytes = gen_file(1).encode();
+    for cut in 0..bytes.len() {
+        assert!(
+            TraceFile::decode(&bytes[..cut]).is_err(),
+            "prefix of {cut}/{} bytes was accepted",
+            bytes.len()
+        );
+    }
+}
+
+/// Patch one ASCII needle inside the header (same length, so the declared
+/// header size stays valid).
+fn patch_header(bytes: &[u8], needle: &str, replacement: &str) -> Vec<u8> {
+    assert_eq!(needle.len(), replacement.len(), "patch must preserve length");
+    let header_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let mut out = bytes.to_vec();
+    let header = &mut out[12..12 + header_len];
+    let at = header
+        .windows(needle.len())
+        .position(|w| w == needle.as_bytes())
+        .unwrap_or_else(|| panic!("needle {needle:?} not found in header"));
+    header[at..at + needle.len()].copy_from_slice(replacement.as_bytes());
+    out
+}
+
+fn decode_err(bytes: &[u8]) -> String {
+    TraceFile::decode(bytes).expect_err("malformed input must be rejected")
+}
+
+/// A small hand-built file with a guaranteed shape (one CPU unit with two
+/// records, one GPU unit with one), so the byte-level mutations below
+/// always land where they intend to.
+fn hand_file() -> TraceFile {
+    TraceFile {
+        label: "hand".into(),
+        gpu_base: 1 << 20,
+        meta: Json::obj().field("k", 1u64),
+        tenants: vec![TenantInfo { name: "a".into(), priority: 0 }],
+        units: vec![
+            TraceUnit {
+                class: UnitClass::Cpu,
+                tenant: 0,
+                records: vec![
+                    TraceRecord { ts: 1, addr: 64, gap: 3, idle: 0, write: false, dependent: false },
+                    TraceRecord { ts: 5, addr: 128, gap: 2, idle: 1, write: true, dependent: false },
+                ],
+            },
+            TraceUnit {
+                class: UnitClass::Gpu,
+                tenant: 0,
+                records: vec![TraceRecord {
+                    ts: 2,
+                    addr: 1 << 20,
+                    gap: 1,
+                    idle: 0,
+                    write: false,
+                    dependent: true,
+                }],
+            },
+        ],
+    }
+}
+
+#[test]
+fn malformations_are_rejected_with_diagnostics() {
+    let good = hand_file().encode();
+
+    // Too short for even the fixed preamble.
+    assert!(decode_err(&good[..7]).contains("need at least 12"));
+
+    // Wrong magic.
+    let mut b = good.clone();
+    b[0] = b'X';
+    assert!(decode_err(&b).contains("bad magic"));
+
+    // Unsupported format version.
+    let mut b = good.clone();
+    b[4] = 99;
+    assert!(decode_err(&b).contains("unsupported version 99"));
+
+    // Header length pointing past the end of the file.
+    let mut b = good.clone();
+    b[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(decode_err(&b).contains("truncated header"));
+
+    // Header bytes that are not UTF-8.
+    let mut b = good.clone();
+    b[12] = 0xFF;
+    let e = decode_err(&b);
+    assert!(e.contains("UTF-8") || e.contains("header JSON"), "{e}");
+
+    // Header that is valid UTF-8 but not the expected JSON shape.
+    let b = patch_header(&good, "\"schema\"", "\"schemb\"");
+    assert!(decode_err(&b).contains("missing u64 field 'schema'"));
+
+    // Schema field disagreeing with the binary version.
+    let b = patch_header(&good, "\"schema\":1", "\"schema\":2");
+    assert!(decode_err(&b).contains("disagrees with file version"));
+
+    // Unknown unit class.
+    let b = patch_header(&good, "\"class\":\"cpu\"", "\"class\":\"xpu\"");
+    assert!(decode_err(&b).contains("unknown class 'xpu'"));
+
+    // Body shorter than the declared record count.
+    assert!(decode_err(&good[..good.len() - 1]).contains("truncated"));
+
+    // Bytes after the last declared record.
+    let mut b = good.clone();
+    b.push(0);
+    assert!(decode_err(&b).contains("trailing bytes"));
+
+    // Invalid flag bits in the last record row.
+    let mut b = good.clone();
+    let flags_at = b.len() - 1;
+    b[flags_at] = 0xF0;
+    assert!(decode_err(&b).contains("invalid flag bits"));
+}
+
+#[test]
+fn structural_lies_in_the_header_are_rejected() {
+    // A unit naming a tenant the table does not have.
+    let mut f = gen_file(3);
+    f.units[0].tenant = 99;
+    assert!(decode_err(&f.encode()).contains("unknown tenant id 99"));
+
+    // Duplicate tenant names.
+    let mut f = gen_file(3);
+    let dup = f.tenants[0].clone();
+    f.tenants.push(dup);
+    assert!(decode_err(&f.encode()).contains("duplicate name"));
+
+    // An empty tenant table (plain captures always carry `default`).
+    let mut f = gen_file(3);
+    f.tenants.clear();
+    for u in &mut f.units {
+        u.tenant = 0;
+    }
+    assert!(decode_err(&f.encode()).contains("tenant table is empty"));
+
+    // Out-of-order timestamps within one unit.
+    let mut f = hand_file();
+    f.units[0].records[0].ts = 7;
+    f.units[0].records[1].ts = 0;
+    assert!(decode_err(&f.encode()).contains("out of order"));
+}
+
+/// Seeded single-byte corruption sweep: flipping any one byte must yield
+/// either a clean rejection or a successful decode (when the flip lands in
+/// don't-care bits like record payloads) — never a panic.
+#[test]
+fn random_single_byte_flips_never_panic() {
+    let good = gen_file(5).encode();
+    let mut s = 0xDEAD_BEEFu64;
+    for _ in 0..512 {
+        let mut b = good.clone();
+        let at = lcg(&mut s) as usize % b.len();
+        b[at] ^= (1 + lcg(&mut s) % 255) as u8;
+        let _ = TraceFile::decode(&b);
+    }
+}
+
+#[test]
+fn malformed_scenario_json_is_rejected_with_diagnostics() {
+    let valid = sample_scenario(0).to_json().to_string_compact();
+    assert!(TenantScenario::from_json(&Json::parse(&valid).unwrap()).is_ok());
+
+    let cases: &[(&str, &str)] = &[
+        (r#"{}"#, "missing string field 'name'"),
+        (r#"{"name":"x","seed":1,"tenants":[]}"#, "no tenants"),
+        (
+            r#"{"name":"x","seed":1,"tenants":[{"name":"a","priority":0,"cores":1,"ctxs":0,"cpu":["nonesuch"],"gpu":[],"arrival":{"kind":"steady"},"start":0}]}"#,
+            "unknown workload 'nonesuch'",
+        ),
+        (
+            r#"{"name":"x","seed":1,"tenants":[{"name":"a","priority":0,"cores":1,"ctxs":0,"cpu":["bert"],"gpu":[],"arrival":{"kind":"steady"},"start":0}]}"#,
+            "not a cpu workload",
+        ),
+        (
+            r#"{"name":"x","seed":1,"tenants":[{"name":"a","priority":0,"cores":1,"ctxs":0,"cpu":["gcc"],"gpu":[],"arrival":{"kind":"sometimes"},"start":0}]}"#,
+            "unknown arrival kind 'sometimes'",
+        ),
+        (
+            r#"{"name":"x","seed":1,"tenants":[{"name":"a","priority":0,"cores":1,"ctxs":0,"cpu":["gcc"],"gpu":[],"arrival":{"kind":"diurnal","period":0,"amp":0.5,"phase":0.0},"start":0}]}"#,
+            "period must be > 0",
+        ),
+        (
+            r#"{"name":"x","seed":1,"tenants":[{"name":"a","priority":0,"cores":1,"ctxs":0,"cpu":["gcc"],"gpu":[],"arrival":{"kind":"bursty","on":0,"off":5},"start":0}]}"#,
+            "on/off must both be > 0",
+        ),
+        (
+            r#"{"name":"x","seed":1,"tenants":[{"name":"a","priority":0,"cores":1,"ctxs":0,"cpu":["gcc"],"gpu":[],"arrival":{"kind":"steady"},"start":100,"stop":50}]}"#,
+            "must be after start",
+        ),
+        (
+            r#"{"name":"x","seed":1,"tenants":[{"name":"a","priority":0,"cores":0,"ctxs":0,"cpu":[],"gpu":[],"arrival":{"kind":"steady"},"start":0}]}"#,
+            "no units",
+        ),
+    ];
+    for (json, want) in cases {
+        let j = Json::parse(json).unwrap_or_else(|e| panic!("test JSON invalid: {e}\n{json}"));
+        let err = TenantScenario::from_json(&j).expect_err(json);
+        assert!(err.contains(want), "want {want:?} in {err:?}");
+    }
+
+    // Duplicate tenant names, built from the generator to keep it valid
+    // otherwise.
+    let mut sc = sample_scenario(6);
+    if sc.tenants.len() < 2 {
+        let mut extra = sc.tenants[0].clone();
+        extra.name = "t0".into();
+        sc.tenants.push(extra);
+    }
+    sc.tenants[1].name = sc.tenants[0].name.clone();
+    let err = TenantScenario::from_json(&sc.to_json()).expect_err("dup name");
+    assert!(err.contains("duplicate tenant name"), "{err}");
+}
