@@ -89,6 +89,10 @@ pub struct SetAssocCache {
     line_shift: u32,
     set_shift: u32,
     lines: Vec<Line>,
+    /// Per-set most-recently-hit way. Checked before the associative scan:
+    /// tags are unique within a set, so a verified hint hit is the same
+    /// line the scan would find, and a stale hint merely falls through.
+    mru: Vec<u32>,
     tick: u64,
     stats: CacheStats,
 }
@@ -109,6 +113,7 @@ impl SetAssocCache {
             cfg,
             sets,
             lines,
+            mru: vec![0; sets as usize],
             tick: 0,
             stats: CacheStats::default(),
         }
@@ -147,6 +152,19 @@ impl SetAssocCache {
         let (set, tag) = self.index(addr);
         let range = self.set_range(set);
 
+        // MRU short-circuit: re-references of the last-hit way (the common
+        // case on streaming and tight loops) skip the associative scan.
+        let hinted = range.start + self.mru[set as usize] as usize;
+        {
+            let l = &mut self.lines[hinted];
+            if l.valid && l.tag == tag {
+                l.stamp = self.tick;
+                l.dirty |= is_write;
+                self.stats.hits += 1;
+                return AccessOutcome::Hit;
+            }
+        }
+
         // Hit path.
         for i in range.clone() {
             let l = &mut self.lines[i];
@@ -154,6 +172,7 @@ impl SetAssocCache {
                 l.stamp = self.tick;
                 l.dirty |= is_write;
                 self.stats.hits += 1;
+                self.mru[set as usize] = (i - range.start) as u32;
                 return AccessOutcome::Hit;
             }
         }
@@ -163,7 +182,7 @@ impl SetAssocCache {
         let mut victim_idx = range.start;
         let mut victim_stamp = u64::MAX;
         let mut found_invalid = false;
-        for i in range {
+        for i in range.clone() {
             let l = &self.lines[i];
             if !l.valid {
                 victim_idx = i;
@@ -193,6 +212,7 @@ impl SetAssocCache {
             dirty: is_write,
             stamp: self.tick,
         };
+        self.mru[set as usize] = (victim_idx - range.start) as u32;
         AccessOutcome::Miss { victim }
     }
 

@@ -46,6 +46,11 @@ pub enum Relation {
     /// produces a byte-identical report, telemetry and trace included — the
     /// strongest relation in the catalogue, again with *no* exclusions.
     ParallelKernel,
+    /// Re-running with the HMC's alloc-mask memoisation disabled produces
+    /// a byte-identical report — the memo is a pure caching layer over
+    /// `policy.alloc_mask`, valid because masks only change at
+    /// epoch/faucet/reconfig boundaries. No exclusions.
+    MaskMemoOff,
 }
 
 impl Relation {
@@ -60,6 +65,7 @@ impl Relation {
             Relation::InternedMetrics => "interned-metrics",
             Relation::BatchedKernel => "batched-kernel",
             Relation::ParallelKernel => "parallel-kernel",
+            Relation::MaskMemoOff => "mask-memo-off",
         }
     }
 }
@@ -72,6 +78,7 @@ pub fn applicable(case: &FuzzCase) -> Vec<Relation> {
         Relation::InternedMetrics,
         Relation::BatchedKernel,
         Relation::ParallelKernel,
+        Relation::MaskMemoOff,
     ];
     if case.cpu.is_empty() || case.gpu.is_none() {
         rels.push(Relation::SoloSideZero);
@@ -174,6 +181,13 @@ pub fn check(
                 Some(d) => Err(format!("parallel kernel diverges: {d}")),
             }
         }
+        Relation::MaskMemoOff => {
+            let variant = rerun(case, label, |cfg| cfg.mask_memo = false)?;
+            match diff_reports_except(base, &variant, &[]) {
+                None => Ok(()),
+                Some(d) => Err(format!("mask-memo diverges from direct policy calls: {d}")),
+            }
+        }
         Relation::NoMigrateZero => {
             let h = &base.hmc;
             if h.migrations != [0, 0]
@@ -221,6 +235,7 @@ mod tests {
         let rels = applicable(&c);
         assert!(rels.contains(&Relation::TelemetryOff));
         assert!(rels.contains(&Relation::InternedMetrics));
+        assert!(rels.contains(&Relation::MaskMemoOff));
         assert!(rels.contains(&Relation::EpochDouble));
         assert!(!rels.contains(&Relation::SoloSideZero));
         assert!(!rels.contains(&Relation::NoMigrateZero));

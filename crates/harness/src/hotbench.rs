@@ -16,6 +16,11 @@
 //!                               # committed baseline; exit 1 on regression
 //! h2 bench --baseline           # re-baseline: overwrite the committed file
 //! h2 bench --iters 40           # more samples (default 20)
+//! h2 bench --profile-out prof/  # write per-kernel profile JSON documents
+//! h2 bench --profile-snapshot   # re-record the committed profile shares
+//! h2 bench --adopt-parallel BENCH_hotpath.parallel-candidate.json
+//!                               # adopt the nightly parallel candidate
+//!                               # into the committed baseline
 //! ```
 //!
 //! The committed baseline lives at `tests/bench/hotpath_baseline.json`
@@ -25,11 +30,13 @@
 //! pays messaging overhead that only pays off on multi-core hosts). The
 //! gate skips cleanly when the baseline is missing, so fresh clones and
 //! machines without a recorded baseline never fail; the same skip applies
-//! per kernel, which is why the committed baseline records only the
-//! sequential kernels — the parallel kernel's throughput on the tiny
-//! bench is dominated by barrier messaging and swings wildly across host
-//! core counts, so its baseline is adopted deliberately from the nightly
-//! CI candidate artifact rather than pinned from a development machine.
+//! per kernel. The parallel kernel's tiny-bench throughput depends on the
+//! host's core count, so its baseline section is not pinned from an
+//! arbitrary development machine: the nightly CI job publishes a
+//! measured candidate artifact, and `h2 bench --adopt-parallel <file>`
+//! copies that candidate's parallel section into the committed baseline —
+//! a deliberate, reviewable adoption that then puts the parallel kernel
+//! under the same 10% like-for-like gate as the sequential ones.
 //! A baseline may also carry a `reference.seed_scalar_events_per_sec`
 //! field (the pre-SoA seed loop measured on the recording host): when
 //! present, the gate additionally requires the batched kernel to clear
@@ -45,8 +52,21 @@
 //! path is one relaxed atomic per — rare — allocation, so CI builds the
 //! gate with it on). Without the feature, `allocs_per_event` is reported
 //! as `null` and not gated. When it *is* measured, the gate holds the
-//! sequential kernels (scalar, batched) to the zero-allocation bar; the
-//! parallel kernel is exempt — cross-thread batches allocate by design.
+//! sequential kernels (scalar, batched) to the zero-allocation bar, and
+//! the parallel kernel to its own near-zero budget: pooled `ChanOp`
+//! batches and recycled flush buffers brought cross-thread messaging to
+//! sequential-level allocation rates, so a return to per-message
+//! allocation is a regression the gate must catch.
+//!
+//! With `--profile`, each kernel also gets one run with the self-profiler
+//! armed (after the timed iterations, so recorded numbers are
+//! undistorted). The armed run feeds two further outputs: `--profile-out
+//! <dir>` writes each kernel's full attribution tree as
+//! `profile_<kernel>.json`, and the `hmc.access` self-time share is
+//! checked against the committed snapshot at
+//! `tests/bench/profile_snapshot.json` — growing more than 10% relative
+//! fails the command. `--profile-snapshot` rewrites that snapshot from
+//! the current run (the profile analogue of `--baseline`).
 
 use crate::alloc_count;
 use h2_sim_core::{prof, Json, SimKernel};
@@ -87,6 +107,26 @@ pub const GATE_TOLERANCE: f64 = 0.10;
 /// buffers) allocates nothing in steady state.
 pub const ALLOC_GATE: f64 = 0.02;
 
+/// The parallel kernel's steady-state allocation budget. Pooled `ChanOp`
+/// batches, recycled flush buffers, and the shard pump scratch leave only
+/// channel-internal block allocations and the telemetry/trace residual,
+/// so the budget sits just above the sequential bar rather than orders of
+/// magnitude over it (it was ~0.8 allocations/event before pooling).
+pub const PARALLEL_ALLOC_GATE: f64 = 0.05;
+
+/// Committed profile-share snapshot, relative to the repo root. Records
+/// the `hmc.access` exclusive-time share per kernel on the tiny bench;
+/// `--profile` runs fail when the live share grows more than
+/// [`PROFILE_SHARE_TOLERANCE`] relative against it.
+pub const PROFILE_SNAPSHOT_FILE: &str = "tests/bench/profile_snapshot.json";
+
+/// The profiled phase whose self-time share the profile gate tracks.
+pub const PROFILE_GATE_LABEL: &str = "hmc.access";
+
+/// Relative growth of the gated phase's self-time share that fails a
+/// profiled run: `share > snapshot * (1 + tolerance)`.
+pub const PROFILE_SHARE_TOLERANCE: f64 = 0.10;
+
 /// The batched kernel must clear this multiple of the recorded seed-loop
 /// reference throughput (when the baseline carries one).
 pub const SPEEDUP_BAR: f64 = 1.5;
@@ -115,6 +155,16 @@ pub struct BenchArgs {
     /// print the host-time attribution tree (the timed iterations stay
     /// unprofiled so the recorded numbers are undistorted).
     pub profile: bool,
+    /// Directory for per-kernel `profile_<kernel>.json` documents from the
+    /// armed runs (implies `profile`).
+    pub profile_out: Option<String>,
+    /// Rewrite the committed profile-share snapshot from this run's armed
+    /// profiles (implies `profile`; the profile analogue of `baseline`).
+    pub profile_snapshot: bool,
+    /// Adopt the parallel-kernel section of a candidate results document
+    /// (the nightly CI artifact) into the committed baseline, then exit —
+    /// no measurement happens.
+    pub adopt_parallel: Option<String>,
 }
 
 impl Default for BenchArgs {
@@ -126,6 +176,9 @@ impl Default for BenchArgs {
             kernels: Vec::new(),
             preset: "tiny",
             profile: false,
+            profile_out: None,
+            profile_snapshot: false,
+            adopt_parallel: None,
         }
     }
 }
@@ -188,9 +241,26 @@ impl BenchArgs {
                         })?;
                 }
                 "--profile" => out.profile = true,
+                "--profile-out" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| "--profile-out needs a directory argument".to_string())?;
+                    out.profile_out = Some(v.clone());
+                    out.profile = true;
+                }
+                "--profile-snapshot" => {
+                    out.profile_snapshot = true;
+                    out.profile = true;
+                }
+                "--adopt-parallel" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| "--adopt-parallel needs a candidate results file".to_string())?;
+                    out.adopt_parallel = Some(v.clone());
+                }
                 other => {
                     return Err(format!(
-                        "unknown argument '{other}' (usage: h2 bench [--gate] [--baseline] [--iters N] [--kernel scalar|batched|parallel] [--preset tiny|multichan] [--profile])"
+                        "unknown argument '{other}' (usage: h2 bench [--gate] [--baseline] [--iters N] [--kernel scalar|batched|parallel] [--preset tiny|multichan] [--profile] [--profile-out DIR] [--profile-snapshot] [--adopt-parallel FILE])"
                     ))
                 }
             }
@@ -201,7 +271,18 @@ impl BenchArgs {
                     .into(),
             );
         }
-        if out.preset != "tiny" && (out.gate || out.baseline) {
+        if out.gate && out.profile_snapshot {
+            return Err(
+                "--gate and --profile-snapshot are mutually exclusive (a gate compares, a snapshot overwrites)"
+                    .into(),
+            );
+        }
+        if out.adopt_parallel.is_some() && (out.gate || out.baseline) {
+            return Err(
+                "--adopt-parallel is a standalone baseline edit; drop --gate/--baseline".into(),
+            );
+        }
+        if out.preset != "tiny" && (out.gate || out.baseline || out.profile_snapshot) {
             return Err(format!(
                 "--preset {} cannot be gated or baselined (the committed baseline records the tiny preset only)",
                 out.preset
@@ -310,6 +391,21 @@ fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
     sorted_ns[idx]
 }
 
+/// Whether `len` sorted samples can honestly carry a `p` label. The
+/// median needs at least two samples; a tail percentile additionally
+/// needs its rank to land above the median's — otherwise the "tail" is
+/// the median re-printed under a different name (two iterations used to
+/// report `ns_p99 == ns_p50` this way). Unsupported labels are omitted
+/// from both the console line and the results document rather than
+/// emitted with misleading values.
+fn percentile_supported(len: usize, p: f64) -> bool {
+    if len < 2 {
+        return false;
+    }
+    let rank = |q: f64| ((len - 1) as f64 * q).round() as usize;
+    p <= 0.5 || rank(p) > rank(0.5)
+}
+
 /// One kernel's measured section.
 struct KernelSection {
     name: &'static str,
@@ -327,11 +423,14 @@ impl KernelSection {
             Some(a) => Json::F64(a),
             None => Json::Null,
         };
-        Json::obj()
-            .field("ns_best", self.m.ns[0])
-            .field("ns_p50", percentile(&self.m.ns, 0.50))
-            .field("ns_p99", percentile(&self.m.ns, 0.99))
-            .field("events_per_sec", self.events_per_sec())
+        let mut j = Json::obj().field("ns_best", self.m.ns[0]);
+        if percentile_supported(self.m.ns.len(), 0.50) {
+            j = j.field("ns_p50", percentile(&self.m.ns, 0.50));
+        }
+        if percentile_supported(self.m.ns.len(), 0.99) {
+            j = j.field("ns_p99", percentile(&self.m.ns, 0.99));
+        }
+        j.field("events_per_sec", self.events_per_sec())
             .field("allocs_per_event", allocs_field)
     }
 }
@@ -420,15 +519,17 @@ pub fn gate_verdict(current: &Json, baseline: &Json) -> Result<Vec<String>, Stri
             ));
         }
         lines.push(line);
-        // Zero-allocation bar for the sequential kernels.
-        if *name != "parallel" {
-            if let Some(a) = kernel_allocs(current, name) {
-                if a > ALLOC_GATE {
-                    return Err(format!(
-                        "hot-path regression: {name} kernel allocates {a:.4}/event \
-                         (sequential kernels must stay below {ALLOC_GATE})"
-                    ));
-                }
+        // Allocation bars: zero (plus the telemetry/trace residual) for
+        // the sequential kernels, and the pooled-messaging budget for the
+        // parallel kernel — its cross-thread batches are recycled, so
+        // per-message allocation is a regression, not a design cost.
+        let budget = if *name == "parallel" { PARALLEL_ALLOC_GATE } else { ALLOC_GATE };
+        if let Some(a) = kernel_allocs(current, name) {
+            if a > budget {
+                return Err(format!(
+                    "hot-path regression: {name} kernel allocates {a:.4}/event \
+                     (budget {budget})"
+                ));
             }
         }
     }
@@ -457,6 +558,118 @@ pub fn gate_verdict(current: &Json, baseline: &Json) -> Result<Vec<String>, Stri
     Ok(lines)
 }
 
+/// Set-or-replace a field on a JSON object (plain [`Json::field`] appends,
+/// which would leave a shadowed duplicate behind).
+fn set_field(obj: &mut Json, name: &str, v: Json) {
+    match obj {
+        Json::Obj(fields) => match fields.iter_mut().find(|(n, _)| n == name) {
+            Some((_, slot)) => *slot = v,
+            None => fields.push((name.to_string(), v)),
+        },
+        _ => panic!("set_field on non-object"),
+    }
+}
+
+/// Merge the parallel-kernel section of a candidate results document (the
+/// nightly CI artifact) into a baseline document, leaving every other
+/// baseline field — sequential kernels, the seed reference — untouched.
+/// The adoption is recorded in a `parallel_adopted_from` field naming the
+/// candidate's bench identifier.
+pub fn adopt_parallel_section(baseline: &Json, candidate: &Json) -> Result<Json, String> {
+    let section = candidate
+        .get("kernels")
+        .and_then(|k| k.get("parallel"))
+        .ok_or_else(|| "candidate document has no kernels.parallel section".to_string())?;
+    if section.get("events_per_sec").and_then(f64_of).is_none() {
+        return Err("candidate kernels.parallel carries no events_per_sec".into());
+    }
+    let mut out = baseline.clone();
+    let mut kernels = baseline.get("kernels").cloned().unwrap_or_else(Json::obj);
+    set_field(&mut kernels, "parallel", section.clone());
+    set_field(&mut out, "kernels", kernels);
+    let bench = candidate
+        .get("bench")
+        .cloned()
+        .unwrap_or_else(|| Json::Str("unknown".into()));
+    set_field(&mut out, "parallel_adopted_from", bench);
+    Ok(out)
+}
+
+/// Exclusive-time share of every node labelled `label` in a profile tree,
+/// as a fraction of the profiled total. Summed across occurrences (the
+/// scalar and batched kernels enter `hmc.access` from different dispatch
+/// scopes) so the share is position-independent.
+pub fn profile_share(report: &prof::ProfReport, label: &str) -> f64 {
+    fn walk(n: &prof::ProfNode, label: &str, acc: &mut u64) {
+        if n.name == label {
+            *acc += n.excl_ns;
+        }
+        for c in &n.children {
+            walk(c, label, acc);
+        }
+    }
+    let mut acc = 0u64;
+    for r in &report.roots {
+        walk(r, label, &mut acc);
+    }
+    acc as f64 / report.total_ns().max(1) as f64
+}
+
+/// Compare a kernel's live profile share against the committed snapshot.
+/// `Ok(None)` when the snapshot does not cover this bench or kernel (the
+/// gate skips, like a missing bench baseline); `Ok(Some(line))` on a
+/// pass; `Err(message)` when the share grew beyond the tolerance.
+pub fn share_verdict(
+    kernel: &str,
+    bench: &str,
+    share: f64,
+    snapshot: &Json,
+) -> Result<Option<String>, String> {
+    if snapshot.get("bench").and_then(Json::as_str) != Some(bench) {
+        return Ok(None);
+    }
+    let Some(base) = snapshot
+        .get("shares")
+        .and_then(|s| s.get(kernel))
+        .and_then(f64_of)
+    else {
+        return Ok(None);
+    };
+    let label = snapshot
+        .get("label")
+        .and_then(Json::as_str)
+        .unwrap_or(PROFILE_GATE_LABEL)
+        .to_string();
+    let rel = share / base.max(1e-12) - 1.0;
+    let line = format!(
+        "{kernel}: {label} self-time {:.2}% vs snapshot {:.2}% ({rel:+.1}% rel)",
+        share * 100.0,
+        base * 100.0,
+        rel = rel * 100.0
+    );
+    if share > base * (1.0 + PROFILE_SHARE_TOLERANCE) {
+        return Err(format!(
+            "profile regression: {line}, beyond the {:.0}% relative tolerance",
+            PROFILE_SHARE_TOLERANCE * 100.0
+        ));
+    }
+    Ok(Some(line))
+}
+
+/// The committed profile-share snapshot document.
+fn snapshot_json(preset: &str, shares: &[(&str, f64)]) -> Json {
+    let mut s = Json::obj();
+    for (k, v) in shares {
+        s = s.field(k, Json::F64(*v));
+    }
+    Json::obj()
+        .field("schema", 1u64)
+        .field("kind", "h2-profile-snapshot")
+        .field("bench", bench_name(preset))
+        .field("label", PROFILE_GATE_LABEL)
+        .field("shares", s)
+}
+
 /// Run `h2 bench` end to end; returns the process exit code.
 pub fn cmd_bench(args: &[String]) -> i32 {
     let parsed = match BenchArgs::parse(args) {
@@ -467,6 +680,50 @@ pub fn cmd_bench(args: &[String]) -> i32 {
         }
     };
 
+    let root = repo_root();
+
+    if let Some(candidate_path) = &parsed.adopt_parallel {
+        // A baseline edit, not a measurement: copy the nightly candidate
+        // artifact's parallel section into the committed baseline.
+        let baseline_path = root.join(BASELINE_FILE);
+        let read_json = |path: &std::path::Path| -> Result<Json, String> {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            Json::parse(&text).map_err(|e| format!("unreadable JSON {}: {e}", path.display()))
+        };
+        let merged = read_json(std::path::Path::new(candidate_path)).and_then(|candidate| {
+            let baseline = read_json(&baseline_path).unwrap_or_else(|_| {
+                Json::obj().field("schema", 2u64).field("bench", bench_name("tiny"))
+            });
+            adopt_parallel_section(&baseline, &candidate)
+        });
+        return match merged {
+            Ok(doc) => match std::fs::write(&baseline_path, doc.to_string_pretty()) {
+                Ok(()) => {
+                    println!(
+                        "adopted parallel baseline from {candidate_path} into {}",
+                        baseline_path.display()
+                    );
+                    0
+                }
+                Err(e) => {
+                    eprintln!("[h2 bench] cannot write {}: {e}", baseline_path.display());
+                    2
+                }
+            },
+            Err(e) => {
+                eprintln!("[h2 bench] {e}");
+                2
+            }
+        };
+    }
+
+    let snapshot = std::fs::read_to_string(root.join(PROFILE_SNAPSHOT_FILE))
+        .ok()
+        .and_then(|t| Json::parse(&t).ok());
+    let mut shares: Vec<(&'static str, f64)> = Vec::new();
+    let mut profile_gate_failed = false;
+
     let mut sections = Vec::new();
     for (name, kernel) in parsed.selected() {
         eprintln!(
@@ -476,14 +733,23 @@ pub fn cmd_bench(args: &[String]) -> i32 {
         let m = measure(parsed.preset, parsed.iters, kernel);
         let allocs = allocs_per_event(parsed.preset, kernel);
         let s = KernelSection { name, m, allocs };
-        println!(
-            "{} [{name}]  best {} ns/iter  p50 {} ns  p99 {} ns  ({:.2} Mev/s)",
+        let mut line = format!(
+            "{} [{name}]  best {} ns/iter",
             bench_name(parsed.preset),
-            s.m.ns[0],
-            percentile(&s.m.ns, 0.50),
-            percentile(&s.m.ns, 0.99),
-            s.events_per_sec() / 1e6
+            s.m.ns[0]
         );
+        if percentile_supported(s.m.ns.len(), 0.50) {
+            line.push_str(&format!("  p50 {} ns", percentile(&s.m.ns, 0.50)));
+        }
+        if percentile_supported(s.m.ns.len(), 0.99) {
+            line.push_str(&format!("  p99 {} ns", percentile(&s.m.ns, 0.99)));
+        } else {
+            line.push_str(&format!(
+                "  (p99 needs more than {} iters)",
+                s.m.ns.len()
+            ));
+        }
+        println!("{line}  ({:.2} Mev/s)", s.events_per_sec() / 1e6);
         match s.allocs {
             Some(a) => println!("  steady-state allocations: {a:.4} per event"),
             None => println!("  steady-state allocations: not measured (build with --features alloc-count)"),
@@ -502,18 +768,59 @@ pub fn cmd_bench(args: &[String]) -> i32 {
             println!("\nhost-time profile [{name}] (one armed run, not the timed iterations):");
             print!("{}", report.render_text());
             println!();
+            if let Some(dir) = &parsed.profile_out {
+                let dir = root.join(dir);
+                if let Err(e) = std::fs::create_dir_all(&dir) {
+                    eprintln!("[h2 bench] cannot create {}: {e}", dir.display());
+                    return 2;
+                }
+                let path = dir.join(format!("profile_{name}.json"));
+                if let Err(e) = std::fs::write(&path, report.to_json().to_string_pretty()) {
+                    eprintln!("[h2 bench] cannot write {}: {e}", path.display());
+                    return 2;
+                }
+                println!("profile: {}", path.display());
+            }
+            let share = profile_share(&report, PROFILE_GATE_LABEL);
+            shares.push((name, share));
+            if !parsed.profile_snapshot {
+                if let Some(snap) = &snapshot {
+                    match share_verdict(name, bench_name(parsed.preset), share, snap) {
+                        Ok(Some(ok_line)) => println!("profile gate OK: {ok_line}"),
+                        Ok(None) => {}
+                        Err(msg) => {
+                            eprintln!("[h2 bench] {msg}");
+                            profile_gate_failed = true;
+                        }
+                    }
+                }
+            }
         }
         sections.push(s);
     }
     let doc = results_json(parsed.preset, parsed.iters, &sections);
-
-    let root = repo_root();
     let out = root.join(results_file(parsed.preset));
     if let Err(e) = std::fs::write(&out, doc.to_string_pretty()) {
         eprintln!("[h2 bench] cannot write {}: {e}", out.display());
         return 2;
     }
     println!("results: {}", out.display());
+
+    if parsed.profile_snapshot {
+        let snap_path = root.join(PROFILE_SNAPSHOT_FILE);
+        if let Some(dir) = snap_path.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("[h2 bench] cannot create {}: {e}", dir.display());
+                return 2;
+            }
+        }
+        let snap = snapshot_json(parsed.preset, &shares);
+        if let Err(e) = std::fs::write(&snap_path, snap.to_string_pretty()) {
+            eprintln!("[h2 bench] cannot write {}: {e}", snap_path.display());
+            return 2;
+        }
+        println!("profile snapshot: {}", snap_path.display());
+    }
 
     let baseline_path = root.join(BASELINE_FILE);
     if parsed.baseline {
@@ -568,7 +875,7 @@ pub fn cmd_bench(args: &[String]) -> i32 {
                 for line in lines {
                     println!("gate OK: {line}");
                 }
-                0
+                i32::from(profile_gate_failed)
             }
             Err(msg) => {
                 eprintln!("[h2 bench] {msg}");
@@ -576,7 +883,7 @@ pub fn cmd_bench(args: &[String]) -> i32 {
             }
         };
     }
-    0
+    i32::from(profile_gate_failed)
 }
 
 #[cfg(test)]
@@ -697,11 +1004,24 @@ mod tests {
     #[test]
     fn gate_enforces_zero_allocation_on_sequential_kernels() {
         let base = doc(&[("batched", 100e6, None), ("parallel", 50e6, None)]);
-        let ok = doc(&[("batched", 100e6, Some(0.0)), ("parallel", 50e6, Some(3.0))]);
-        assert!(gate_verdict(&ok, &base).is_ok(), "parallel kernel may allocate");
-        let bad = doc(&[("batched", 100e6, Some(0.5)), ("parallel", 50e6, Some(3.0))]);
+        let ok = doc(&[("batched", 100e6, Some(0.0)), ("parallel", 50e6, Some(0.03))]);
+        assert!(gate_verdict(&ok, &base).is_ok());
+        let bad = doc(&[("batched", 100e6, Some(0.5)), ("parallel", 50e6, Some(0.03))]);
         let msg = gate_verdict(&bad, &base).unwrap_err();
         assert!(msg.contains("allocates"), "{msg}");
+    }
+
+    #[test]
+    fn gate_holds_parallel_kernel_to_its_pooled_budget() {
+        let base = doc(&[("parallel", 50e6, None)]);
+        // Under the 0.05 budget: the pooled-messaging steady state.
+        let ok = doc(&[("parallel", 50e6, Some(0.04))]);
+        assert!(gate_verdict(&ok, &base).is_ok());
+        // A return to per-message allocation (the pre-pooling ~0.8) fails,
+        // even while throughput is within tolerance.
+        let bad = doc(&[("parallel", 50e6, Some(0.8))]);
+        let msg = gate_verdict(&bad, &base).unwrap_err();
+        assert!(msg.contains("parallel") && msg.contains("allocates"), "{msg}");
     }
 
     #[test]
@@ -724,6 +1044,21 @@ mod tests {
         assert_eq!(percentile(&ns, 0.5), 60);
         assert_eq!(percentile(&ns, 0.99), 100);
         assert_eq!(percentile(&ns, 1.0), 100);
+    }
+
+    #[test]
+    fn percentile_labels_follow_iteration_support() {
+        // One sample supports no percentile label at all.
+        assert!(!percentile_supported(1, 0.50));
+        assert!(!percentile_supported(1, 0.99));
+        // Two samples give a median, but their p99 rank *is* the median
+        // rank — the `iters: 2` artifact that reported ns_p99 == ns_p50.
+        assert!(percentile_supported(2, 0.50));
+        assert!(!percentile_supported(2, 0.99));
+        // From three samples up, the p99 rank separates from the median.
+        assert!(percentile_supported(3, 0.99));
+        assert!(percentile_supported(5, 0.99));
+        assert!(percentile_supported(20, 0.99));
     }
 
     #[test]
@@ -750,5 +1085,131 @@ mod tests {
         assert_eq!(kernel_eps(&j, "scalar"), Some(1000.0 * 1e9 / 100.0));
         assert_eq!(kernel_allocs(&j, "scalar"), Some(0.25));
         assert_eq!(kernel_allocs(&j, "batched"), None);
+    }
+
+    #[test]
+    fn results_json_refuses_unsupported_percentile_labels() {
+        let two = KernelSection {
+            name: "parallel",
+            m: Measured { ns: vec![100, 200], events_per_iter: 1000 },
+            allocs: None,
+        };
+        let s = two.json().to_string_compact();
+        assert!(s.contains(r#""ns_p50":"#), "{s}");
+        assert!(!s.contains("ns_p99"), "2 iters cannot support a p99 label: {s}");
+        let one = KernelSection {
+            name: "parallel",
+            m: Measured { ns: vec![100], events_per_iter: 1000 },
+            allocs: None,
+        };
+        let s = one.json().to_string_compact();
+        assert!(!s.contains("ns_p50") && !s.contains("ns_p99"), "{s}");
+        assert!(s.contains(r#""ns_best":100"#), "{s}");
+    }
+
+    #[test]
+    fn new_flags_parse_and_conflict() {
+        let a = parse(&["--profile-out", "profiles"]).unwrap();
+        assert_eq!(a.profile_out.as_deref(), Some("profiles"));
+        assert!(a.profile, "--profile-out implies --profile");
+        let a = parse(&["--profile-snapshot"]).unwrap();
+        assert!(a.profile_snapshot && a.profile);
+        let a = parse(&["--adopt-parallel", "cand.json"]).unwrap();
+        assert_eq!(a.adopt_parallel.as_deref(), Some("cand.json"));
+        assert_eq!(
+            parse(&["--profile-out"]).unwrap_err(),
+            "--profile-out needs a directory argument"
+        );
+        assert!(parse(&["--gate", "--profile-snapshot"])
+            .unwrap_err()
+            .contains("mutually exclusive"));
+        assert!(parse(&["--adopt-parallel", "c.json", "--gate"])
+            .unwrap_err()
+            .contains("standalone"));
+        assert!(parse(&["--preset", "multichan", "--profile-snapshot"])
+            .unwrap_err()
+            .contains("cannot be gated"));
+    }
+
+    #[test]
+    fn adopt_parallel_merges_only_the_parallel_section() {
+        let baseline = doc(&[("scalar", 100e6, Some(0.01)), ("batched", 200e6, Some(0.01))])
+            .field("reference", Json::obj().field("seed_scalar_events_per_sec", 60e6));
+        let candidate = doc(&[("scalar", 999e6, None), ("parallel", 50e6, Some(0.03))])
+            .field("bench", "full_system_tiny_c1_150k_traced");
+        let merged = adopt_parallel_section(&baseline, &candidate).unwrap();
+        // Parallel arrives from the candidate; the sequential kernels and
+        // the seed reference stay exactly as committed.
+        assert_eq!(kernel_eps(&merged, "parallel"), Some(50e6));
+        assert_eq!(kernel_allocs(&merged, "parallel"), Some(0.03));
+        assert_eq!(kernel_eps(&merged, "scalar"), Some(100e6));
+        assert!(merged.get("reference").is_some());
+        assert_eq!(
+            merged.get("parallel_adopted_from").and_then(Json::as_str),
+            Some("full_system_tiny_c1_150k_traced")
+        );
+        // Re-adoption replaces the section instead of shadowing it.
+        let candidate2 = doc(&[("parallel", 70e6, None)]).field("bench", "x");
+        let merged2 = adopt_parallel_section(&merged, &candidate2).unwrap();
+        assert_eq!(kernel_eps(&merged2, "parallel"), Some(70e6));
+        assert!(!merged2.to_string_compact().contains("50000000"), "old section must be gone");
+        // A candidate without a parallel section is an error, not a no-op.
+        let empty = doc(&[("scalar", 1e6, None)]);
+        assert!(adopt_parallel_section(&baseline, &empty).is_err());
+    }
+
+    fn leaf(name: &str, excl: u64) -> prof::ProfNode {
+        prof::ProfNode {
+            name: name.into(),
+            idx: None,
+            count: 1,
+            incl_ns: excl,
+            excl_ns: excl,
+            allocs: 0,
+            children: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn profile_share_sums_label_occurrences_across_the_tree() {
+        let root = prof::ProfNode {
+            name: "run.sim".into(),
+            idx: None,
+            count: 1,
+            incl_ns: 1000,
+            excl_ns: 100,
+            allocs: 0,
+            children: vec![
+                leaf("hmc.access", 300),
+                prof::ProfNode {
+                    name: "dispatch.mem_done".into(),
+                    idx: None,
+                    count: 1,
+                    incl_ns: 600,
+                    excl_ns: 500,
+                    allocs: 0,
+                    children: vec![leaf("hmc.access", 100)],
+                },
+            ],
+        };
+        let report = prof::ProfReport { threads: 1, roots: vec![root], counters: Vec::new() };
+        let share = profile_share(&report, "hmc.access");
+        assert!((share - 0.4).abs() < 1e-12, "{share}");
+        assert_eq!(profile_share(&report, "absent.phase"), 0.0);
+    }
+
+    #[test]
+    fn share_verdict_gates_relative_growth() {
+        let snap = snapshot_json("tiny", &[("scalar", 0.08), ("batched", 0.07)]);
+        let bench = bench_name("tiny");
+        // Within tolerance (and shrinking) passes with a report line.
+        assert!(share_verdict("scalar", bench, 0.06, &snap).unwrap().is_some());
+        assert!(share_verdict("scalar", bench, 0.085, &snap).unwrap().is_some());
+        // >10% relative growth fails.
+        let msg = share_verdict("scalar", bench, 0.09, &snap).unwrap_err();
+        assert!(msg.contains("profile regression"), "{msg}");
+        // Unknown kernel or a snapshot for a different bench: skip.
+        assert!(share_verdict("parallel", bench, 0.5, &snap).unwrap().is_none());
+        assert!(share_verdict("scalar", "other_bench", 0.5, &snap).unwrap().is_none());
     }
 }

@@ -193,6 +193,17 @@ pub struct HmcMetricHandles {
     pol_tok: GaugeId,
 }
 
+/// One per-set entry of the memoised alloc-mask cache: the two class
+/// masks plus the invalidation stamp they were computed under. Stamp
+/// comparison (instead of a validity bitmap) makes whole-cache
+/// invalidation O(1) — epoch/faucet boundaries bump the stamp and every
+/// entry is stale at once, with no memset over `num_sets` entries.
+#[derive(Debug, Clone, Copy, Default)]
+struct MaskMemoEntry {
+    stamp: u64,
+    masks: [u16; 2],
+}
+
 /// The hybrid memory controller.
 pub struct Hmc {
     cfg: HybridConfig,
@@ -215,6 +226,18 @@ pub struct Hmc {
     /// `txns_started == txns_retired + inflight()` at every instant).
     txns_started: u64,
     txns_retired: u64,
+    /// Memoised `policy.alloc_mask(set, class)` results, one entry per
+    /// set (lazily grown to the touched range). Masks can only change at
+    /// epoch/faucet/reconfig boundaries — every `alloc_mask` impl takes
+    /// `&self`, so between the controller's `&mut` policy calls the
+    /// function is pure in `(set, class)`; [`Self::check_mask_memo`]
+    /// re-asserts this at monitor probes.
+    mask_memo: Vec<MaskMemoEntry>,
+    /// Current memo generation; entries with an older stamp are stale.
+    mask_memo_stamp: u64,
+    /// Memoisation toggle (observation-level: on and off are bit-identical,
+    /// pinned by the `mask-memo-off` fuzz relation).
+    mask_memo_on: bool,
 }
 
 impl Hmc {
@@ -236,7 +259,79 @@ impl Hmc {
             epoch_base: HmcStats::default(),
             txns_started: 0,
             txns_retired: 0,
+            mask_memo: Vec::new(),
+            mask_memo_stamp: 1,
+            mask_memo_on: true,
         }
+    }
+
+    /// Enable or disable alloc-mask memoisation. Observation-level: both
+    /// settings are bit-identical (the memo only caches a pure function
+    /// between its invalidation boundaries); the toggle exists for the
+    /// metamorphic fuzz relation and A/B profiling.
+    pub fn set_mask_memo(&mut self, on: bool) {
+        self.mask_memo_on = on;
+        if !on {
+            self.mask_memo = Vec::new();
+        }
+    }
+
+    /// Drop every memoised mask (O(1): bumps the generation stamp).
+    /// Called at the boundaries where partition masks may change —
+    /// epoch, faucet, forced reconfiguration, direct policy mutation.
+    #[inline]
+    fn invalidate_mask_memo(&mut self) {
+        self.mask_memo_stamp += 1;
+    }
+
+    /// Memoising front-end for `policy.alloc_mask(set, class)`. On a
+    /// stale or missing entry, computes *both* class masks for the set
+    /// (the miss path usually wants the other class a moment later via
+    /// `swap_target`'s view or the chained set) and caches them under the
+    /// current stamp.
+    #[inline]
+    fn alloc_mask_memo(&mut self, set: u64, class: ReqClass) -> u16 {
+        if !self.mask_memo_on {
+            return self.policy.alloc_mask(set, class);
+        }
+        let si = set as usize;
+        if si >= self.mask_memo.len() {
+            self.mask_memo.resize(si + 1, MaskMemoEntry::default());
+        }
+        if self.mask_memo[si].stamp != self.mask_memo_stamp {
+            let masks = [
+                self.policy.alloc_mask(set, ReqClass::Cpu),
+                self.policy.alloc_mask(set, ReqClass::Gpu),
+            ];
+            self.mask_memo[si] = MaskMemoEntry {
+                stamp: self.mask_memo_stamp,
+                masks,
+            };
+        }
+        self.mask_memo[si].masks[class.idx()]
+    }
+
+    /// Verify every live memo entry against a direct policy call
+    /// (invariant monitors): a mismatch means a policy changed its masks
+    /// outside the epoch/faucet/reconfig boundaries the memo invalidates
+    /// on.
+    pub fn check_mask_memo(&self) -> Result<(), String> {
+        for (set, e) in self.mask_memo.iter().enumerate() {
+            if e.stamp != self.mask_memo_stamp {
+                continue;
+            }
+            for class in [ReqClass::Cpu, ReqClass::Gpu] {
+                let direct = self.policy.alloc_mask(set as u64, class);
+                let memo = e.masks[class.idx()];
+                if direct != memo {
+                    return Err(format!(
+                        "mask memo stale outside an invalidation boundary: \
+                         set {set} class {class:?} memo {memo:#06b} direct {direct:#06b}"
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The configuration.
@@ -255,7 +350,10 @@ impl Hmc {
     }
 
     /// Mutable access to the active policy (tests, forced reconfiguration).
+    /// Conservatively drops the memoised alloc-masks: the caller may
+    /// mutate anything, including the partition configuration.
     pub fn policy_mut(&mut self) -> &mut dyn PartitionPolicy {
+        self.invalidate_mask_memo();
         self.policy.as_mut()
     }
 
@@ -539,32 +637,52 @@ impl Hmc {
     /// Metadata available: resolve hit/miss and issue the demand access.
     fn proceed_meta(&mut self, idx: u32, out: &mut Vec<HmcOutput>) {
         let _prof = prof::scope("hmc.meta");
-        let txn = self.txns[idx as usize].clone().expect("live txn");
+        // Copy the handful of scalars the resolution needs instead of
+        // cloning the whole transaction (the trace span makes `Txn: Clone`
+        // heap-allocate); the slab entry itself is only written through
+        // `as_mut` at well-scoped points below.
+        let (class, addr, is_write) = {
+            let t = self.txns[idx as usize].as_ref().expect("live txn");
+            (t.class, t.addr, t.is_write)
+        };
         // Counted here (not at `access`) so `hits + misses == accesses`
         // holds exactly at any sampling boundary.
-        self.stats.accesses[txn.class.idx()] += 1;
-        let block = self.cfg.block_of(txn.addr);
-        let home_set = self.policy.home_set(block, txn.class, self.cfg.num_sets());
+        self.stats.accesses[class.idx()] += 1;
+        let block = self.cfg.block_of(addr);
+        let home_set = self.policy.home_set(block, class, self.cfg.num_sets());
 
         // Tags are full block ids (globally unique), so chained placement
         // and policy-remapped home sets need no extra marker bits.
-        let mut found = self.table.lookup(home_set, block).map(|w| (home_set, w));
+        // `lookup_touch` fuses the probe with the LRU/hotness/dirty update
+        // so the common hit case walks the set once and already knows the
+        // resident owner for the misplacement check in `fast_hit`.
+        let mut found = self
+            .table
+            .lookup_touch(home_set, block, is_write)
+            .map(|(w, o)| (home_set, w, o));
         if found.is_none() && self.cfg.chaining {
             let cs = self.cfg.chain_set(home_set);
-            found = self.table.lookup(cs, block).map(|w| (cs, w));
+            found = self
+                .table
+                .lookup_touch(cs, block, is_write)
+                .map(|(w, o)| (cs, w, o));
         }
 
         match found {
-            Some((set, way)) => self.fast_hit(idx, set, way, out),
+            Some((set, way, owner)) => self.fast_hit(idx, set, way, owner, out),
             None => self.fast_miss(idx, home_set, block, out),
         }
     }
 
-    fn fast_hit(&mut self, idx: u32, set: u64, way: usize, out: &mut Vec<HmcOutput>) {
+    /// Hit path. The way has already been touched by `proceed_meta`'s fused
+    /// probe; `owner` is the resident block's class as read in that pass.
+    fn fast_hit(&mut self, idx: u32, set: u64, way: usize, owner: ReqClass, out: &mut Vec<HmcOutput>) {
         let _prof = prof::scope("hmc.hit");
-        let txn = self.txns[idx as usize].clone().expect("live txn");
-        self.stats.fast_hits[txn.class.idx()] += 1;
-        self.table.touch(set, way, txn.is_write);
+        let (class, is_write) = {
+            let t = self.txns[idx as usize].as_ref().expect("live txn");
+            (t.class, t.is_write)
+        };
+        self.stats.fast_hits[class.idx()] += 1;
 
         // Demand access on the way's channel.
         let ch = self.policy.way_channel(set, way);
@@ -574,8 +692,8 @@ impl Hmc {
             cmd: MemCmd {
                 addr: self.cfg.fast_addr_of(set, way),
                 bytes: 64,
-                is_write: txn.is_write,
-                priority: demand_priority(self.policy.priority(txn.class)),
+                is_write,
+                priority: demand_priority(self.policy.priority(class)),
                 token: self.token(idx, STEP_DEMAND),
             },
         });
@@ -585,8 +703,7 @@ impl Hmc {
 
         // Post-hit bookkeeping: lazy reconfiguration, then fast swap.
         let _prof_policy = prof::scope("hmc.policy");
-        let meta = self.table.set_view(set)[way];
-        let mask = self.policy.alloc_mask(set, meta.owner);
+        let mask = self.alloc_mask_memo(set, owner);
         let misplaced = mask & (1 << way) == 0;
         if misplaced {
             // Cached: `env::var` allocates and this runs per misplaced hit.
@@ -594,7 +711,7 @@ impl Hmc {
             if *DEBUG_FIXUP.get_or_init(|| std::env::var("H2_DEBUG_FIXUP").is_ok()) {
                 eprintln!(
                     "FIXUP set={} way={} owner={:?} mask={:#06b} hitclass={:?} view={:?}",
-                    set, way, meta.owner, mask, txn.class,
+                    set, way, owner, mask, class,
                     self.table.set_view(set).iter().map(|w| (w.valid, w.owner, w.tag)).collect::<Vec<_>>()
                 );
             }
@@ -603,7 +720,7 @@ impl Hmc {
             if let Some(target) = self.policy.swap_target(
                 set,
                 way,
-                txn.class,
+                class,
                 self.table.set_view(set),
                 &mut self.rng,
             ) {
@@ -667,22 +784,25 @@ impl Hmc {
 
     fn fast_miss(&mut self, idx: u32, set: u64, block: u64, out: &mut Vec<HmcOutput>) {
         let _prof = prof::scope("hmc.miss");
-        let txn = self.txns[idx as usize].clone().expect("live txn");
-        self.stats.fast_misses[txn.class.idx()] += 1;
+        let (class, addr, is_write) = {
+            let t = self.txns[idx as usize].as_ref().expect("live txn");
+            (t.class, t.addr, t.is_write)
+        };
+        self.stats.fast_misses[class.idx()] += 1;
 
         // Candidate placement: policy mask in the home set; with chaining a
         // fallback slot in the chained set. (Policy scoring + victim walk
         // attribute to `hmc.policy`, the migration/demand issue below to
         // the enclosing `hmc.miss`.)
         let prof_policy = prof::scope("hmc.policy");
-        let mask = self.policy.alloc_mask(set, txn.class);
+        let mask = self.alloc_mask_memo(set, class);
         let mut place: Option<(u64, u64, usize)> = self
             .table
             .pick_victim(set, mask)
             .map(|w| (set, block, w));
         if self.cfg.chaining {
             let cs = self.cfg.chain_set(set);
-            let cmask = self.policy.alloc_mask(cs, txn.class);
+            let cmask = self.alloc_mask_memo(cs, class);
             let prefer_chain = match place {
                 None => true,
                 Some((s, _, w)) => self.table.set_view(s)[w].valid,
@@ -710,19 +830,19 @@ impl Hmc {
 
         let buffer_ok = self.bg_txns < self.cfg.migration_buffers;
         if place.is_some() && !buffer_ok {
-            self.stats.buffer_denied[txn.class.idx()] += 1;
+            self.stats.buffer_denied[class.idx()] += 1;
         }
         let migrate = place.is_some()
             && buffer_ok
             && self.policy.migration_allowed(
-                txn.class,
+                class,
                 cost,
-                txn.is_write,
+                is_write,
                 self.cfg.slow_channel_of(block),
                 &mut self.rng,
             );
         if place.is_some() && buffer_ok && !migrate {
-            self.stats.migrations_denied[txn.class.idx()] += 1;
+            self.stats.migrations_denied[class.idx()] += 1;
             // Tracing: the slow-queue wait of this demand is charged to the
             // policy/token decision that kept the block out of fast memory.
             if let Some(t) = self.txns[idx as usize].as_mut() {
@@ -736,10 +856,10 @@ impl Hmc {
             tier: Tier::Slow,
             channel: self.cfg.slow_channel_of(block),
             cmd: MemCmd {
-                addr: self.cfg.slow_addr_of_block(block) + (txn.addr % self.cfg.block_bytes),
+                addr: self.cfg.slow_addr_of_block(block) + (addr % self.cfg.block_bytes),
                 bytes: 64,
-                is_write: txn.is_write && !migrate,
-                priority: demand_priority(self.policy.priority(txn.class)),
+                is_write: is_write && !migrate,
+                priority: demand_priority(self.policy.priority(class)),
                 token: self.token(idx, STEP_DEMAND),
             },
         });
@@ -748,13 +868,13 @@ impl Hmc {
         }
 
         if !migrate {
-            self.stats.bypasses[txn.class.idx()] += 1;
+            self.stats.bypasses[class.idx()] += 1;
             return;
         }
 
         let (pset, ptag, pway) = place.expect("migrate implies placement");
-        self.stats.migrations[txn.class.idx()] += 1;
-        let evicted = self.table.fill(pset, pway, ptag, txn.class, txn.is_write);
+        self.stats.migrations[class.idx()] += 1;
+        let evicted = self.table.fill(pset, pway, ptag, class, is_write);
         let bytes = self.cfg.block_bytes as u32;
         let way_ch = self.policy.way_channel(pset, pway);
 
@@ -885,6 +1005,9 @@ impl Hmc {
     pub fn on_epoch(&mut self, sample: &crate::policy::EpochSample) -> bool {
         self.table.decay_hotness();
         let changed = self.policy.on_epoch(sample);
+        // Epoch boundary: the policy may have reconfigured, so every
+        // memoised mask is suspect. O(1) stamp bump.
+        self.invalidate_mask_memo();
         if changed && self.policy.ideal_reconfig() {
             self.teleport_reconfig();
         }
@@ -913,9 +1036,13 @@ impl Hmc {
         d
     }
 
-    /// Token-faucet tick.
+    /// Token-faucet tick. Refills only migration tokens today, but the
+    /// memo treats it as an invalidation boundary too — the contract is
+    /// "masks change only at epoch/faucet/reconfig", and keeping the
+    /// faucet in the set costs one stamp bump per tick.
     pub fn on_faucet(&mut self) {
         self.policy.on_faucet();
+        self.invalidate_mask_memo();
     }
 
     /// Ideal reconfiguration: instantly rearrange every set so each block

@@ -90,6 +90,30 @@ impl RemapTable {
         w.dirty |= is_write;
     }
 
+    /// [`Self::lookup`] and [`Self::touch`] fused into one pass over the
+    /// set, returning the hit way and its owner class. The common-hit
+    /// access path walks the set exactly once: find, refresh LRU/hotness/
+    /// dirty, and read the owner for the misplacement check without
+    /// re-indexing. Value-identical to `lookup` followed by `touch` (tags
+    /// are unique within a set, so the first match is the only match).
+    pub fn lookup_touch(
+        &mut self,
+        set: u64,
+        tag: u64,
+        is_write: bool,
+    ) -> Option<(usize, ReqClass)> {
+        let b = self.base(set);
+        let way = self.ways[b..b + self.assoc]
+            .iter()
+            .position(|w| w.valid && w.tag == tag)?;
+        self.tick += 1;
+        let w = &mut self.ways[b + way];
+        w.stamp = self.tick;
+        w.hotness = w.hotness.saturating_add(1);
+        w.dirty |= is_write;
+        Some((way, w.owner))
+    }
+
     /// Install a block into `way`, returning the displaced block's
     /// `(tag, dirty, owner)` if a valid block was evicted.
     pub fn fill(

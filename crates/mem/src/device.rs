@@ -141,6 +141,10 @@ pub struct ChannelShard {
     demand_first: bool,
     tracing: bool,
     iv_pool: Vec<Vec<SpanInterval>>,
+    /// Reusable pump output buffer; `apply` drains it into the caller's
+    /// `started` after every pump, so it holds no state between ops. Kept
+    /// on the shard so the hot Pump path allocates nothing in steady state.
+    pump_scratch: Vec<StartedCmd>,
 }
 
 impl ChannelShard {
@@ -172,7 +176,8 @@ impl ChannelShard {
                 );
             }
             ChanOp::Pump { now, seq_base, expect } => {
-                let mut out = Vec::with_capacity(expect as usize);
+                let mut out = std::mem::take(&mut self.pump_scratch);
+                out.clear();
                 self.channel.pump(
                     &self.timing,
                     self.tracing,
@@ -187,10 +192,11 @@ impl ChannelShard {
                     "parallel mirror diverged from device on channel {}",
                     self.ch_index
                 );
-                started.extend(out.into_iter().enumerate().map(|(i, cmd)| SeqStarted {
+                started.extend(out.drain(..).enumerate().map(|(i, cmd)| SeqStarted {
                     seq: seq_base + i as u64,
                     cmd,
                 }));
+                self.pump_scratch = out;
             }
             ChanOp::Complete { token } => {
                 self.channel.complete(self.tracing, token);
@@ -924,6 +930,7 @@ impl MemDevice {
             demand_first: self.demand_first,
             tracing: self.tracing,
             iv_pool: Vec::new(),
+            pump_scratch: Vec::new(),
         }
     }
 

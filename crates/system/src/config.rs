@@ -104,6 +104,13 @@ pub struct SystemConfig {
     /// differential testing. Pure observation, so — like `engine` and
     /// `telemetry` — it is not part of the run-cache key.
     pub string_metrics: bool,
+    /// Memoise `alloc_mask` lookups in the HMC (a per-set × per-class
+    /// cache invalidated at epoch/faucet/reconfig boundaries, the only
+    /// points masks can change). The memo is bit-identical to direct
+    /// policy calls (proved by the `mask-memo` fuzz relation and a
+    /// monitor-probed invariant); this switch exists only for that
+    /// differential testing. Not part of the run-cache key.
+    pub mask_memo: bool,
 }
 
 impl Default for SystemConfig {
@@ -144,6 +151,7 @@ impl SystemConfig {
             telemetry: true,
             trace_sample: None,
             string_metrics: false,
+            mask_memo: true,
         }
     }
 
@@ -324,8 +332,8 @@ impl SystemConfig {
 
     /// Decode a configuration from [`SystemConfig::to_json`] output.
     /// Observation-only knobs (`engine`, `kernel`, `telemetry`,
-    /// `trace_sample`, `string_metrics`) are deliberately *not* part of the
-    /// encoding — they never change simulation results, so a replayed run
+    /// `trace_sample`, `string_metrics`, `mask_memo`) are deliberately
+    /// *not* part of the encoding — they never change simulation results, so a replayed run
     /// starts from their defaults and the caller sets whatever it wants.
     pub fn from_json(j: &Json) -> Result<Self, String> {
         fn u64f(j: &Json, name: &str) -> Result<u64, String> {
@@ -403,6 +411,7 @@ impl SystemConfig {
             telemetry: true,
             trace_sample: None,
             string_metrics: false,
+            mask_memo: true,
         };
         cfg.validate()?;
         Ok(cfg)

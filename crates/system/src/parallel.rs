@@ -52,11 +52,26 @@ use h2_sim_core::units::Cycles;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
+/// Ops accumulated per worker before a batch send. Bounds the latency a
+/// logged op waits on the main thread; the value trades per-send channel
+/// overhead (the dominant main-thread cost at batch size 1) against
+/// overlap. Workers spend ~1% of their time busy, so coarser batches cost
+/// nothing measurable on the worker side.
+const OP_BATCH: usize = 32;
+
 enum ToWorker {
-    /// Apply one deferred device operation.
-    Op(ChanOp),
+    /// Apply a batch of deferred device operations. The spent buffer is
+    /// returned (cleared, capacity intact) with the next `Flush` reply.
+    Ops(Vec<ChanOp>),
     /// Return all accumulated results (started commands, trace records).
-    Flush,
+    /// Carries empty, capacity-retaining buffers recycled from the
+    /// previous flush for the worker's next accumulation, plus the
+    /// container for its spent op buffers.
+    Flush {
+        started: Vec<SeqStarted>,
+        traces: Vec<CmdTrace>,
+        spent: Vec<Vec<ChanOp>>,
+    },
     /// Hand the shard back to the controller (hard barrier).
     Yield,
     /// Take the shard again after a barrier.
@@ -67,6 +82,8 @@ enum FromWorker {
     Batch {
         started: Vec<SeqStarted>,
         traces: Vec<CmdTrace>,
+        /// Drained op buffers for the controller to refill.
+        spent: Vec<Vec<ChanOp>>,
     },
     Shard(Box<ChannelShard>),
 }
@@ -85,6 +102,7 @@ fn worker_loop(id: u32, rx: Receiver<ToWorker>, tx: Sender<FromWorker>) {
     let mut shard: Option<Box<ChannelShard>> = None;
     let mut started: Vec<SeqStarted> = Vec::new();
     let mut traces: Vec<CmdTrace> = Vec::new();
+    let mut spent: Vec<Vec<ChanOp>> = Vec::new();
     loop {
         let t0 = if prof::armed() { Some(prof::clock_raw()) } else { None };
         let Ok(msg) = rx.recv() else { break };
@@ -98,18 +116,21 @@ fn worker_loop(id: u32, rx: Receiver<ToWorker>, tx: Sender<FromWorker>) {
         }
         let _busy = prof::scope("busy");
         match msg {
-            ToWorker::Op(op) => {
+            ToWorker::Ops(mut ops) => {
                 let s = shard.as_mut().expect("device op before shard handoff");
-                s.apply(&op, &mut started, &mut traces);
+                for op in &ops {
+                    s.apply(op, &mut started, &mut traces);
+                }
+                ops.clear();
+                spent.push(ops);
             }
-            ToWorker::Flush => {
-                if tx
-                    .send(FromWorker::Batch {
-                        started: std::mem::take(&mut started),
-                        traces: std::mem::take(&mut traces),
-                    })
-                    .is_err()
-                {
+            ToWorker::Flush { started: fresh_s, traces: fresh_t, spent: fresh_sp } => {
+                let batch = FromWorker::Batch {
+                    started: std::mem::replace(&mut started, fresh_s),
+                    traces: std::mem::replace(&mut traces, fresh_t),
+                    spent: std::mem::replace(&mut spent, fresh_sp),
+                };
+                if tx.send(batch).is_err() {
                     return;
                 }
             }
@@ -143,10 +164,21 @@ struct Worker {
     mirror: ChanMirror,
     /// Has unflushed results (a pump that started at least one command).
     results_pending: bool,
+    /// Ops logged but not yet sent (batched up to [`OP_BATCH`]).
+    pending: Vec<ChanOp>,
+    /// Recycled container for the worker's spent op buffers, handed over
+    /// with each `Flush` and returned (full) in the `Batch` reply.
+    spent_box: Vec<Vec<ChanOp>>,
 }
 
 /// The main-thread side of the parallel memory system: op logging,
 /// occupancy/sequence mirrors, flush/barrier orchestration.
+///
+/// All message payloads cycle through pools so steady-state operation
+/// allocates nothing: op batches (`op_bufs`) go out full and come back
+/// cleared with the next flush reply; result buffers (`started_bufs`,
+/// `trace_bufs`) go out empty inside `Flush` and come back full in the
+/// `Batch`, returning to the pool once the sink has drained them.
 pub(crate) struct ParallelMem {
     workers: Vec<Worker>,
     fast_n: usize,
@@ -156,6 +188,11 @@ pub(crate) struct ParallelMem {
     lookahead: Cycles,
     /// Log time of the oldest op with still-unflushed results.
     oldest_op: Option<Cycles>,
+    /// Cleared op buffers awaiting refill.
+    op_bufs: Vec<Vec<ChanOp>>,
+    /// Cleared result buffers awaiting the next flush round.
+    started_bufs: Vec<Vec<SeqStarted>>,
+    trace_bufs: Vec<Vec<CmdTrace>>,
 }
 
 fn tier_idx(tier: Tier) -> usize {
@@ -193,6 +230,8 @@ impl ParallelMem {
                     join: Some(join),
                     mirror: ChanMirror::default(),
                     results_pending: false,
+                    pending: Vec::with_capacity(OP_BATCH),
+                    spent_box: Vec::new(),
                 };
                 w.tx.send(ToWorker::Resume(Box::new(shard))).expect("worker alive");
                 workers.push(w);
@@ -204,6 +243,9 @@ impl ParallelMem {
             dev_seq,
             lookahead,
             oldest_op: None,
+            op_bufs: Vec::new(),
+            started_bufs: Vec::new(),
+            trace_bufs: Vec::new(),
         }
     }
 
@@ -218,6 +260,34 @@ impl ParallelMem {
     /// runner must flush before popping an event at or past this.
     pub fn deadline(&self) -> Option<Cycles> {
         self.oldest_op.map(|t| t + self.lookahead)
+    }
+
+    /// Append `op` to worker `w`'s pending batch, shipping the batch once
+    /// it reaches [`OP_BATCH`]. FIFO order within a worker is preserved:
+    /// ops drain through `pending` in log order, and batches arrive in
+    /// send order on the worker's channel.
+    fn push_op(&mut self, w: usize, op: ChanOp) {
+        self.workers[w].pending.push(op);
+        if self.workers[w].pending.len() >= OP_BATCH {
+            self.ship_pending(w);
+        }
+    }
+
+    /// Send worker `w`'s pending op batch (if any), swapping in a cleared
+    /// buffer from the pool.
+    fn ship_pending(&mut self, w: usize) {
+        if self.workers[w].pending.is_empty() {
+            return;
+        }
+        let fresh = self
+            .op_bufs
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(OP_BATCH));
+        let batch = std::mem::replace(&mut self.workers[w].pending, fresh);
+        self.workers[w]
+            .tx
+            .send(ToWorker::Ops(batch))
+            .expect("channel worker died");
     }
 
     /// Log an enqueue (the deferred `enqueue_traced`), pre-assigning the
@@ -239,10 +309,7 @@ impl ParallelMem {
         // Deferred-op queue-depth accounting: sample the mirrored channel
         // queue depth at every deferred enqueue.
         prof::count_idx("shard.queue_depth", w as u32, self.workers[w].mirror.queue_len as u64);
-        self.workers[w]
-            .tx
-            .send(ToWorker::Op(ChanOp::Enqueue { cmd, now, class, tag, seq }))
-            .expect("channel worker died");
+        self.push_op(w, ChanOp::Enqueue { cmd, now, class, tag, seq });
     }
 
     /// Commands the next pump on `(tier, ch)` will start — the count the
@@ -265,34 +332,52 @@ impl ParallelMem {
         worker.mirror.in_flight += expect as usize;
         worker.results_pending = true;
         self.oldest_op.get_or_insert(now);
-        worker
-            .tx
-            .send(ToWorker::Op(ChanOp::Pump { now, seq_base, expect }))
-            .expect("channel worker died");
+        self.push_op(w, ChanOp::Pump { now, seq_base, expect });
     }
 
     /// Log a completion (the deferred `on_complete_traced`).
     pub fn complete(&mut self, tier: Tier, ch: usize, token: u64) {
         let w = self.widx(tier, ch);
         self.workers[w].mirror.in_flight -= 1;
-        self.workers[w]
-            .tx
-            .send(ToWorker::Op(ChanOp::Complete { token }))
-            .expect("channel worker died");
+        self.push_op(w, ChanOp::Complete { token });
     }
 
     /// Collect every outstanding result. The sink receives each worker's
-    /// batch as `(tier, started, traces)`; afterwards no results are
-    /// outstanding and the deadline clears.
-    pub fn flush<F: FnMut(Tier, Vec<SeqStarted>, Vec<CmdTrace>)>(&mut self, mut sink: F) {
+    /// batch as `(tier, &mut started, &mut traces)` and must drain what it
+    /// needs; the buffers return to the pool afterwards. Flushes are
+    /// pipelined: every worker gets its `Flush` before any reply is
+    /// awaited, so the round trip costs one worker latency, not the sum.
+    pub fn flush<F: FnMut(Tier, &mut Vec<SeqStarted>, &mut Vec<CmdTrace>)>(&mut self, mut sink: F) {
+        for i in 0..self.workers.len() {
+            if !self.workers[i].results_pending {
+                continue;
+            }
+            self.ship_pending(i);
+            let started = self.started_bufs.pop().unwrap_or_default();
+            let traces = self.trace_bufs.pop().unwrap_or_default();
+            let spent = std::mem::take(&mut self.workers[i].spent_box);
+            self.workers[i]
+                .tx
+                .send(ToWorker::Flush { started, traces, spent })
+                .expect("channel worker died");
+        }
         for i in 0..self.workers.len() {
             if !self.workers[i].results_pending {
                 continue;
             }
             let tier = if i < self.fast_n { Tier::Fast } else { Tier::Slow };
-            self.workers[i].tx.send(ToWorker::Flush).expect("channel worker died");
             match self.workers[i].rx.recv().expect("channel worker died") {
-                FromWorker::Batch { started, traces } => sink(tier, started, traces),
+                FromWorker::Batch { mut started, mut traces, mut spent } => {
+                    sink(tier, &mut started, &mut traces);
+                    started.clear();
+                    traces.clear();
+                    self.started_bufs.push(started);
+                    self.trace_bufs.push(traces);
+                    // Spent op buffers arrive cleared; only the container
+                    // needs emptying before it goes back to the worker.
+                    self.op_bufs.append(&mut spent);
+                    self.workers[i].spent_box = spent;
+                }
                 FromWorker::Shard(_) => unreachable!("unexpected shard on flush"),
             }
             self.workers[i].results_pending = false;
@@ -303,15 +388,19 @@ impl ParallelMem {
     /// Hard barrier: flush, then re-attach every shard so both devices are
     /// whole (probes, telemetry, invariant checks). Follow with
     /// [`Self::resume`] to detach again — or [`Self::shutdown`] to finish.
-    pub fn barrier<F: FnMut(Tier, Vec<SeqStarted>, Vec<CmdTrace>)>(
+    pub fn barrier<F: FnMut(Tier, &mut Vec<SeqStarted>, &mut Vec<CmdTrace>)>(
         &mut self,
         fast: &mut MemDevice,
         slow: &mut MemDevice,
         sink: F,
     ) {
         self.flush(sink);
-        for w in &self.workers {
-            w.tx.send(ToWorker::Yield).expect("channel worker died");
+        for i in 0..self.workers.len() {
+            // Workers without pending results can still hold unsent
+            // enqueue/complete ops; the shard must absorb them before it
+            // yields so the re-attached device state is exact.
+            self.ship_pending(i);
+            self.workers[i].tx.send(ToWorker::Yield).expect("channel worker died");
         }
         for (i, w) in self.workers.iter().enumerate() {
             match w.rx.recv().expect("channel worker died") {

@@ -102,6 +102,10 @@ pub struct SimProbe {
     pub policy_invariants: Result<(), String>,
     /// Device-level consistency (pipeline occupancy), fast then slow.
     pub mem_invariants: Result<(), String>,
+    /// Memoised alloc-mask coherence: every live memo entry matches a
+    /// direct `policy.alloc_mask` call — the "masks change only at
+    /// epoch/faucet/reconfig boundaries" contract the memo relies on.
+    pub mask_memo: Result<(), String>,
     /// Cumulative fast-device statistics.
     pub fast: MemStats,
     /// Cumulative slow-device statistics.
@@ -1028,6 +1032,7 @@ impl Sim {
             token_flows: self.hmc.policy().token_flows(),
             policy_invariants: self.hmc.policy().check_invariants(),
             mem_invariants,
+            mask_memo: self.hmc.check_mask_memo(),
             fast: self.fast.stats(),
             slow: self.slow.stats(),
             spans_closed: self.tracer.spans_closed(),
@@ -1193,11 +1198,11 @@ impl Sim {
     fn sink_batches(&mut self, par: &mut ParallelMem, barrier: bool) {
         let q = &mut self.q;
         let tracer = &mut self.tracer;
-        let sink = |tier: Tier, started: Vec<h2_mem::SeqStarted>, traces: Vec<CmdTrace>| {
-            for rec in &traces {
+        let sink = |tier: Tier, started: &mut Vec<h2_mem::SeqStarted>, traces: &mut Vec<CmdTrace>| {
+            for rec in traces.iter() {
                 tracer.absorb_intervals(rec.span, &rec.intervals);
             }
-            for s in started {
+            for s in started.drain(..) {
                 q.schedule_at_seq(
                     s.cmd.done_at,
                     s.seq,
@@ -1522,7 +1527,8 @@ pub fn run_plan_monitored(
         migration_buffers: 96,
     };
     let policy = kind.build(cfg, &mut hybrid);
-    let hmc = Hmc::new(hybrid, policy, cfg.seed);
+    let mut hmc = Hmc::new(hybrid, policy, cfg.seed);
+    hmc.set_mask_memo(cfg.mask_memo);
 
     let mut cores = Vec::new();
     let mut l1s = Vec::new();

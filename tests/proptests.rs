@@ -282,6 +282,12 @@ fn remap_never_serves_stale_ways_after_reconfig() {
                 let bw = rng.below(5) as usize;
                 let cap = bw + rng.below((4 - bw) as u64 + 1) as usize;
                 handle.borrow_mut().force_config(bw, cap, rng.below(8) as usize);
+                // The shared handle mutates the policy behind the HMC's
+                // back; `policy_mut` tells it masks may have changed (the
+                // contract every out-of-band reconfiguration must follow,
+                // since the controller memoises alloc-masks between
+                // epoch/faucet/reconfig boundaries).
+                let _ = hmc.policy_mut();
             }
             let class = if rng.chance(0.5) { ReqClass::Cpu } else { ReqClass::Gpu };
             let block = rng.below(512);
@@ -312,6 +318,128 @@ fn remap_never_serves_stale_ways_after_reconfig() {
                 );
             }
             assert!(hmc.table().check_no_duplicate_tags(), "case {case} op {i}");
+        }
+    });
+}
+
+/// The memoised alloc-mask always agrees with a direct `policy.alloc_mask`
+/// call, across forced reconfigurations, epoch rolls, and faucet ticks on
+/// a live controller. `Hmc::check_mask_memo` compares every live memo
+/// entry against the policy; it must hold after every single operation —
+/// the invariant the `mask-memo` monitor probes at runtime boundaries,
+/// here checked at adversarial density.
+#[test]
+fn mask_memo_agrees_with_direct_policy_calls() {
+    use hydrogen_repro::hybrid::hmc::{HmcEvent, HmcOutput};
+    use hydrogen_repro::hybrid::policy::EpochSample;
+    use hydrogen_repro::hybrid::{Hmc, PartitionPolicy, PolicyParams, WayMeta};
+    use hydrogen_repro::hydrogen::{HydrogenConfig, HydrogenPolicy};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Shared-handle adapter (see `remap_never_serves_stale_ways_after_reconfig`)
+    /// extended with `on_epoch` delegation so epoch rolls reach the real
+    /// hill climber through the controller's own boundary hook.
+    struct SharedHydrogen(Rc<RefCell<HydrogenPolicy>>);
+    impl PartitionPolicy for SharedHydrogen {
+        fn name(&self) -> &str {
+            "Hydrogen(shared)"
+        }
+        fn alloc_mask(&self, set: u64, class: ReqClass) -> u16 {
+            self.0.borrow().alloc_mask(set, class)
+        }
+        fn way_channel(&self, set: u64, way: usize) -> usize {
+            self.0.borrow().way_channel(set, way)
+        }
+        fn migration_allowed(
+            &mut self,
+            class: ReqClass,
+            cost: u32,
+            is_write: bool,
+            slow_channel: usize,
+            rng: &mut SeededRng,
+        ) -> bool {
+            self.0
+                .borrow_mut()
+                .migration_allowed(class, cost, is_write, slow_channel, rng)
+        }
+        fn swap_target(
+            &self,
+            set: u64,
+            way: usize,
+            class: ReqClass,
+            ways: &[WayMeta],
+            rng: &mut SeededRng,
+        ) -> Option<usize> {
+            self.0.borrow().swap_target(set, way, class, ways, rng)
+        }
+        fn on_epoch(&mut self, sample: &EpochSample) -> bool {
+            self.0.borrow_mut().on_epoch(sample)
+        }
+        fn on_faucet(&mut self) {
+            self.0.borrow_mut().on_faucet()
+        }
+        fn params(&self) -> PolicyParams {
+            self.0.borrow().params()
+        }
+    }
+
+    cases("prop.maskmemo", |case, rng| {
+        let cfg = HybridConfig {
+            fast_capacity: 64 * 1024, // 64 sets x 4 ways x 256 B
+            ..HybridConfig::default()
+        };
+        let handle = Rc::new(RefCell::new(HydrogenPolicy::new(HydrogenConfig::dp_only(
+            4, 4,
+        ))));
+        let block_bytes = cfg.block_bytes;
+        let mut hmc = Hmc::new(cfg, Box::new(SharedHydrogen(handle.clone())), case);
+
+        let ops = 100 + rng.below(150);
+        for i in 0..ops {
+            // Interleave every kind of mask-changing boundary the memo
+            // must survive, at adversarial cadence.
+            if rng.chance(0.10) {
+                let bw = rng.below(5) as usize;
+                let cap = bw + rng.below((4 - bw) as u64 + 1) as usize;
+                handle.borrow_mut().force_config(bw, cap, rng.below(8) as usize);
+                let _ = hmc.policy_mut(); // out-of-band reconfig signal
+            }
+            if rng.chance(0.10) {
+                hmc.on_epoch(&EpochSample {
+                    cycles: 10_000,
+                    cpu_instr: rng.below(100_000),
+                    gpu_instr: rng.below(100_000),
+                    weighted_ipc: rng.unit() * 4.0,
+                    cpu_hits: rng.below(1000),
+                    cpu_misses: rng.below(1000),
+                    gpu_hits: rng.below(1000),
+                    gpu_misses: rng.below(1000),
+                    migrations: rng.below(100),
+                    bypasses: rng.below(100),
+                });
+            }
+            if rng.chance(0.15) {
+                hmc.on_faucet();
+            }
+            let class = if rng.chance(0.5) { ReqClass::Cpu } else { ReqClass::Gpu };
+            let block = rng.below(512);
+            let mut queue = Vec::new();
+            hmc.access(i, class, block * block_bytes, rng.chance(0.3), true, &mut queue);
+            while let Some(o) = queue.pop() {
+                let mut nxt = Vec::new();
+                match o {
+                    HmcOutput::Mem { cmd, .. } => hmc.handle(HmcEvent::MemDone(cmd.token), &mut nxt),
+                    HmcOutput::After { token, .. } => {
+                        hmc.handle(HmcEvent::SramDone(token), &mut nxt)
+                    }
+                    HmcOutput::DemandReady { .. } | HmcOutput::Retired { .. } => {}
+                }
+                queue.extend(nxt);
+            }
+
+            hmc.check_mask_memo()
+                .unwrap_or_else(|e| panic!("case {case} op {i}: {e}"));
         }
     });
 }
